@@ -1,0 +1,173 @@
+//! Simulated time, measured in CPU cycles.
+//!
+//! The paper reports every cost in SPARC64IXfx cycles (1.848 GHz), so the
+//! simulator's clock is a cycle counter. [`Cycles`] is a newtype over `u64`
+//! with saturating arithmetic: an experiment that overflows 2^64 cycles
+//! (~316 years of simulated time) is a bug, but saturation keeps the
+//! simulator's invariants checkable instead of wrapping silently.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in CPU cycles.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles (the epoch of every simulation).
+    pub const ZERO: Cycles = Cycles(0);
+    /// The largest representable time; used as "never" in event queues.
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// Construct from a raw cycle count.
+    #[inline]
+    pub const fn new(c: u64) -> Self {
+        Cycles(c)
+    }
+
+    /// The raw cycle count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Convert to seconds at a given clock frequency in Hz.
+    #[inline]
+    pub fn as_secs(self, hz: f64) -> f64 {
+        self.0 as f64 / hz
+    }
+
+    /// Saturating addition of a span.
+    #[inline]
+    pub fn saturating_add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+
+    /// Span from `earlier` to `self`; zero if `earlier` is later.
+    #[inline]
+    pub fn since(self, earlier: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<u64> for Cycles {
+    #[inline]
+    fn from(c: u64) -> Self {
+        Cycles(c)
+    }
+}
+
+impl fmt::Debug for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cyc", self.0)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 10_000_000 {
+            write!(f, "{:.1}M cycles", self.0 as f64 / 1e6)
+        } else if self.0 >= 10_000 {
+            write!(f, "{:.1}K cycles", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{} cycles", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_saturates() {
+        assert_eq!(Cycles::MAX + Cycles(1), Cycles::MAX);
+        assert_eq!(Cycles(2) + Cycles(3), Cycles(5));
+    }
+
+    #[test]
+    fn sub_saturates_at_zero() {
+        assert_eq!(Cycles(3) - Cycles(5), Cycles::ZERO);
+        assert_eq!(Cycles(5) - Cycles(3), Cycles(2));
+    }
+
+    #[test]
+    fn since_is_directional() {
+        assert_eq!(Cycles(10).since(Cycles(4)), Cycles(6));
+        assert_eq!(Cycles(4).since(Cycles(10)), Cycles::ZERO);
+    }
+
+    #[test]
+    fn as_secs_uses_frequency() {
+        let c = Cycles(1_848_000_000);
+        assert!((c.as_secs(1.848e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_and_ordering() {
+        let total: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(total, Cycles(6));
+        assert!(Cycles(1) < Cycles(2));
+        assert_eq!(Cycles(7).max(Cycles(3)), Cycles(7));
+        assert_eq!(Cycles(7).min(Cycles(3)), Cycles(3));
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(format!("{}", Cycles(412)), "412 cycles");
+        assert_eq!(format!("{}", Cycles(42_000)), "42.0K cycles");
+        assert_eq!(format!("{}", Cycles(42_000_000)), "42.0M cycles");
+    }
+}

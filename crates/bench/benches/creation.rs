@@ -1,0 +1,27 @@
+//! Criterion: native task-creation strategies (Table 2's subject, as
+//! wall-clock nanoseconds rather than rdtsc cycles).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uat_fiber::{measure_creation, CreationStrategy};
+
+fn bench_creation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("creation");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    for s in [
+        CreationStrategy::SeqCall,
+        CreationStrategy::UniAddr,
+        CreationStrategy::StackPool,
+    ] {
+        // measure_creation runs a 256-spawn batch; criterion times it.
+        g.bench_function(s.name(), |b| {
+            b.iter(|| black_box(measure_creation(s, 256, 1)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_creation);
+criterion_main!(benches);

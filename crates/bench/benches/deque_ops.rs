@@ -1,0 +1,80 @@
+//! Criterion: THE-protocol deque operations — the native deque's
+//! push/pop/steal (what every spawn pays), and the simulated deque's
+//! owner path (what bounds the DES's event rate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uat_base::{CostModel, Cycles, Topology, WorkerId};
+use uat_deque::{NativeDeque, PopOutcome, SimDeque, TaskqEntry};
+use uat_rdma::Fabric;
+
+fn bench_native(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_deque");
+    g.sample_size(30);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let d: NativeDeque<u64> = NativeDeque::new(1024);
+    g.bench_function("push_pop", |b| {
+        b.iter(|| {
+            d.push(black_box(7));
+            black_box(d.pop())
+        })
+    });
+    g.bench_function("push_steal", |b| {
+        b.iter(|| {
+            d.push(black_box(7));
+            black_box(d.steal())
+        })
+    });
+    g.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_deque");
+    g.sample_size(30);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let mut fabric = Fabric::new(Topology::new(2, 1), CostModel::fx10());
+    let owner = WorkerId(0);
+    fabric
+        .register(owner, 0x10_000, SimDeque::footprint(256) as usize)
+        .unwrap();
+    let d = SimDeque::init(&mut fabric, owner, 0x10_000, 256).unwrap();
+    let e = TaskqEntry {
+        task: 1,
+        ctx: 2,
+        frame_base: 3,
+        frame_size: 4,
+    };
+    g.bench_function("owner_push_pop", |b| {
+        b.iter(|| {
+            d.push(&mut fabric, black_box(e)).unwrap();
+            match d.pop(&mut fabric).unwrap() {
+                PopOutcome::Entry(got) => black_box(got),
+                other => panic!("{other:?}"),
+            }
+        })
+    });
+    g.bench_function("thief_full_steal", |b| {
+        b.iter(|| {
+            d.push(&mut fabric, black_box(e)).unwrap();
+            let thief = WorkerId(1);
+            let t = match d.remote_empty_check(&mut fabric, Cycles(0), thief).unwrap() {
+                uat_deque::StealOutcome::Ok(t) => t,
+                other => panic!("{other:?}"),
+            };
+            let t = match d.remote_try_lock(&mut fabric, t, thief).unwrap() {
+                uat_deque::StealOutcome::Ok(t) => t,
+                other => panic!("{other:?}"),
+            };
+            let (got, t) = match d.remote_steal_entry(&mut fabric, t, thief).unwrap() {
+                uat_deque::StealOutcome::Ok(v) => v,
+                other => panic!("{other:?}"),
+            };
+            d.remote_unlock(&mut fabric, t, thief).unwrap();
+            black_box(got)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_native, bench_sim);
+criterion_main!(benches);

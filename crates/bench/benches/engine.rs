@@ -1,0 +1,31 @@
+//! Criterion: discrete-event engine throughput — simulated events per
+//! host second, the quantity that bounds how big a machine/tree the
+//! experiment harnesses can afford.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use uat_cluster::{Engine, SimConfig};
+use uat_workloads::{Btc, Uts};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(5));
+
+    // Events per run are deterministic; measure one run's wall time.
+    let probe = Engine::new(SimConfig::tiny(15), Btc::new(14, 1)).run();
+    g.throughput(Throughput::Elements(probe.events));
+    g.bench_function("btc14_15workers", |b| {
+        b.iter(|| black_box(Engine::new(SimConfig::tiny(15), Btc::new(14, 1)).run()))
+    });
+
+    let probe = Engine::new(SimConfig::fx10(4), Uts::geometric(9)).run();
+    g.throughput(Throughput::Elements(probe.events));
+    g.bench_function("uts9_60workers", |b| {
+        b.iter(|| black_box(Engine::new(SimConfig::fx10(4), Uts::geometric(9)).run()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

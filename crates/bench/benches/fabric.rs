@@ -1,0 +1,53 @@
+//! Criterion: host-side overhead of simulated fabric operations (the
+//! other bound on DES throughput, alongside the event queue).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uat_base::{CostModel, Cycles, Topology, WorkerId};
+use uat_rdma::Fabric;
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    g.sample_size(30);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let mut f = Fabric::new(Topology::new(2, 1), CostModel::fx10());
+    f.register(WorkerId(1), 0x10_000, 1 << 16).unwrap();
+    let mut small = [0u8; 32];
+    let mut big = vec![0u8; 1 << 14];
+
+    g.bench_function("read_32B", |b| {
+        b.iter(|| {
+            black_box(
+                f.read(Cycles(0), WorkerId(0), WorkerId(1), 0x10_000, black_box(&mut small))
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("read_16KiB", |b| {
+        b.iter(|| {
+            black_box(
+                f.read(Cycles(0), WorkerId(0), WorkerId(1), 0x10_000, black_box(&mut big))
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("fetch_add", |b| {
+        b.iter(|| {
+            black_box(
+                f.fetch_add_u64(Cycles(0), WorkerId(0), WorkerId(1), 0x10_000, 1)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("local_u64_rw", |b| {
+        b.iter(|| {
+            let m = f.mem_mut(WorkerId(1));
+            m.write_u64_local(0x10_008, black_box(42)).unwrap();
+            black_box(m.read_u64_local(0x10_008).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fabric);
+criterion_main!(benches);

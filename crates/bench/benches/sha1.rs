@@ -1,0 +1,26 @@
+//! Criterion: the from-scratch SHA-1 used as UTS's splittable RNG.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use uat_workloads::sha1::{sha1, uts_child, uts_root};
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1");
+    g.sample_size(30);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for size in [24usize, 256, 4096] {
+        let data = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| black_box(sha1(black_box(&data))))
+        });
+    }
+    let root = uts_root(0);
+    g.bench_function("uts_child_derivation", |b| {
+        b.iter(|| black_box(uts_child(black_box(&root), black_box(3))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sha1);
+criterion_main!(benches);

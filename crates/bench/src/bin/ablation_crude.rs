@@ -1,0 +1,46 @@
+//! Ablation: Section 5.1's crude scheme ("two stack copies upon every
+//! context switch") vs the Section 5.2 optimized creation (Figure 4).
+//!
+//! The paper motivates the optimized scheme with exactly this cost:
+//! "Especially in the child-first work stealing scheduler, which
+//! immediately switches to the new child upon every task creation, it
+//! will be very inefficient." BTC, being pure task creation, shows the
+//! worst case.
+
+use uat_bench::kcycles;
+use uat_cluster::{Engine, SimConfig};
+use uat_workloads::Btc;
+
+fn main() {
+    println!("# Ablation — crude uni-address scheme vs Figure 4 optimized creation\n");
+    println!(
+        "{:<12} {:>14} {:>12} {:>14} {:>10}",
+        "scheme", "cycles/task", "time (s)", "throughput/s", "slowdown"
+    );
+    let mut base_cpt = None;
+    for crude in [false, true] {
+        let mut cfg = SimConfig::fx10(4);
+        cfg.core.uni_region_size = 192 << 10;
+        cfg.core.rdma_heap_size = 512 << 10;
+        cfg.core.deque_capacity = 1024;
+        cfg.crude_switch = crude;
+        let stats = Engine::new(cfg, Btc::new(20, 1)).run();
+        let cpt = stats.cycles_per_task();
+        let slow = base_cpt.map(|b: f64| cpt / b).unwrap_or(1.0);
+        base_cpt.get_or_insert(cpt);
+        println!(
+            "{:<12} {:>14.0} {:>12.4} {:>14.3e} {:>9.2}x",
+            if crude { "crude" } else { "optimized" },
+            cpt,
+            stats.seconds(),
+            stats.throughput(),
+            slow,
+        );
+    }
+    println!(
+        "\nCrude adds a copy-out and copy-in of the parent's frames (here {}B)\n\
+         plus the suspend/resume bookkeeping to every spawn — the cost the\n\
+         Figure 4 scheme removes by running the child just below the parent.",
+        kcycles(uat_workloads::btc::BTC_FRAME as f64)
+    );
+}

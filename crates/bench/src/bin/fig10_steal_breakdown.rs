@@ -1,0 +1,105 @@
+//! Figure 10 / Table 3: breakdown of work-stealing time.
+//!
+//! The paper's experiment: "two workers steal a single thread from each
+//! other ... The size of the stolen stack frame is 3055 bytes." The
+//! [`Chain`] workload reproduces it: on two workers, every link of the
+//! chain leaves the joining parent suspended on one worker while the
+//! other worker steals it — a steady ping-pong of one 3,055-byte thread.
+
+use uat_base::{CostModel, Cycles, Topology};
+use uat_bench::{deviation, kcycles, paper};
+use uat_cluster::{Engine, SimConfig};
+use uat_core::StealPhase;
+use uat_workloads::Chain;
+
+fn main() {
+    // The paper's setup: *inter-node* work stealing, one worker per node.
+    let mut cfg = SimConfig::fx10(2);
+    cfg.topo = Topology::new(2, 1);
+    cfg.core.verify_stack_bytes = true;
+    let links = 2_000;
+    let stats = Engine::new(cfg, Chain::fig10(links)).run();
+
+    println!("# Figure 10 — breakdown of inter-node work stealing (3,055-byte stack)\n");
+    println!(
+        "steals completed: {} (attempts: {})\n",
+        stats.breakdown.completed, stats.steal_attempts
+    );
+    println!(
+        "{:<16} {:>12} {:>9}   (Table 3 operation)",
+        "phase", "mean cycles", "share"
+    );
+    let total = stats.breakdown.total_mean();
+    let table3 = [
+        "1 RDMA READ",
+        "remote fetch-and-add",
+        "2 RDMA READ + 1 RDMA WRITE",
+        "suspend running thread",
+        "1 RDMA READ (stack frames)",
+        "1 RDMA WRITE",
+        "resume stolen thread",
+    ];
+    for (p, op) in StealPhase::ALL.iter().zip(table3) {
+        let m = stats.breakdown.phase(*p).mean;
+        println!(
+            "{:<16} {:>12.0} {:>8.1}%   {}",
+            p.name(),
+            m,
+            100.0 * m / total,
+            op
+        );
+    }
+    println!("{:<16} {:>12.0}", "total", total);
+
+    // In this reproduction's Figure 7 flow the ping-pong thief is idle
+    // when it steals (the blocked joiner resumed in place), so the
+    // in-protocol suspend bar is ~0; the suspend/resume pair of a
+    // 3,055-byte thread is the uni-address scheme's own overhead and is
+    // measured directly from the cost model, as §6.3 reports it.
+    let cost = CostModel::fx10();
+    let suspend_pair =
+        (cost.suspend_cost(3_055) + cost.resume_cost(3_055)).get() as f64;
+    let adj_total = total - stats.breakdown.phase(StealPhase::Suspend).mean
+        - stats.breakdown.phase(StealPhase::Resume).mean
+        + suspend_pair;
+
+    println!("\n# Paper comparison");
+    println!(
+        "{:<44} {:>10} {:>10} {:>10}",
+        "quantity", "measured", "paper", "deviation"
+    );
+    println!(
+        "{:<44} {:>10} {:>10} {:>10}",
+        "total steal time incl. suspend/resume pair",
+        kcycles(adj_total),
+        kcycles(paper::STEAL_TOTAL),
+        deviation(adj_total, paper::STEAL_TOTAL)
+    );
+    println!(
+        "{:<44} {:>10} {:>10} {:>10}",
+        "suspend + resume of 3,055-byte thread",
+        kcycles(suspend_pair),
+        kcycles(paper::STEAL_SUSPEND_RESUME),
+        deviation(suspend_pair, paper::STEAL_SUSPEND_RESUME)
+    );
+    let sr = suspend_pair / adj_total;
+    println!(
+        "{:<44} {:>9.1}% {:>10} {:>10}",
+        "suspend + resume share",
+        100.0 * sr,
+        "7.7%",
+        deviation(sr, 0.077)
+    );
+    println!(
+        "{:<44} {:>10} {:>10} {:>10}",
+        "lock (software FAA) phase (cycles)",
+        kcycles(stats.breakdown.phase(StealPhase::Lock).mean),
+        kcycles(paper::FAA_CYCLES),
+        deviation(stats.breakdown.phase(StealPhase::Lock).mean, paper::FAA_CYCLES)
+    );
+    println!(
+        "\nstolen stack bytes per transfer: {} (paper: 3055); makespan {}",
+        3_055,
+        Cycles(stats.makespan.get())
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 9: RDMA READ/WRITE latencies vs message size on the simulated
+//! fabric, printed in the paper's units (microseconds).
+
+use uat_base::{CostModel, Cycles, Topology, WorkerId};
+use uat_rdma::latency::{LatencyModel, Op};
+use uat_rdma::Fabric;
+
+fn main() {
+    let cost = CostModel::fx10();
+    let model = LatencyModel::new(cost.clone());
+    println!("# Figure 9 — RDMA READ/WRITE latency vs message size (FX10 model)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>14}",
+        "bytes", "READ (us)", "WRITE (us)", "READ (cycles)", "WRITE (cycles)"
+    );
+    for sz in LatencyModel::fig9_sizes() {
+        println!(
+            "{:>10} {:>12.2} {:>12.2} {:>14} {:>14}",
+            sz,
+            model.latency_us(Op::Read, sz, false),
+            model.latency_us(Op::Write, sz, false),
+            model.latency(Op::Read, sz, false).get(),
+            model.latency(Op::Write, sz, false).get(),
+        );
+    }
+
+    // Cross-check: the same numbers through actual fabric operations.
+    let topo = Topology::new(2, 1);
+    let mut fabric = Fabric::new(topo, cost);
+    fabric.register(WorkerId(1), 0x10_000, 1 << 20).unwrap();
+    let mut buf = vec![0u8; 1 << 20];
+    println!("\n# Cross-check via Fabric::read (end-to-end op path)");
+    for sz in [8usize, 4096, 1 << 20] {
+        let done = fabric
+            .read(Cycles(0), WorkerId(0), WorkerId(1), 0x10_000, &mut buf[..sz])
+            .unwrap();
+        println!("  read {sz:>8} B -> {done}");
+    }
+    println!(
+        "\nSoftware remote fetch-and-add (unloaded): {} cycles (paper: 9.8K)",
+        CostModel::fx10().remote_faa_cost().get()
+    );
+}

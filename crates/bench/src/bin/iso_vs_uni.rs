@@ -1,0 +1,124 @@
+//! Section 4's memory analysis + Section 6.3's steal-time estimate:
+//! iso-address baseline vs uni-address.
+//!
+//! Three parts:
+//! 1. Virtual-address-space arithmetic: per-process reservation under
+//!    iso-address as the machine grows (the paper's 2^49 > 2^48 example)
+//!    vs uni-address's constant footprint.
+//! 2. Steal-time comparison on the Figure 10 ping-pong: iso pays
+//!    victim-assisted transfer + destination page faults (21K cycles);
+//!    the paper estimates uni ≈ 71% of iso.
+//! 3. Physical-memory growth: committed pages after a stealing-heavy run
+//!    (the `(1+mr)` effect), measured from the simulated page tables.
+
+use uat_base::{Cycles, Topology};
+use uat_bench::{deviation, kcycles, paper};
+use uat_cluster::{Engine, SimConfig};
+use uat_core::{CoreConfig, SchemeKind, StealPhase};
+use uat_workloads::{Btc, Chain};
+
+fn main() {
+    part1_virtual_memory();
+    part2_steal_time();
+    part3_physical_growth();
+}
+
+fn part1_virtual_memory() {
+    println!("# Part 1 — per-process virtual address space (Section 4)\n");
+    let cfg = CoreConfig {
+        iso_stack_size: 1 << 14,       // 16 KiB stacks (the paper's example)
+        iso_stacks_per_worker: 1 << 13, // tree depth 2^13 (UTS-like)
+        ..CoreConfig::default()
+    };
+    let uni_va = cfg.uni_region_size + cfg.rdma_heap_size;
+    println!(
+        "{:>12} {:>22} {:>18} {:>10}",
+        "workers", "iso reserved/process", "uni reserved", "iso fits x86-64?"
+    );
+    for exp in [10u32, 14, 18, 20, 22] {
+        let workers = 1u64 << exp;
+        let iso = cfg.iso_global_range(workers);
+        println!(
+            "{:>12} {:>18} GiB {:>14} MiB {:>10}",
+            workers,
+            iso >> 30,
+            uni_va >> 20,
+            if iso < (1u64 << 48) { "yes" } else { "NO (2^48)" }
+        );
+    }
+    println!(
+        "\nAt 2^22 workers iso-address needs 2^49 bytes of reservation in *every*\n\
+         process — past the x86-64 virtual address space, exactly the paper's\n\
+         Section 4 arithmetic. Uni-address stays constant.\n"
+    );
+}
+
+fn part2_steal_time() {
+    println!("# Part 2 — steal time, uni vs iso (Figure 10 ping-pong, §6.3)\n");
+    let mut results = Vec::new();
+    for scheme in [SchemeKind::Uni, SchemeKind::Iso] {
+        let mut cfg = SimConfig::fx10(2);
+        cfg.topo = Topology::new(2, 1);
+        cfg.scheme = scheme;
+        cfg.core.iso_stacks_per_worker = 64;
+        let stats = Engine::new(cfg, Chain::fig10(1_000)).run();
+        let total = stats.breakdown.total_mean();
+        println!(
+            "{:?}: steal total {:>8} cycles | stack transfer {:>8} | faults/steal {:.2}",
+            scheme,
+            kcycles(total),
+            kcycles(stats.breakdown.phase(StealPhase::StackTransfer).mean),
+            stats.page_faults as f64 / stats.steals_completed.max(1) as f64,
+        );
+        results.push(total);
+    }
+    let steady = results[0] / results[1];
+    // The ping-pong reuses one stack slot, so after the first bounce both
+    // destinations have committed its pages and migrations stop faulting.
+    // The paper's estimate is for a *cold* destination (a long run keeps
+    // touching fresh pages): add the 21K-cycle first-touch fault back.
+    let cold = results[0] / (results[1] + 21_000.0);
+    println!(
+        "\nuni / iso steal time (steady-state, warm pages) = {steady:.2}"
+    );
+    println!(
+        "uni / iso steal time (cold destination, +1 fault) = {:.2}  (paper estimate: {:.2}, {})",
+        cold,
+        paper::UNI_OVER_ISO_STEAL,
+        deviation(cold, paper::UNI_OVER_ISO_STEAL)
+    );
+    println!(
+        "(iso pays the victim-assisted transfer always, and 21K-cycle\n\
+         first-touch faults whenever the destination has never hosted the\n\
+         stack's pages — the common case in large runs.)\n"
+    );
+}
+
+fn part3_physical_growth() {
+    println!("# Part 3 — physical memory committed after a stealing-heavy run\n");
+    for scheme in [SchemeKind::Uni, SchemeKind::Iso] {
+        let mut cfg = SimConfig::fx10(4); // 60 workers
+        cfg.scheme = scheme;
+        cfg.core.uni_region_size = 192 << 10;
+        cfg.core.rdma_heap_size = 512 << 10;
+        cfg.core.deque_capacity = 1024;
+        cfg.core.iso_stacks_per_worker = 128;
+        let stats = Engine::new(cfg, Btc::new(18, 1)).run();
+        println!(
+            "{:?}: committed {:>8} KiB total | stack peak {:>6} B/worker | faults {:>6} | fault cycles {}",
+            scheme,
+            stats.committed_total >> 10,
+            stats.peak_stack_usage,
+            stats.page_faults,
+            Cycles(stats.page_faults * 21_000),
+        );
+    }
+    println!(
+        "\nUni's committed bytes are its fixed pinned regions (a deliberate,\n\
+         bounded trade: pinning is what enables one-sided steals) and it never\n\
+         faults at runtime. Iso's committed bytes grow with wherever stacks\n\
+         have ever been touched in each address space — the paper's (1+mr)\n\
+         growth — and every first touch costs a 21K-cycle fault on the\n\
+         critical path of a migration."
+    );
+}

@@ -1,0 +1,123 @@
+//! Table 4: total tasks/nodes, execution time, and uni-address-region
+//! stack usage for the three benchmarks on a 3,840-core simulated FX10.
+//!
+//! Problem sizes are scaled down (the paper's runs execute 10^11–10^12
+//! tasks; the simulator executes every task), so *time* is not
+//! comparable; the reproduction targets are the task counts (exact
+//! formulas), the stack-usage-per-level calibration, and the abstract's
+//! "< 144KB virtual memory for thread migration" bound. For each
+//! benchmark the harness also projects the stack usage at the paper's
+//! depth from the measured per-level growth.
+
+use uat_bench::{compact_config, paper};
+use uat_cluster::{Engine, RunStats, SimConfig, Workload};
+use uat_workloads::{btc::BTC_FRAME, nqueens, uts, Btc, NQueens, Uts};
+
+fn run<W: Workload>(cfg: SimConfig, w: W) -> RunStats {
+    Engine::new(cfg, w).run()
+}
+
+fn main() {
+    let nodes: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256); // 256 nodes × 15 = 3840 cores
+    let cfg = compact_config(nodes);
+    println!(
+        "# Table 4 — benchmarks on {} simulated cores ({} nodes x 15)\n",
+        cfg.topo.total_workers(),
+        nodes
+    );
+    println!(
+        "{:<22} {:>14} {:>14} {:>10} {:>12} {:>14} {:>16}",
+        "benchmark", "tasks", "units", "time (s)", "steals", "stack (B)", "projected (B)"
+    );
+
+    // (label, run, measured depth/levels, paper depth, per-level bytes, paper bytes)
+    struct Row {
+        label: &'static str,
+        stats: RunStats,
+        levels: u64,
+        paper_levels: u64,
+        per_level: u64,
+        paper_bytes: u64,
+    }
+
+    let rows = vec![
+        Row {
+            label: "BTC iter=1 depth=22",
+            stats: run(cfg.clone(), Btc::new(22, 1)),
+            levels: 23,
+            paper_levels: 39,
+            per_level: BTC_FRAME,
+            paper_bytes: paper::STACK_USAGE[0].2,
+        },
+        Row {
+            label: "BTC iter=2 depth=11",
+            stats: run(cfg.clone(), Btc::new(11, 2)),
+            levels: 12,
+            paper_levels: 20,
+            per_level: BTC_FRAME,
+            paper_bytes: paper::STACK_USAGE[2].2,
+        },
+        Row {
+            label: "UTS geo depth=12",
+            stats: run(cfg.clone(), Uts::geometric(12)),
+            levels: 13,
+            paper_levels: 18,
+            per_level: uts::UTS_NODE_FRAME + 2 * uts::UTS_SPLIT_FRAME,
+            paper_bytes: paper::STACK_USAGE[4].2,
+        },
+        Row {
+            label: "NQueens N=12",
+            stats: run(cfg.clone(), NQueens::new(12)),
+            levels: 13,
+            paper_levels: 18,
+            per_level: nqueens::NQ_NODE_FRAME + 3 * nqueens::NQ_SPLIT_FRAME,
+            paper_bytes: paper::STACK_USAGE[7].2,
+        },
+    ];
+
+    for r in &rows {
+        let projected = r.per_level * r.paper_levels;
+        println!(
+            "{:<22} {:>14} {:>14} {:>10.4} {:>12} {:>14} {:>16}",
+            r.label,
+            r.stats.total_tasks,
+            r.stats.total_units,
+            r.stats.seconds(),
+            r.stats.steals_completed,
+            r.stats.peak_stack_usage,
+            projected,
+        );
+        assert!(
+            r.stats.peak_stack_usage < paper::STACK_BOUND,
+            "{}: stack usage exceeds the paper's 144 KiB bound",
+            r.label
+        );
+        let _ = r.levels;
+        let _ = r.paper_bytes;
+    }
+
+    println!("\n# Stack usage vs paper (projected at the paper's depth)");
+    println!(
+        "{:<22} {:>14} {:>14} {:>10}",
+        "benchmark", "projected (B)", "paper (B)", "deviation"
+    );
+    for r in &rows {
+        let projected = (r.per_level * r.paper_levels) as f64;
+        println!(
+            "{:<22} {:>14.0} {:>14} {:>10}",
+            r.label,
+            projected,
+            r.paper_bytes,
+            uat_bench::deviation(projected, r.paper_bytes as f64)
+        );
+    }
+    println!(
+        "\nAll runs stayed under the paper's 144 KiB uni-address-region bound \
+         (max region reserved per worker: {} KiB; reserved VA per worker: {} KiB).",
+        cfg.core.uni_region_size >> 10,
+        rows[0].stats.reserved_va_per_worker >> 10,
+    );
+}

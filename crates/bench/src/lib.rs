@@ -1,0 +1,108 @@
+//! Experiment harnesses: one binary per table/figure of the paper.
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `fig9_rdma_latency` | Figure 9: RDMA READ/WRITE latency vs size |
+//! | `table2_creation` | Table 2: task creation overhead (native + modelled) |
+//! | `fig10_steal_breakdown` | Figure 10/Table 3: steal-time breakdown |
+//! | `table4_runs` | Table 4: tasks, time, stack usage per benchmark |
+//! | `fig11_scaling` | Figure 11(a-d): throughput scaling + efficiency |
+//! | `iso_vs_uni` | §4 memory analysis + §6.3 steal-time estimate |
+//! | `ablation_faa` | software comm-server FAA vs hypothetical hardware FAA |
+//! | `ablation_crude` | §5.1 crude scheme vs Figure 4 optimized creation |
+//! | `ablation_shared_as` | §5.1 multi-worker-per-address-space placement loss |
+//!
+//! Run everything: `for b in fig9_rdma_latency table2_creation ...; do
+//! cargo run --release -p uat-bench --bin $b; done` — or see
+//! EXPERIMENTS.md, which records one full set of outputs against the
+//! paper's numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use uat_cluster::SimConfig;
+
+/// Reference values from the paper, for side-by-side output.
+pub mod paper {
+    /// Table 2, SPARC64IXfx column (cycles).
+    pub const CREATION_SPARC: [(&str, f64); 3] = [
+        ("Uni-address threads", 413.0),
+        ("MassiveThreads", 658.0),
+        ("Cilk", 47.0),
+    ];
+    /// Table 2, Xeon E5-2660 column (cycles).
+    pub const CREATION_XEON: [(&str, f64); 3] = [
+        ("Uni-address threads", 100.0),
+        ("MassiveThreads", 110.0),
+        ("Cilk", 59.0),
+    ];
+    /// §6.3: total steal ≈ 42K cycles on FX10.
+    pub const STEAL_TOTAL: f64 = 42_000.0;
+    /// §6.3: suspend + resume = 3.5K cycles (7.7% of the steal).
+    pub const STEAL_SUSPEND_RESUME: f64 = 3_500.0;
+    /// §6: software remote fetch-and-add, 9.8K cycles.
+    pub const FAA_CYCLES: f64 = 9_800.0;
+    /// §6.3: uni-address steal ≈ 71% of the iso-address steal estimate.
+    pub const UNI_OVER_ISO_STEAL: f64 = 0.71;
+    /// Table 4 stack usage (bytes): (benchmark, params, bytes).
+    pub const STACK_USAGE: [(&str, &str, u64); 8] = [
+        ("BTC iter=1", "depth=38", 43_568),
+        ("BTC iter=1", "depth=39", 44_688),
+        ("BTC iter=2", "depth=19", 22_288),
+        ("BTC iter=2", "depth=20", 23_408),
+        ("UTS", "depth=17", 139_536),
+        ("UTS", "depth=18", 147_392),
+        ("NQueens", "N=17", 74_272),
+        ("NQueens", "N=18", 79_120),
+    ];
+    /// Abstract: every benchmark under 144 KiB of uni-address region.
+    pub const STACK_BOUND: u64 = 144 * 1024;
+}
+
+/// A simulation config for *large* simulated machines: same protocol,
+/// compact per-worker regions so thousands of workers fit in host RAM
+/// (the fabric materializes registered bytes).
+pub fn compact_config(nodes: u32) -> SimConfig {
+    let mut cfg = SimConfig::fx10(nodes);
+    cfg.core.uni_region_size = 192 << 10; // > the 144 KiB Table 4 bound
+    cfg.core.rdma_heap_size = 768 << 10;
+    cfg.core.deque_capacity = 1024;
+    cfg.core.iso_stacks_per_worker = 128;
+    cfg
+}
+
+/// Format a cycle count like the paper's prose (e.g. "42.1K").
+pub fn kcycles(c: f64) -> String {
+    if c >= 1_000.0 {
+        format!("{:.1}K", c / 1_000.0)
+    } else {
+        format!("{c:.0}")
+    }
+}
+
+/// Percentage deviation of `measured` from `reference`.
+pub fn deviation(measured: f64, reference: f64) -> String {
+    if reference == 0.0 {
+        return "-".into();
+    }
+    format!("{:+.1}%", 100.0 * (measured - reference) / reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_config_fits_table4_bound() {
+        let c = compact_config(4);
+        assert!(c.core.uni_region_size > paper::STACK_BOUND);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(kcycles(42_100.0), "42.1K");
+        assert_eq!(kcycles(413.0), "413");
+        assert_eq!(deviation(110.0, 100.0), "+10.0%");
+        assert_eq!(deviation(0.0, 0.0), "-");
+    }
+}

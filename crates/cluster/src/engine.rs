@@ -1,0 +1,863 @@
+//! The discrete-event engine: child-first work stealing over uni-address
+//! (or iso-address) thread management, end to end.
+//!
+//! # How execution is modelled
+//!
+//! Each worker is a sequential automaton with exactly one outstanding
+//! event. When its event fires, the worker performs protocol work
+//! *instantaneously* (pushing deque entries, moving bytes, mutating task
+//! records — all through the real `uat-core`/`uat-deque`/`uat-rdma` code)
+//! and schedules the completion of exactly one *timed* operation: a
+//! compute segment, a spawn, a suspend, one RDMA phase of a steal, or an
+//! idle poll. One-sided operations linearize at their issue instant and
+//! complete at the instant the fabric's cost model dictates, so thief
+//! critical sections genuinely overlap victim activity across events —
+//! which is what exercises the THE protocol's contended paths.
+//!
+//! # The scheduler being reproduced
+//!
+//! - **Spawn** (Figure 4): push the parent's continuation, run the child
+//!   immediately on the stack just below (child-first).
+//! - **Task exit** (Figure 4, lines 13-15): pop the own queue; on success
+//!   resume the parent in place; on failure every ancestor was stolen —
+//!   drain the region and go to the scheduler.
+//! - **Join** (Figure 7): if the children are done, fall through; else
+//!   suspend to the wait queue and run the scheduler loop: local pop →
+//!   random steal → wait-queue resume → idle poll.
+//! - **Steal** (Figure 6 / Table 3): empty check, lock (remote FAA),
+//!   entry steal, stack transfer into the uni-address region at the same
+//!   virtual address, unlock (after the transfer — that ordering is what
+//!   keeps the victim out of the frames), resume.
+
+use crate::config::SimConfig;
+use crate::metrics::RunStats;
+use crate::task::{TaskId64, TaskTable, TaskWhere};
+use crate::workload::{Action, Workload};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use uat_base::{Cycles, SplitMix64, WorkerId};
+use uat_core::{transfer_stolen, StackMgr, StealBreakdown, StealPhase};
+use uat_deque::{PopOutcome, StealOutcome, TaskqEntry};
+use uat_rdma::Fabric;
+
+/// What a worker's next event means.
+#[derive(Clone, Copy, Debug)]
+enum Pending {
+    /// Run the scheduler loop from the top (local pop first).
+    Sched,
+    /// The current task's in-flight action completes.
+    TaskStep(TaskId64),
+    /// Retry the post-completion pop (the deque was contended).
+    PostComplete,
+    /// Steal phase completions.
+    StealEmpty {
+        victim: WorkerId,
+        ok: bool,
+    },
+    StealLock {
+        victim: WorkerId,
+        ok: bool,
+    },
+    StealEntry {
+        victim: WorkerId,
+        entry: Option<TaskqEntry>,
+    },
+    /// Unlock after a raced-empty steal; then back to the scheduler.
+    StealAbortUnlock,
+    /// Stolen frames have arrived; unlock next.
+    StealTransfer {
+        victim: WorkerId,
+        entry: TaskqEntry,
+    },
+    /// Unlock done; resume the stolen thread.
+    StealUnlock {
+        entry: TaskqEntry,
+    },
+}
+
+struct WorkerCtl {
+    rng: SplitMix64,
+    pending: Pending,
+    current: Option<TaskId64>,
+    /// Consecutive fruitless scheduler iterations (for idle backoff).
+    fails: u32,
+    /// When the current steal attempt started (for breakdown totals).
+    attempt_start: Cycles,
+    /// When the current steal phase started.
+    phase_start: Cycles,
+    /// A task sitting in the region at an unsatisfied join (Figure 7's
+    /// `while (!try_join)` loop keeps it in place; it is suspended — with
+    /// the copy-out — only when the worker switches to other work).
+    blocked: Option<TaskId64>,
+    tasks_run: u64,
+}
+
+/// The simulation engine for one run.
+pub struct Engine<W: Workload> {
+    cfg: SimConfig,
+    workload: W,
+    fabric: Fabric,
+    mgrs: Vec<StackMgr>,
+    tasks: TaskTable<W::Desc>,
+    workers: Vec<WorkerCtl>,
+    queue: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    seq: u64,
+    events: u64,
+    finished_at: Option<Cycles>,
+    root: Option<TaskId64>,
+    // accumulators
+    total_work: u64,
+    total_units: u64,
+    steals_completed: u64,
+    steal_attempts: u64,
+    breakdown: StealBreakdown,
+    page_faults: u64,
+}
+
+impl<W: Workload> Engine<W> {
+    /// Build a machine per `cfg` and place `workload`'s root task on
+    /// worker 0.
+    pub fn new(cfg: SimConfig, workload: W) -> Self {
+        let topo = cfg.topo;
+        let mut fabric = Fabric::new(topo, cfg.cost.clone());
+        let total = topo.total_workers() as u64;
+        let mgrs: Vec<StackMgr> = topo
+            .workers()
+            .map(|w| StackMgr::new(cfg.scheme, &mut fabric, w, &cfg.core, total))
+            .collect();
+        let root_rng = SplitMix64::new(cfg.seed);
+        let workers = topo
+            .workers()
+            .map(|w| WorkerCtl {
+                rng: root_rng.split(w.0 as u64),
+                pending: Pending::Sched,
+                current: None,
+                fails: 0,
+                attempt_start: Cycles::ZERO,
+                phase_start: Cycles::ZERO,
+                blocked: None,
+                tasks_run: 0,
+            })
+            .collect();
+        Engine {
+            cfg,
+            workload,
+            fabric,
+            mgrs,
+            tasks: TaskTable::new(),
+            workers,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            events: 0,
+            finished_at: None,
+            root: None,
+            total_work: 0,
+            total_units: 0,
+            steals_completed: 0,
+            steal_attempts: 0,
+            breakdown: StealBreakdown::new(),
+            page_faults: 0,
+        }
+    }
+
+    /// Run to completion of the root task; returns the measurements.
+    pub fn run(mut self) -> RunStats {
+        // Materialize and start the root on worker 0.
+        let w0 = WorkerId(0);
+        let root = self.spawn_task(w0, self.workload.root(), None);
+        self.root = Some(root);
+        self.workers[0].current = Some(root);
+        self.workers[0].pending = Pending::TaskStep(root);
+        self.schedule(w0, Cycles::ZERO);
+        // Everyone else starts looking for work.
+        for w in self.cfg.topo.workers().skip(1) {
+            self.workers[w.index()].pending = Pending::Sched;
+            self.schedule(w, Cycles::ZERO);
+        }
+
+        while let Some(Reverse((t, _, w))) = self.queue.pop() {
+            if self.finished_at.is_some() {
+                break;
+            }
+            self.events += 1;
+            if self.cfg.max_events > 0 && self.events > self.cfg.max_events {
+                panic!(
+                    "simulation exceeded max_events={} (possible livelock)",
+                    self.cfg.max_events
+                );
+            }
+            self.fire(WorkerId(w), Cycles(t));
+        }
+
+        let makespan = self
+            .finished_at
+            .expect("root task never completed — scheduler bug");
+        self.collect(makespan)
+    }
+
+    // ------------------------------------------------------------------
+    // Event plumbing
+    // ------------------------------------------------------------------
+
+    fn schedule(&mut self, w: WorkerId, t: Cycles) {
+        self.seq += 1;
+        self.queue.push(Reverse((t.get(), self.seq, w.0)));
+    }
+
+    fn fire(&mut self, w: WorkerId, t: Cycles) {
+        let pending = self.workers[w.index()].pending;
+        match pending {
+            Pending::Sched => self.sched_step(w, t),
+            Pending::TaskStep(task) => self.advance_task(w, task, t),
+            Pending::PostComplete => self.post_complete(w, t),
+            Pending::StealEmpty { victim, ok } => self.steal_after_empty(w, victim, ok, t),
+            Pending::StealLock { victim, ok } => self.steal_after_lock(w, victim, ok, t),
+            Pending::StealEntry { victim, entry } => {
+                self.steal_after_entry(w, victim, entry, t)
+            }
+            Pending::StealAbortUnlock => {
+                // Lock released after a raced-empty steal.
+                self.sched_wait_step(w, t)
+            }
+            Pending::StealTransfer { victim, entry } => {
+                self.steal_after_transfer(w, victim, entry, t)
+            }
+            Pending::StealUnlock { entry } => self.steal_after_unlock(w, entry, t),
+        }
+    }
+
+    fn set(&mut self, w: WorkerId, pending: Pending, at: Cycles) {
+        self.workers[w.index()].pending = pending;
+        self.schedule(w, at);
+    }
+
+    // ------------------------------------------------------------------
+    // Task execution
+    // ------------------------------------------------------------------
+
+    /// Create a task record + stack frames for `desc` on worker `w`.
+    /// Returns the id. (Page-fault cost, nonzero only under iso, is
+    /// returned through `self.page_faults` and the spawn path's timing.)
+    fn spawn_task(&mut self, w: WorkerId, desc: W::Desc, parent: Option<TaskId64>) -> TaskId64 {
+        let mut program = Vec::new();
+        self.workload.program(&desc, &mut program);
+        self.total_units += self.workload.units(&desc);
+        let frame = self.workload.frame_size(&desc).max(16);
+        let id = self
+            .tasks
+            .spawn(program, parent, TaskWhere::Running(w), frame);
+        let (_base, faults) = self.mgrs[w.index()].spawn_frame(&mut self.fabric, id, frame);
+        self.page_faults += faults;
+        id
+    }
+
+    /// Interpret the current task's program from `pc`, accumulating
+    /// zero-event costs, until exactly one timed operation is scheduled.
+    fn advance_task(&mut self, w: WorkerId, task: TaskId64, t: Cycles) {
+        let mut t = t;
+        let cost = self.cfg.cost.clone();
+        loop {
+            let (pc, len) = {
+                let rec = self.tasks.get(task);
+                (rec.pc as usize, rec.program.len())
+            };
+            if pc >= len {
+                self.complete_task(w, task, t);
+                return;
+            }
+            // Clone the action out to keep borrows simple; actions are
+            // small (Desc is typically a few words).
+            let action = self.tasks.get(task).program[pc].clone();
+            match action {
+                Action::Work(c) => {
+                    self.tasks.get_mut(task).pc += 1;
+                    self.total_work += c;
+                    self.set(w, Pending::TaskStep(task), t + Cycles(c));
+                    return;
+                }
+                Action::Spawn(desc) => {
+                    // Figure 4: push the parent continuation (resume point
+                    // = next action), then start the child immediately.
+                    let (frame_base, frame_size) = {
+                        let mgr = &self.mgrs[w.index()];
+                        match mgr {
+                            StackMgr::Uni(u) => {
+                                let seg = u
+                                    .region
+                                    .segment_of(task)
+                                    .expect("running task owns a segment");
+                                (seg.base, seg.size)
+                            }
+                            StackMgr::Iso(_) => {
+                                let rec = self.tasks.get(task);
+                                (0, rec.frame_size) // iso carries no shared region address
+                            }
+                        }
+                    };
+                    {
+                        let rec = self.tasks.get_mut(task);
+                        rec.pc += 1;
+                        rec.at = TaskWhere::InDeque(w);
+                        rec.outstanding += 1;
+                    }
+                    let entry = TaskqEntry {
+                        task,
+                        ctx: self.tasks.get(task).pc as u64,
+                        frame_base,
+                        frame_size,
+                    };
+                    self.mgrs[w.index()]
+                        .deque()
+                        .push(&mut self.fabric, entry)
+                        .expect("deque push");
+                    let faults_before = self.page_faults;
+                    let child = self.spawn_task(w, desc, Some(task));
+                    let fault_cost =
+                        Cycles((self.page_faults - faults_before) * cost.page_fault);
+                    self.workers[w.index()].current = Some(child);
+                    self.workers[w.index()].tasks_run += 1;
+                    // Half of the Figure 4 creation overhead: the context
+                    // save and queue push. The pop half is charged when
+                    // the child returns (post_complete), so a full
+                    // create/return cycle costs spawn_cost() total.
+                    let mut create = Cycles(cost.ctx_save + cost.deque_push);
+                    if self.cfg.crude_switch {
+                        // Section 5.1's unoptimized scheme: swap the
+                        // parent out now and back in when the child
+                        // returns — two copies of the parent's frames
+                        // plus the suspend/resume bookkeeping.
+                        create += cost.suspend_cost(frame_size as usize)
+                            + cost.resume_cost(frame_size as usize);
+                    }
+                    self.set(w, Pending::TaskStep(child), t + create + fault_cost);
+                    return;
+                }
+                Action::JoinAll => {
+                    t += Cycles(cost.try_join);
+                    if self.tasks.get(task).outstanding == 0 {
+                        self.tasks.get_mut(task).pc += 1;
+                        continue;
+                    }
+                    // Children still running elsewhere. Figure 7: the
+                    // joining thread stays in the region while the
+                    // scheduler loop polls try_join around other work;
+                    // the copy-out happens only if the worker actually
+                    // switches (see `park_blocked`). `pc` stays AT the
+                    // JoinAll so the check reruns on resume.
+                    let ctl = &mut self.workers[w.index()];
+                    ctl.current = None;
+                    ctl.blocked = Some(task);
+                    self.set(w, Pending::Sched, t);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The running task's program ended (thread exit).
+    fn complete_task(&mut self, w: WorkerId, task: TaskId64, t: Cycles) {
+        let rec = self.tasks.free(task);
+        debug_assert!(rec.outstanding == 0, "a task cannot exit with live children");
+        if let Some((owner, slot)) = self.mgrs[w.index()].complete(task, &self.cfg.core) {
+            self.mgrs[owner.index()].reclaim_slot(slot);
+        }
+        if let Some(parent) = rec.parent {
+            // Completion notification: the done-flag write is a posted
+            // one-sided RDMA WRITE when the parent is remote; it does not
+            // block the child, so the decrement is applied immediately.
+            self.tasks.get_mut(parent).outstanding -= 1;
+        } else {
+            // The root finished: the program is done.
+            self.finished_at = Some(t);
+            return;
+        }
+        self.workers[w.index()].current = None;
+        self.post_complete(w, t);
+    }
+
+    /// Figure 4 lines 13-15: pop the own queue; resume the parent in
+    /// place, or conclude it was stolen.
+    fn post_complete(&mut self, w: WorkerId, t: Cycles) {
+        let cost = self.cfg.cost.clone();
+        let deque = self.mgrs[w.index()].deque();
+        match deque.pop(&mut self.fabric).expect("own deque") {
+            PopOutcome::Entry(e) => {
+                // The direct parent: resume it where it sits.
+                let rec = self.tasks.get_mut(e.task);
+                debug_assert_eq!(rec.at, TaskWhere::InDeque(w));
+                rec.at = TaskWhere::Running(w);
+                rec.pc = e.ctx as u32;
+                self.workers[w.index()].current = Some(e.task);
+                self.workers[w.index()].fails = 0;
+                // The pop half of the Figure 4 fast path; the parent
+                // continues by an ordinary return, not a context restore.
+                self.set(
+                    w,
+                    Pending::TaskStep(e.task),
+                    t + Cycles(cost.deque_pop + 43),
+                );
+            }
+            PopOutcome::Empty => {
+                // Every ancestor was stolen; the remaining frames here are
+                // dead copies. Drain and go looking for work.
+                self.mgrs[w.index()].on_pop_empty();
+                self.set(w, Pending::Sched, t + Cycles(cost.deque_pop));
+            }
+            PopOutcome::Contended => {
+                // A thief holds our lock mid-transfer; retry shortly.
+                self.set(w, Pending::PostComplete, t + Cycles(cost.deque_pop + 200));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The Figure 7 scheduler loop
+    // ------------------------------------------------------------------
+
+    /// Park the blocked (in-region, join-waiting) thread, if any: the
+    /// Figure 8 suspend — copy the frames out to the RDMA region and
+    /// queue the saved context on the wait queue. Returns the cost, and
+    /// records it in the Figure 10 "suspend" bar when `for_steal`.
+    fn park_blocked(&mut self, w: WorkerId, for_steal: bool) -> Cycles {
+        let cost = self.cfg.cost.clone();
+        let Some(task) = self.workers[w.index()].blocked.take() else {
+            if for_steal {
+                self.breakdown.record(StealPhase::Suspend, Cycles::ZERO);
+            }
+            return Cycles::ZERO;
+        };
+        let pc = self.tasks.get(task).pc as u64;
+        let (h, c) = self.mgrs[w.index()].suspend_current(&mut self.fabric, task, pc, &cost);
+        self.mgrs[w.index()].wait_push(h);
+        self.tasks.get_mut(task).at = TaskWhere::Waiting(w);
+        if for_steal {
+            self.breakdown.record(StealPhase::Suspend, c);
+        }
+        c
+    }
+
+    /// Step 1 of Figure 7: poll try_join for the blocked thread, then try
+    /// the local queue, else start a steal.
+    fn sched_step(&mut self, w: WorkerId, t: Cycles) {
+        let cost = self.cfg.cost.clone();
+        // `while (!try_join)`: the blocked thread resumes in place — the
+        // paper's "typical case" where join only confirms termination.
+        if let Some(task) = self.workers[w.index()].blocked {
+            let t = t + Cycles(cost.try_join);
+            if self.tasks.get(task).outstanding == 0 {
+                let ctl = &mut self.workers[w.index()];
+                ctl.blocked = None;
+                ctl.current = Some(task);
+                ctl.fails = 0;
+                self.set(w, Pending::TaskStep(task), t);
+                return;
+            }
+        }
+        let deque = self.mgrs[w.index()].deque();
+        match deque.pop(&mut self.fabric).expect("own deque") {
+            PopOutcome::Entry(e) => {
+                // A ready ancestor. Vacate the blocked joiner below it
+                // (Figure 7 line 22: suspend current, resume popped),
+                // then resume the ancestor in place: it is the bottom
+                // live segment now.
+                let parked = self.park_blocked(w, false);
+                let rec = self.tasks.get_mut(e.task);
+                debug_assert_eq!(rec.at, TaskWhere::InDeque(w));
+                rec.at = TaskWhere::Running(w);
+                rec.pc = e.ctx as u32;
+                self.workers[w.index()].current = Some(e.task);
+                self.workers[w.index()].fails = 0;
+                self.set(
+                    w,
+                    Pending::TaskStep(e.task),
+                    t + parked + Cycles(cost.deque_pop + cost.ctx_restore),
+                );
+                return;
+            }
+            PopOutcome::Empty => {
+                if self.workers[w.index()].blocked.is_none() {
+                    // Only dead (stolen) frames remain: drain so a steal
+                    // can install at any address.
+                    self.mgrs[w.index()].on_pop_empty();
+                }
+            }
+            PopOutcome::Contended => {
+                self.set(w, Pending::Sched, t + Cycles(cost.deque_pop + 200));
+                return;
+            }
+        }
+        let t = t + Cycles(cost.deque_pop);
+        // Step 2: steal from a random victim (single-worker machines have
+        // nobody to rob).
+        let total = self.cfg.topo.total_workers();
+        if total <= 1 {
+            self.sched_wait_step(w, t);
+            return;
+        }
+        let mut v = self.workers[w.index()].rng.below(total as u64 - 1) as u32;
+        if v >= w.0 {
+            v += 1;
+        }
+        let victim = WorkerId(v);
+        self.steal_attempts += 1;
+        let ctl = &mut self.workers[w.index()];
+        ctl.attempt_start = t;
+        ctl.phase_start = t;
+        let vdeque = self.mgrs[victim.index()].deque();
+        match vdeque
+            .remote_empty_check(&mut self.fabric, t, w)
+            .expect("empty check")
+        {
+            StealOutcome::Ok(done) => self.set(w, Pending::StealEmpty { victim, ok: true }, done),
+            StealOutcome::Empty(done) => {
+                self.set(w, Pending::StealEmpty { victim, ok: false }, done)
+            }
+            StealOutcome::LockBusy(_) => unreachable!("empty check takes no lock"),
+        }
+    }
+
+    /// Step 3: wait-queue resume, else idle poll with backoff.
+    fn sched_wait_step(&mut self, w: WorkerId, t: Cycles) {
+        let cost = self.cfg.cost.clone();
+        // Resuming a waiter installs its frames at their original
+        // address, which needs an empty region: park whatever is blocked
+        // here first, then drain. The waiter's join may still be
+        // unsatisfied — then it simply becomes the blocked thread and the
+        // loop polls on (the paper's runtime pays the same copy to find
+        // out; Figure 7 lines 28-30).
+        if self.mgrs[w.index()].wait_len() > 0 {
+            let parked = self.park_blocked(w, false);
+            self.mgrs[w.index()].on_pop_empty();
+            let h = self.mgrs[w.index()].wait_pop().expect("non-empty wait queue");
+            let info = self.mgrs[w.index()].resume_saved(&mut self.fabric, h, &cost);
+            let rec = self.tasks.get_mut(info.task);
+            debug_assert_eq!(rec.at, TaskWhere::Waiting(w));
+            rec.at = TaskWhere::Running(w);
+            rec.pc = info.ctx as u32;
+            let ctl = &mut self.workers[w.index()];
+            ctl.current = Some(info.task);
+            ctl.fails = 0;
+            // The resumed thread re-runs its JoinAll check; if its child
+            // is still outstanding it becomes the blocked thread here
+            // (polling, as the paper's join loop does).
+            self.set(w, Pending::TaskStep(info.task), t + parked + info.cost);
+            return;
+        }
+        // Nothing to switch to. If this worker still has a blocked joiner
+        // (or parked waiters) it polls hot, like the paper's Figure 7
+        // loop — the join wake-up is on the critical path of shrinking
+        // parallelism. Only a truly workless worker backs off, which
+        // keeps fully idle machines from generating events at line rate.
+        let has_poll_target =
+            self.workers[w.index()].blocked.is_some() || self.mgrs[w.index()].wait_len() > 0;
+        let ctl = &mut self.workers[w.index()];
+        let backoff = if has_poll_target {
+            ctl.fails = 0;
+            0
+        } else {
+            ctl.fails = ctl.fails.saturating_add(1);
+            self.cfg.idle_backoff * (ctl.fails.min(self.cfg.idle_backoff_cap) as u64)
+        };
+        self.set(w, Pending::Sched, t + Cycles(cost.idle_poll + backoff));
+    }
+
+    // ------------------------------------------------------------------
+    // Steal phases (Figure 6)
+    // ------------------------------------------------------------------
+
+    fn steal_after_empty(&mut self, w: WorkerId, victim: WorkerId, ok: bool, t: Cycles) {
+        if !ok {
+            self.breakdown.aborted_empty += 1;
+            self.sched_wait_step(w, t);
+            return;
+        }
+        let elapsed = t.since(self.workers[w.index()].phase_start);
+        self.breakdown.record(StealPhase::EmptyCheck, elapsed);
+        self.workers[w.index()].phase_start = t;
+        let vdeque = self.mgrs[victim.index()].deque();
+        match vdeque
+            .remote_try_lock(&mut self.fabric, t, w)
+            .expect("lock")
+        {
+            StealOutcome::Ok(done) => self.set(w, Pending::StealLock { victim, ok: true }, done),
+            StealOutcome::LockBusy(done) => {
+                self.set(w, Pending::StealLock { victim, ok: false }, done)
+            }
+            StealOutcome::Empty(_) => unreachable!("lock does not observe emptiness"),
+        }
+    }
+
+    fn steal_after_lock(&mut self, w: WorkerId, victim: WorkerId, ok: bool, t: Cycles) {
+        if !ok {
+            self.breakdown.aborted_lock += 1;
+            self.sched_wait_step(w, t);
+            return;
+        }
+        let elapsed = t.since(self.workers[w.index()].phase_start);
+        self.breakdown.record(StealPhase::Lock, elapsed);
+        self.workers[w.index()].phase_start = t;
+        let vdeque = self.mgrs[victim.index()].deque();
+        match vdeque
+            .remote_steal_entry(&mut self.fabric, t, w)
+            .expect("steal entry")
+        {
+            StealOutcome::Ok((e, done)) => {
+                // The continuation is ours from this instant (top moved);
+                // its frames stay on the victim until the transfer.
+                self.tasks.get_mut(e.task).at = TaskWhere::InFlight;
+                self.set(
+                    w,
+                    Pending::StealEntry {
+                        victim,
+                        entry: Some(e),
+                    },
+                    done,
+                )
+            }
+            StealOutcome::Empty(done) => {
+                self.set(w, Pending::StealEntry { victim, entry: None }, done)
+            }
+            StealOutcome::LockBusy(_) => unreachable!("we hold the lock"),
+        }
+    }
+
+    fn steal_after_entry(
+        &mut self,
+        w: WorkerId,
+        victim: WorkerId,
+        entry: Option<TaskqEntry>,
+        t: Cycles,
+    ) {
+        let vdeque = self.mgrs[victim.index()].deque();
+        let Some(e) = entry else {
+            // Drained while we were locking; unlock and give up.
+            self.breakdown.aborted_raced += 1;
+            let done = vdeque
+                .remote_unlock(&mut self.fabric, t, w)
+                .expect("unlock");
+            self.set(w, Pending::StealAbortUnlock, done);
+            return;
+        };
+        let elapsed = t.since(self.workers[w.index()].phase_start);
+        self.breakdown.record(StealPhase::Steal, elapsed);
+        // Figure 6 line 19: suspend whatever this worker still holds
+        // before bringing in the stolen frames.
+        let parked = self.park_blocked(w, true);
+        self.mgrs[w.index()].on_pop_empty();
+        let t = t + parked;
+        self.workers[w.index()].phase_start = t;
+        // Stack transfer: uni does a one-sided READ into the same VA;
+        // iso is victim-assisted + destination page faults.
+        let info = transfer_stolen(
+            &mut self.fabric,
+            t,
+            &mut self.mgrs,
+            w,
+            victim,
+            e.task,
+            e.frame_base,
+            e.frame_size,
+        );
+        self.page_faults += info.faults;
+        self.set(w, Pending::StealTransfer { victim, entry: e }, info.done);
+    }
+
+    fn steal_after_transfer(
+        &mut self,
+        w: WorkerId,
+        victim: WorkerId,
+        entry: TaskqEntry,
+        t: Cycles,
+    ) {
+        let elapsed = t.since(self.workers[w.index()].phase_start);
+        self.breakdown.record(StealPhase::StackTransfer, elapsed);
+        self.workers[w.index()].phase_start = t;
+        let vdeque = self.mgrs[victim.index()].deque();
+        let done = vdeque
+            .remote_unlock(&mut self.fabric, t, w)
+            .expect("unlock");
+        self.set(w, Pending::StealUnlock { entry }, done);
+    }
+
+    fn steal_after_unlock(&mut self, w: WorkerId, entry: TaskqEntry, t: Cycles) {
+        let cost = self.cfg.cost.clone();
+        let elapsed = t.since(self.workers[w.index()].phase_start);
+        self.breakdown.record(StealPhase::Unlock, elapsed);
+        self.breakdown
+            .record(StealPhase::Resume, Cycles(cost.resume_base));
+        self.breakdown.completed += 1;
+        self.steals_completed += 1;
+        let rec = self.tasks.get_mut(entry.task);
+        debug_assert_eq!(rec.at, TaskWhere::InFlight);
+        rec.at = TaskWhere::Running(w);
+        rec.pc = entry.ctx as u32;
+        let ctl = &mut self.workers[w.index()];
+        ctl.current = Some(entry.task);
+        ctl.fails = 0;
+        ctl.tasks_run += 1;
+        self.set(
+            w,
+            Pending::TaskStep(entry.task),
+            t + Cycles(cost.resume_base),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Results
+    // ------------------------------------------------------------------
+
+    fn collect(self, makespan: Cycles) -> RunStats {
+        let peak_stack = self
+            .mgrs
+            .iter()
+            .map(|m| m.peak_stack_usage())
+            .max()
+            .unwrap_or(0);
+        let reserved = self
+            .mgrs
+            .iter()
+            .map(|m| m.mem_stats().reserved)
+            .max()
+            .unwrap_or(0);
+        let pinned = self
+            .mgrs
+            .iter()
+            .map(|m| m.mem_stats().pinned)
+            .max()
+            .unwrap_or(0);
+        let committed: u64 = self.mgrs.iter().map(|m| m.mem_stats().committed).sum();
+        RunStats {
+            workload: self.workload.name(),
+            scheme: self.cfg.scheme,
+            workers: self.cfg.topo.total_workers(),
+            clock_hz: self.cfg.cost.clock_hz,
+            makespan,
+            total_tasks: self.tasks.total_spawned(),
+            total_units: self.total_units,
+            total_work_cycles: self.total_work,
+            peak_live_tasks: self.tasks.peak_live(),
+            steals_completed: self.steals_completed,
+            steal_attempts: self.steal_attempts,
+            breakdown: self.breakdown,
+            peak_stack_usage: peak_stack,
+            reserved_va_per_worker: reserved,
+            pinned_per_worker: pinned,
+            page_faults: self.page_faults,
+            committed_total: committed,
+            fabric: self.fabric.stats(),
+            events: self.events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uat_core::SchemeKind;
+    use crate::workload::sequential_profile;
+    use crate::workload::testutil::BinTree;
+
+    fn tree(depth: u32, work: u64) -> BinTree {
+        BinTree {
+            depth,
+            work,
+            frame: 512,
+        }
+    }
+
+    fn run(workers: u32, scheme: SchemeKind, depth: u32, work: u64, seed: u64) -> RunStats {
+        let mut cfg = SimConfig::tiny(workers).with_scheme(scheme).with_seed(seed);
+        cfg.core.verify_stack_bytes = true;
+        cfg.core.iso_stacks_per_worker = 256;
+        cfg.max_events = 50_000_000;
+        Engine::new(cfg, tree(depth, work)).run()
+    }
+
+    #[test]
+    fn single_worker_executes_whole_tree() {
+        let s = run(1, SchemeKind::Uni, 6, 100, 1);
+        let p = sequential_profile(&tree(6, 100));
+        assert_eq!(s.total_tasks, p.tasks);
+        assert_eq!(s.total_work_cycles, p.work_cycles);
+        assert_eq!(s.steals_completed, 0, "nobody to steal from");
+        // Peak region usage = depth of the lineage × frame size.
+        assert_eq!(s.peak_stack_usage, 7 * 512);
+        // Makespan at least the serial work.
+        assert!(s.makespan.get() >= p.work_cycles);
+    }
+
+    #[test]
+    fn two_workers_steal_and_finish() {
+        let s = run(2, SchemeKind::Uni, 8, 2_000, 2);
+        let p = sequential_profile(&tree(8, 2_000));
+        assert_eq!(s.total_tasks, p.tasks);
+        assert!(s.steals_completed > 0, "load balancing must kick in");
+        // Two workers should beat one substantially on a 511-task tree.
+        let s1 = run(1, SchemeKind::Uni, 8, 2_000, 2);
+        let speedup = s1.makespan.get() as f64 / s.makespan.get() as f64;
+        assert!(speedup > 1.4, "speedup {speedup}");
+    }
+
+    #[test]
+    fn fifteen_workers_scale() {
+        let s = run(15, SchemeKind::Uni, 13, 1_000, 3);
+        let p = sequential_profile(&tree(13, 1_000));
+        assert_eq!(s.total_tasks, p.tasks);
+        let s1 = run(1, SchemeKind::Uni, 13, 1_000, 3);
+        let speedup = s1.makespan.get() as f64 / s.makespan.get() as f64;
+        assert!(speedup > 8.5, "speedup {speedup} on 15 workers");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(4, SchemeKind::Uni, 8, 500, 42);
+        let b = run(4, SchemeKind::Uni, 8, 500, 42);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.steals_completed, b.steals_completed);
+        assert_eq!(a.events, b.events);
+        let c = run(4, SchemeKind::Uni, 8, 500, 43);
+        // Different seed, different steal pattern (makespan may tie, the
+        // event trace almost surely not).
+        assert!(c.events != a.events || c.steals_completed != a.steals_completed);
+    }
+
+    #[test]
+    fn iso_scheme_runs_and_faults() {
+        let s = run(4, SchemeKind::Iso, 8, 1_000, 4);
+        let p = sequential_profile(&tree(8, 1_000));
+        assert_eq!(s.total_tasks, p.tasks);
+        assert!(s.page_faults > 0, "iso takes first-touch faults");
+        let uni = run(4, SchemeKind::Uni, 8, 1_000, 4);
+        assert_eq!(uni.page_faults, 0, "uni pins everything up front");
+        assert!(s.reserved_va_per_worker > uni.reserved_va_per_worker);
+    }
+
+    #[test]
+    fn work_conservation_under_heavy_stealing() {
+        // Fine-grained tasks force many steals; the count must still be
+        // exact and every byte-pattern check passes (verify on).
+        let s = run(8, SchemeKind::Uni, 10, 50, 5);
+        assert_eq!(s.total_tasks, 2047);
+        assert!(s.steals_completed > 0);
+    }
+
+    #[test]
+    fn breakdown_phases_populate() {
+        let s = run(4, SchemeKind::Uni, 10, 3_000, 6);
+        assert!(s.breakdown.completed > 0);
+        let total = s.breakdown.total_mean();
+        // A steal costs tens of thousands of cycles under the FX10 model.
+        assert!(total > 20_000.0 && total < 120_000.0, "total {total}");
+    }
+
+    #[test]
+    fn zero_work_tree_is_spawn_bound() {
+        // BTC-like: tasks with no Work; cycles/task ≈ spawn overhead.
+        let s = run(1, SchemeKind::Uni, 10, 0, 7);
+        let cpt = s.cycles_per_task();
+        assert!(
+            cpt > 300.0 && cpt < 1_500.0,
+            "cycles per task {cpt} should be near the 413-cycle spawn cost"
+        );
+    }
+}

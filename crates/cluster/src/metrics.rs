@@ -1,0 +1,161 @@
+//! Run-level metrics: what the paper's tables and figures are made of.
+
+use serde::{Deserialize, Serialize};
+use uat_base::Cycles;
+use uat_core::{SchemeKind, StealBreakdown};
+use uat_rdma::FabricStats;
+
+/// Everything measured in one simulated run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Workload name.
+    pub workload: String,
+    /// Scheme under test.
+    pub scheme: SchemeKind,
+    /// Total compute workers.
+    pub workers: u32,
+    /// Clock frequency used for time conversions.
+    pub clock_hz: f64,
+    /// Simulated wall time from start to root completion.
+    pub makespan: Cycles,
+    /// Tasks executed (Table 4's "total tasks").
+    pub total_tasks: u64,
+    /// Reported workload units (= tasks for BTC; tree nodes for UTS and
+    /// NQueens, whose loop-splitting helper tasks do not count).
+    pub total_units: u64,
+    /// Cycles of `Work` actions executed.
+    pub total_work_cycles: u64,
+    /// Peak simultaneous live tasks.
+    pub peak_live_tasks: u64,
+    /// Successful steals.
+    pub steals_completed: u64,
+    /// Steal attempts (including aborts).
+    pub steal_attempts: u64,
+    /// Per-phase steal timing (Figure 10).
+    pub breakdown: StealBreakdown,
+    /// Max over workers of peak stack bytes (Table 4's "stack usage").
+    pub peak_stack_usage: u64,
+    /// Max over workers of reserved virtual address space.
+    pub reserved_va_per_worker: u64,
+    /// Max over workers of pinned bytes.
+    pub pinned_per_worker: u64,
+    /// Total page faults across all workers (iso's 21K-cycle events).
+    pub page_faults: u64,
+    /// Total bytes committed across all address spaces.
+    pub committed_total: u64,
+    /// Interconnect operation counters.
+    pub fabric: FabricStats,
+    /// Discrete events processed (simulator diagnostics).
+    pub events: u64,
+}
+
+impl RunStats {
+    /// Simulated seconds.
+    pub fn seconds(&self) -> f64 {
+        self.makespan.as_secs(self.clock_hz)
+    }
+
+    /// Units per simulated second — the y-axis of Figure 11 (tasks/s for
+    /// BTC, nodes/s for UTS and NQueens).
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == Cycles::ZERO {
+            return 0.0;
+        }
+        self.total_units as f64 / self.seconds()
+    }
+
+    /// Parallel efficiency of this run relative to a reference run of the
+    /// same workload on fewer workers: ratio of per-worker throughputs
+    /// (the paper's "efficiency relative to 480 cores").
+    pub fn efficiency_vs(&self, reference: &RunStats) -> f64 {
+        let here = self.throughput() / self.workers as f64;
+        let there = reference.throughput() / reference.workers as f64;
+        if there == 0.0 {
+            0.0
+        } else {
+            here / there
+        }
+    }
+
+    /// Cycles per task — BTC's figure of merit (≈ spawn overhead when
+    /// tasks carry no work).
+    pub fn cycles_per_task(&self) -> f64 {
+        if self.total_tasks == 0 {
+            return 0.0;
+        }
+        (self.makespan.get() as f64 * self.workers as f64) / self.total_tasks as f64
+    }
+
+    /// One-line summary for harness output.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<24} {:?} w={:<5} tasks={:<12} time={:>10.4}s thr={:>12.0}/s steals={:<8} stack={}B",
+            self.workload,
+            self.scheme,
+            self.workers,
+            self.total_tasks,
+            self.seconds(),
+            self.throughput(),
+            self.steals_completed,
+            self.peak_stack_usage,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(workers: u32, tasks: u64, makespan: u64) -> RunStats {
+        RunStats {
+            workload: "t".into(),
+            scheme: SchemeKind::Uni,
+            workers,
+            clock_hz: 1e9,
+            makespan: Cycles(makespan),
+            total_tasks: tasks,
+            total_units: tasks,
+            total_work_cycles: 0,
+            peak_live_tasks: 0,
+            steals_completed: 0,
+            steal_attempts: 0,
+            breakdown: StealBreakdown::new(),
+            peak_stack_usage: 0,
+            reserved_va_per_worker: 0,
+            pinned_per_worker: 0,
+            page_faults: 0,
+            committed_total: 0,
+            fabric: FabricStats::default(),
+            events: 0,
+        }
+    }
+
+    #[test]
+    fn throughput_and_seconds() {
+        let s = stats(4, 1_000_000, 1_000_000_000);
+        assert!((s.seconds() - 1.0).abs() < 1e-12);
+        assert!((s.throughput() - 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_scaling_is_efficiency_one() {
+        let base = stats(4, 1_000_000, 1_000_000_000);
+        let big = stats(8, 2_000_000, 1_000_000_000);
+        assert!((big.efficiency_vs(&base) - 1.0).abs() < 1e-12);
+        let worse = stats(8, 1_600_000, 1_000_000_000);
+        assert!((worse.efficiency_vs(&base) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_per_task() {
+        let s = stats(2, 1000, 500_000);
+        assert!((s.cycles_per_task() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_makespan_is_safe() {
+        let s = stats(1, 0, 0);
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.cycles_per_task(), 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Steal-time breakdown accounting (Figure 10 / Table 3).
+
+use serde::{Deserialize, Serialize};
+use uat_base::{Cycles, OnlineStats, Summary};
+
+/// The seven phases of a work steal, in protocol order (Table 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StealPhase {
+    /// RDMA READ of (top, bottom): is the victim's queue non-empty?
+    EmptyCheck,
+    /// Remote fetch-and-add acquiring the queue lock.
+    Lock,
+    /// Two RDMA READs + one RDMA WRITE taking the queue entry.
+    Steal,
+    /// Thief-side `suspend()` of whatever it was running.
+    Suspend,
+    /// RDMA READ of the stolen thread's frames into the thief's
+    /// uni-address region.
+    StackTransfer,
+    /// RDMA WRITE of 0 releasing the queue lock.
+    Unlock,
+    /// `resume_context` of the stolen thread.
+    Resume,
+}
+
+impl StealPhase {
+    /// All phases in protocol order.
+    pub const ALL: [StealPhase; 7] = [
+        StealPhase::EmptyCheck,
+        StealPhase::Lock,
+        StealPhase::Steal,
+        StealPhase::Suspend,
+        StealPhase::StackTransfer,
+        StealPhase::Unlock,
+        StealPhase::Resume,
+    ];
+
+    /// Human-readable name matching the paper's Figure 10 legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            StealPhase::EmptyCheck => "empty check",
+            StealPhase::Lock => "lock",
+            StealPhase::Steal => "steal",
+            StealPhase::Suspend => "suspend",
+            StealPhase::StackTransfer => "stack transfer",
+            StealPhase::Unlock => "unlock",
+            StealPhase::Resume => "resume",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            StealPhase::EmptyCheck => 0,
+            StealPhase::Lock => 1,
+            StealPhase::Steal => 2,
+            StealPhase::Suspend => 3,
+            StealPhase::StackTransfer => 4,
+            StealPhase::Unlock => 5,
+            StealPhase::Resume => 6,
+        }
+    }
+}
+
+/// Accumulated per-phase timings over many successful steals.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StealBreakdown {
+    phases: [OnlineStats; 7],
+    /// Completed (successful) steals observed.
+    pub completed: u64,
+    /// Steal attempts aborted at the empty check.
+    pub aborted_empty: u64,
+    /// Steal attempts aborted at the lock.
+    pub aborted_lock: u64,
+    /// Steal attempts that locked but found the queue drained.
+    pub aborted_raced: u64,
+}
+
+impl StealBreakdown {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one phase of one steal.
+    pub fn record(&mut self, phase: StealPhase, elapsed: Cycles) {
+        self.phases[phase.index()].push(elapsed.get() as f64);
+    }
+
+    /// Per-phase summary.
+    pub fn phase(&self, phase: StealPhase) -> Summary {
+        self.phases[phase.index()].summary()
+    }
+
+    /// Mean total cycles of a successful steal (sum of phase means).
+    pub fn total_mean(&self) -> f64 {
+        StealPhase::ALL
+            .iter()
+            .map(|&p| self.phase(p).mean)
+            .sum()
+    }
+
+    /// Fraction of the total contributed by suspend + resume — the
+    /// uni-address scheme's own overhead (the paper reports 7.7%).
+    pub fn suspend_resume_fraction(&self) -> f64 {
+        let total = self.total_mean();
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.phase(StealPhase::Suspend).mean + self.phase(StealPhase::Resume).mean) / total
+    }
+
+    /// Merge another accumulator (e.g. across workers).
+    pub fn merge(&mut self, other: &StealBreakdown) {
+        for p in StealPhase::ALL {
+            let i = p.index();
+            self.phases[i].merge(&other.phases[i]);
+        }
+        self.completed += other.completed;
+        self.aborted_empty += other.aborted_empty;
+        self.aborted_lock += other.aborted_lock;
+        self.aborted_raced += other.aborted_raced;
+    }
+
+    /// Render the Figure 10 table.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(s, "{:<16} {:>12} {:>10}", "phase", "mean cycles", "share").unwrap();
+        let total = self.total_mean();
+        for p in StealPhase::ALL {
+            let m = self.phase(p).mean;
+            writeln!(
+                s,
+                "{:<16} {:>12.0} {:>9.1}%",
+                p.name(),
+                m,
+                if total > 0.0 { 100.0 * m / total } else { 0.0 }
+            )
+            .unwrap();
+        }
+        writeln!(s, "{:<16} {:>12.0} {:>10}", "total", total, "").unwrap();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_total() {
+        let mut b = StealBreakdown::new();
+        for _ in 0..3 {
+            b.record(StealPhase::EmptyCheck, Cycles(4_900));
+            b.record(StealPhase::Lock, Cycles(9_800));
+            b.record(StealPhase::Steal, Cycles(12_000));
+            b.record(StealPhase::Suspend, Cycles(1_700));
+            b.record(StealPhase::StackTransfer, Cycles(6_400));
+            b.record(StealPhase::Unlock, Cycles(3_000));
+            b.record(StealPhase::Resume, Cycles(1_800));
+            b.completed += 1;
+        }
+        assert_eq!(b.completed, 3);
+        assert!((b.total_mean() - 39_600.0).abs() < 1.0);
+        let f = b.suspend_resume_fraction();
+        assert!((f - 3_500.0 / 39_600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = StealBreakdown::new();
+        a.record(StealPhase::Lock, Cycles(10_000));
+        a.completed = 1;
+        a.aborted_lock = 2;
+        let mut b = StealBreakdown::new();
+        b.record(StealPhase::Lock, Cycles(8_000));
+        b.completed = 1;
+        b.aborted_empty = 5;
+        a.merge(&b);
+        assert_eq!(a.completed, 2);
+        assert_eq!(a.aborted_lock, 2);
+        assert_eq!(a.aborted_empty, 5);
+        assert!((a.phase(StealPhase::Lock).mean - 9_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_contains_all_phases() {
+        let mut b = StealBreakdown::new();
+        b.record(StealPhase::StackTransfer, Cycles(6_000));
+        let r = b.report();
+        for p in StealPhase::ALL {
+            assert!(r.contains(p.name()), "missing {}", p.name());
+        }
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let b = StealBreakdown::new();
+        assert_eq!(b.total_mean(), 0.0);
+        assert_eq!(b.suspend_resume_fraction(), 0.0);
+    }
+}

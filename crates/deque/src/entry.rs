@@ -1,0 +1,74 @@
+//! The task-queue entry (`taskq_entry` in Figure 4).
+//!
+//! An entry describes a stealable parent continuation: where its frames
+//! start in the uni-address region, how many bytes they span, and a handle
+//! to its saved register context. The simulator additionally carries the
+//! task id. The wire format is four little-endian u64s (32 bytes), which
+//! is what a thief RDMA-READs out of a victim's queue.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of a serialized entry in bytes.
+pub const ENTRY_BYTES: usize = 32;
+
+/// A stealable continuation descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskqEntry {
+    /// Simulator task id of the continuation's task.
+    pub task: u64,
+    /// Opaque handle to the saved context (`ctx` in Figure 4).
+    pub ctx: u64,
+    /// Lowest address of the continuation's frames in the uni-address
+    /// region (`frame_base`).
+    pub frame_base: u64,
+    /// Bytes of stack the continuation owns (`frame_size`).
+    pub frame_size: u64,
+}
+
+impl TaskqEntry {
+    /// Serialize to the 32-byte wire format.
+    pub fn to_bytes(&self) -> [u8; ENTRY_BYTES] {
+        let mut b = [0u8; ENTRY_BYTES];
+        b[0..8].copy_from_slice(&self.task.to_le_bytes());
+        b[8..16].copy_from_slice(&self.ctx.to_le_bytes());
+        b[16..24].copy_from_slice(&self.frame_base.to_le_bytes());
+        b[24..32].copy_from_slice(&self.frame_size.to_le_bytes());
+        b
+    }
+
+    /// Deserialize from the 32-byte wire format.
+    pub fn from_bytes(b: &[u8; ENTRY_BYTES]) -> Self {
+        let u = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().expect("8 bytes"));
+        TaskqEntry {
+            task: u(0),
+            ctx: u(8),
+            frame_base: u(16),
+            frame_size: u(24),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_fixed() {
+        let e = TaskqEntry {
+            task: 7,
+            ctx: 0xdead_beef,
+            frame_base: 0x7f00_0000_1000,
+            frame_size: 3055,
+        };
+        assert_eq!(TaskqEntry::from_bytes(&e.to_bytes()), e);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any(task: u64, ctx: u64, frame_base: u64, frame_size: u64) {
+            let e = TaskqEntry { task, ctx, frame_base, frame_size };
+            prop_assert_eq!(TaskqEntry::from_bytes(&e.to_bytes()), e);
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! THE-protocol deque over simulated RDMA memory.
+//!
+//! The deque lives in the owner's registered region with this layout
+//! (all fields little-endian u64):
+//!
+//! ```text
+//! base + 0   lock     0 = free; acquired with fetch-and-add(+1), old==0
+//! base + 8   top      steal end (H in the Cilk-5 THE paper)
+//! base + 16  bottom   owner end (T); entries valid in [top, bottom)
+//! base + 24  entries  capacity × 32-byte TaskqEntry, direct-indexed
+//! ```
+//!
+//! Indices grow monotonically (they are "positions", not slots); slot =
+//! `position % capacity`. The owner's push/pop are local memory accesses
+//! (plus a local atomic in the pop conflict path); a thief runs the exact
+//! Figure 6 phase sequence with one-sided operations only.
+
+use crate::entry::{TaskqEntry, ENTRY_BYTES};
+use uat_base::{Cycles, WorkerId};
+use uat_rdma::{Fabric, RdmaError};
+
+const OFF_LOCK: u64 = 0;
+const OFF_TOP: u64 = 8;
+const OFF_BOTTOM: u64 = 16;
+const OFF_ENTRIES: u64 = 24;
+
+/// Result of an owner-side pop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PopOutcome {
+    /// Got the youngest entry (the parent was not stolen).
+    Entry(TaskqEntry),
+    /// Deque empty — the parent was stolen (Figure 4 line 15 `!ok`).
+    Empty,
+    /// Lost the last-entry race to a thief holding the lock; the caller
+    /// must retry after the thief's critical section (a real victim would
+    /// spin here — the simulator reschedules instead).
+    ///
+    /// This fires when the owner drains its queue while a thief is inside
+    /// its multi-event critical section (lock → steal → stack transfer →
+    /// unlock). It is also the protocol's protection against the victim
+    /// reusing uni-address-region bytes that a thief is still RDMA-READing
+    /// — the victim cannot conclude "my parent was stolen" (and therefore
+    /// cannot drain/reuse the region) until the thief unlocks, which
+    /// happens only *after* the stack transfer (Figure 6's ordering).
+    Contended,
+}
+
+/// Result of one thief steal phase. The phase's RDMA latency is paid
+/// whether or not it succeeds, so every variant carries the completion
+/// instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StealOutcome<T> {
+    /// Phase succeeded.
+    Ok(T),
+    /// Queue empty — abort the steal.
+    Empty(Cycles),
+    /// Lock already held — abort the steal (Figure 6 line 11-12).
+    LockBusy(Cycles),
+}
+
+/// Handle to a deque resident in `owner`'s registered memory at `base`.
+///
+/// The handle carries no deque state: everything lives in fabric memory,
+/// which is what makes the remote path genuinely one-sided.
+#[derive(Clone, Copy, Debug)]
+pub struct SimDeque {
+    owner: WorkerId,
+    base: u64,
+    capacity: u64,
+}
+
+impl SimDeque {
+    /// Bytes of registered memory a deque of `capacity` entries needs.
+    pub fn footprint(capacity: u64) -> u64 {
+        OFF_ENTRIES + capacity * ENTRY_BYTES as u64
+    }
+
+    /// Bind a deque at `base` in `owner`'s memory and zero its words.
+    /// The caller must already have registered at least
+    /// [`footprint`](Self::footprint) bytes there.
+    pub fn init(
+        fabric: &mut Fabric,
+        owner: WorkerId,
+        base: u64,
+        capacity: u64,
+    ) -> Result<Self, RdmaError> {
+        assert!(capacity > 0, "capacity must be positive");
+        let mem = fabric.mem_mut(owner);
+        mem.write_u64_local(base + OFF_LOCK, 0)?;
+        mem.write_u64_local(base + OFF_TOP, 0)?;
+        mem.write_u64_local(base + OFF_BOTTOM, 0)?;
+        Ok(SimDeque {
+            owner,
+            base,
+            capacity,
+        })
+    }
+
+    /// The owning worker.
+    pub fn owner(&self) -> WorkerId {
+        self.owner
+    }
+
+    /// Address of the entry at `position`.
+    fn entry_addr(&self, position: u64) -> u64 {
+        self.base + OFF_ENTRIES + (position % self.capacity) * ENTRY_BYTES as u64
+    }
+
+    // ------------------------------------------------------------------
+    // Owner-side operations (local memory; Figure 4's TASK_QUEUE_PUSH/POP)
+    // ------------------------------------------------------------------
+
+    /// Push an entry at the bottom. Errors if the deque is full, which in
+    /// the real runtime would mean the task tree outgrew the queue.
+    pub fn push(&self, fabric: &mut Fabric, entry: TaskqEntry) -> Result<(), RdmaError> {
+        let mem = fabric.mem_mut(self.owner);
+        let top = mem.read_u64_local(self.base + OFF_TOP)?;
+        let bottom = mem.read_u64_local(self.base + OFF_BOTTOM)?;
+        assert!(
+            bottom - top < self.capacity,
+            "task queue overflow: {} live entries (capacity {}); deepen the queue",
+            bottom - top,
+            self.capacity
+        );
+        mem.write_local(self.entry_addr(bottom), &entry.to_bytes())?;
+        // Store-store order: entry visible before the bottom bump.
+        mem.write_u64_local(self.base + OFF_BOTTOM, bottom + 1)?;
+        Ok(())
+    }
+
+    /// Owner pop from the bottom (THE protocol, Cilk-5 Figure 5 shape).
+    pub fn pop(&self, fabric: &mut Fabric) -> Result<PopOutcome, RdmaError> {
+        let mem = fabric.mem_mut(self.owner);
+        let bottom = mem.read_u64_local(self.base + OFF_BOTTOM)?;
+        if bottom == mem.read_u64_local(self.base + OFF_TOP)? {
+            // Looks empty — but "my last entry was stolen" may only be
+            // concluded under the lock: a thief that took the entry is
+            // still RDMA-READing the frames until it unlocks, and the
+            // owner must not reuse them before that (Figure 6's
+            // unlock-after-transfer ordering).
+            if mem.read_u64_local(self.base + OFF_LOCK)? != 0 {
+                return Ok(PopOutcome::Contended);
+            }
+            return Ok(PopOutcome::Empty);
+        }
+        // T--; fence; read H.
+        let new_bottom = bottom - 1;
+        mem.write_u64_local(self.base + OFF_BOTTOM, new_bottom)?;
+        let top = mem.read_u64_local(self.base + OFF_TOP)?;
+        if top > new_bottom {
+            // Deque seen empty: the thief won or is winning. Restore and
+            // resolve under the lock.
+            mem.write_u64_local(self.base + OFF_BOTTOM, bottom)?;
+            let lock = mem.read_u64_local(self.base + OFF_LOCK)?;
+            if lock != 0 {
+                // A thief is mid-steal; retry after its critical section.
+                return Ok(PopOutcome::Contended);
+            }
+            // Lock free: take it locally and re-examine.
+            mem.write_u64_local(self.base + OFF_LOCK, 1)?;
+            let top = mem.read_u64_local(self.base + OFF_TOP)?;
+            let outcome = if top >= bottom {
+                // The last entry is gone.
+                PopOutcome::Empty
+            } else {
+                mem.write_u64_local(self.base + OFF_BOTTOM, bottom - 1)?;
+                let mut b = [0u8; ENTRY_BYTES];
+                mem.read_local(self.entry_addr(bottom - 1), &mut b)?;
+                PopOutcome::Entry(TaskqEntry::from_bytes(&b))
+            };
+            let mem = fabric.mem_mut(self.owner);
+            mem.write_u64_local(self.base + OFF_LOCK, 0)?;
+            return Ok(outcome);
+        }
+        let mut b = [0u8; ENTRY_BYTES];
+        mem.read_local(self.entry_addr(new_bottom), &mut b)?;
+        Ok(PopOutcome::Entry(TaskqEntry::from_bytes(&b)))
+    }
+
+    /// Number of entries currently in the deque (owner-side view).
+    pub fn len(&self, fabric: &Fabric) -> u64 {
+        let mem = fabric.mem(self.owner);
+        let top = mem.read_u64_local(self.base + OFF_TOP).unwrap_or(0);
+        let bottom = mem.read_u64_local(self.base + OFF_BOTTOM).unwrap_or(0);
+        bottom.saturating_sub(top)
+    }
+
+    /// Whether the deque is empty (owner-side view).
+    pub fn is_empty(&self, fabric: &Fabric) -> bool {
+        self.len(fabric) == 0
+    }
+
+    // ------------------------------------------------------------------
+    // Thief-side phases (one-sided RDMA; Figure 6 / Table 3)
+    // ------------------------------------------------------------------
+
+    /// Phase 1 — *empty check*: one RDMA READ of (top, bottom).
+    /// Returns `Empty` to abort, or the completion instant to continue.
+    pub fn remote_empty_check(
+        &self,
+        fabric: &mut Fabric,
+        now: Cycles,
+        thief: WorkerId,
+    ) -> Result<StealOutcome<Cycles>, RdmaError> {
+        let mut b = [0u8; 16];
+        let done = fabric.read(now, thief, self.owner, self.base + OFF_TOP, &mut b)?;
+        let top = u64::from_le_bytes(b[0..8].try_into().expect("8"));
+        let bottom = u64::from_le_bytes(b[8..16].try_into().expect("8"));
+        Ok(if top >= bottom {
+            StealOutcome::Empty(done)
+        } else {
+            StealOutcome::Ok(done)
+        })
+    }
+
+    /// Phase 2 — *lock*: remote fetch-and-add on the lock word.
+    /// `LockBusy` aborts the steal attempt (the failed increment is erased
+    /// by the holder's unlock WRITE of 0).
+    pub fn remote_try_lock(
+        &self,
+        fabric: &mut Fabric,
+        now: Cycles,
+        thief: WorkerId,
+    ) -> Result<StealOutcome<Cycles>, RdmaError> {
+        let (old, done) = fabric.fetch_add_u64(now, thief, self.owner, self.base + OFF_LOCK, 1)?;
+        Ok(if old == 0 {
+            StealOutcome::Ok(done)
+        } else {
+            StealOutcome::LockBusy(done)
+        })
+    }
+
+    /// Phase 3 — *steal*: with the lock held, two RDMA READs (indices,
+    /// then the top entry) and one RDMA WRITE (top+1). `Empty` means the
+    /// owner drained the queue since the empty check; the caller must
+    /// still unlock.
+    pub fn remote_steal_entry(
+        &self,
+        fabric: &mut Fabric,
+        now: Cycles,
+        thief: WorkerId,
+    ) -> Result<StealOutcome<(TaskqEntry, Cycles)>, RdmaError> {
+        let mut idx = [0u8; 16];
+        let t1 = fabric.read(now, thief, self.owner, self.base + OFF_TOP, &mut idx)?;
+        let top = u64::from_le_bytes(idx[0..8].try_into().expect("8"));
+        let bottom = u64::from_le_bytes(idx[8..16].try_into().expect("8"));
+        if top >= bottom {
+            return Ok(StealOutcome::Empty(t1));
+        }
+        let mut eb = [0u8; ENTRY_BYTES];
+        let t2 = fabric.read(t1, thief, self.owner, self.entry_addr(top), &mut eb)?;
+        let t3 = fabric.write_u64(t2, thief, self.owner, self.base + OFF_TOP, top + 1)?;
+        Ok(StealOutcome::Ok((TaskqEntry::from_bytes(&eb), t3)))
+    }
+
+    /// Phase 4 — *unlock*: one RDMA WRITE of 0 to the lock word.
+    pub fn remote_unlock(
+        &self,
+        fabric: &mut Fabric,
+        now: Cycles,
+        thief: WorkerId,
+    ) -> Result<Cycles, RdmaError> {
+        fabric.write_u64(now, thief, self.owner, self.base + OFF_LOCK, 0)
+    }
+
+    /// Whether the lock word is currently held (test/diagnostic helper).
+    pub fn lock_held(&self, fabric: &Fabric) -> bool {
+        fabric
+            .mem(self.owner)
+            .read_u64_local(self.base + OFF_LOCK)
+            .map(|v| v != 0)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uat_base::{CostModel, Topology};
+
+    const OWNER: WorkerId = WorkerId(0);
+    const THIEF: WorkerId = WorkerId(1);
+    const BASE: u64 = 0x10_000;
+
+    fn setup(capacity: u64) -> (Fabric, SimDeque) {
+        let mut f = Fabric::new(Topology::new(2, 1), CostModel::fx10());
+        f.register(OWNER, BASE, SimDeque::footprint(capacity) as usize)
+            .unwrap();
+        let d = SimDeque::init(&mut f, OWNER, BASE, capacity).unwrap();
+        (f, d)
+    }
+
+    fn entry(task: u64) -> TaskqEntry {
+        TaskqEntry {
+            task,
+            ctx: task * 10,
+            frame_base: 0x7000 + task,
+            frame_size: 100 + task,
+        }
+    }
+
+    fn full_steal(f: &mut Fabric, d: &SimDeque, now: Cycles) -> Option<TaskqEntry> {
+        match d.remote_empty_check(f, now, THIEF).unwrap() {
+            StealOutcome::Ok(t) => {
+                match d.remote_try_lock(f, t, THIEF).unwrap() {
+                    StealOutcome::Ok(t) => {
+                        let r = d.remote_steal_entry(f, t, THIEF).unwrap();
+                        match r {
+                            StealOutcome::Ok((e, t)) => {
+                                d.remote_unlock(f, t, THIEF).unwrap();
+                                Some(e)
+                            }
+                            _ => {
+                                d.remote_unlock(f, t, THIEF).unwrap();
+                                None
+                            }
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn owner_lifo_order() {
+        let (mut f, d) = setup(16);
+        for i in 0..5 {
+            d.push(&mut f, entry(i)).unwrap();
+        }
+        assert_eq!(d.len(&f), 5);
+        for i in (0..5).rev() {
+            match d.pop(&mut f).unwrap() {
+                PopOutcome::Entry(e) => assert_eq!(e, entry(i)),
+                other => panic!("expected entry, got {other:?}"),
+            }
+        }
+        assert_eq!(d.pop(&mut f).unwrap(), PopOutcome::Empty);
+    }
+
+    #[test]
+    fn thief_fifo_order() {
+        let (mut f, d) = setup(16);
+        for i in 0..4 {
+            d.push(&mut f, entry(i)).unwrap();
+        }
+        for i in 0..4 {
+            let e = full_steal(&mut f, &d, Cycles(i * 100_000)).unwrap();
+            assert_eq!(e, entry(i), "steals take the oldest entry");
+        }
+        assert!(full_steal(&mut f, &d, Cycles(0)).is_none());
+        assert!(d.is_empty(&f));
+    }
+
+    #[test]
+    fn mixed_pop_and_steal_conserve_entries() {
+        let (mut f, d) = setup(64);
+        let mut got = Vec::new();
+        for i in 0..10 {
+            d.push(&mut f, entry(i)).unwrap();
+        }
+        // Alternate: owner pops one, thief steals one.
+        loop {
+            let mut progressed = false;
+            if let PopOutcome::Entry(e) = d.pop(&mut f).unwrap() {
+                got.push(e.task);
+                progressed = true;
+            }
+            if let Some(e) = full_steal(&mut f, &d, Cycles(0)) {
+                got.push(e.task);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_check_aborts_cheaply() {
+        let (mut f, d) = setup(8);
+        let r = d.remote_empty_check(&mut f, Cycles(0), THIEF).unwrap();
+        assert!(matches!(r, StealOutcome::Empty(_)));
+        // An aborted steal never touched the lock.
+        assert!(!d.lock_held(&f));
+        assert_eq!(f.stats().faas, 0);
+    }
+
+    #[test]
+    fn lock_busy_aborts_second_thief() {
+        let (mut f, d) = setup(8);
+        d.push(&mut f, entry(1)).unwrap();
+        d.push(&mut f, entry(2)).unwrap();
+        // Thief A acquires the lock...
+        let t = match d.remote_try_lock(&mut f, Cycles(0), THIEF).unwrap() {
+            StealOutcome::Ok(t) => t,
+            other => panic!("{other:?}"),
+        };
+        // ...thief B (same worker id is fine for the protocol) fails.
+        let r = d.remote_try_lock(&mut f, Cycles(10), THIEF).unwrap();
+        assert!(matches!(r, StealOutcome::LockBusy(_)));
+        // A completes and unlocks; the failed increment is erased.
+        let (e, t2) = match d.remote_steal_entry(&mut f, t, THIEF).unwrap() {
+            StealOutcome::Ok(v) => v,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(e, entry(1));
+        d.remote_unlock(&mut f, t2, THIEF).unwrap();
+        assert!(!d.lock_held(&f));
+        // Lock is usable again.
+        assert!(matches!(
+            d.remote_try_lock(&mut f, Cycles(20), THIEF).unwrap(),
+            StealOutcome::Ok(_)
+        ));
+    }
+
+    #[test]
+    fn owner_wins_last_entry_race_on_fast_path() {
+        // THE's defining property: the owner's pop never takes the lock
+        // on the fast path, so a thief that has locked but not yet
+        // advanced `top` loses the last entry to the owner (the same
+        // outcome Cilk-5 guarantees).
+        let (mut f, d) = setup(8);
+        d.push(&mut f, entry(1)).unwrap();
+        let t = match d.remote_try_lock(&mut f, Cycles(0), THIEF).unwrap() {
+            StealOutcome::Ok(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(d.pop(&mut f).unwrap(), PopOutcome::Entry(entry(1)));
+        // The thief, still holding the lock, finds the queue drained.
+        assert!(matches!(
+            d.remote_steal_entry(&mut f, t, THIEF).unwrap(),
+            StealOutcome::Empty(_)
+        ));
+        d.remote_unlock(&mut f, t, THIEF).unwrap();
+        assert_eq!(d.pop(&mut f).unwrap(), PopOutcome::Empty);
+    }
+
+    #[test]
+    fn steal_entry_empty_after_owner_drains() {
+        let (mut f, d) = setup(8);
+        d.push(&mut f, entry(1)).unwrap();
+        // Thief passes the empty check...
+        let t = match d.remote_empty_check(&mut f, Cycles(0), THIEF).unwrap() {
+            StealOutcome::Ok(t) => t,
+            other => panic!("{other:?}"),
+        };
+        // ...owner pops the last entry meanwhile...
+        assert!(matches!(d.pop(&mut f).unwrap(), PopOutcome::Entry(_)));
+        // ...thief locks and finds nothing.
+        let t = match d.remote_try_lock(&mut f, t, THIEF).unwrap() {
+            StealOutcome::Ok(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(
+            d.remote_steal_entry(&mut f, t, THIEF).unwrap(),
+            StealOutcome::Empty(_)
+        ));
+        d.remote_unlock(&mut f, t, THIEF).unwrap();
+    }
+
+    #[test]
+    fn wraparound_reuses_slots() {
+        let (mut f, d) = setup(4);
+        // Push/pop 20 entries through a 4-slot queue.
+        for i in 0..20 {
+            d.push(&mut f, entry(i)).unwrap();
+            match d.pop(&mut f).unwrap() {
+                PopOutcome::Entry(e) => assert_eq!(e.task, i),
+                other => panic!("{other:?}"),
+            }
+        }
+        // And interleaved with steals past the wrap point.
+        for round in 0..6 {
+            d.push(&mut f, entry(100 + round * 2)).unwrap();
+            d.push(&mut f, entry(101 + round * 2)).unwrap();
+            let stolen = full_steal(&mut f, &d, Cycles(0)).unwrap();
+            assert_eq!(stolen.task, 100 + round * 2, "FIFO across wraparound");
+            match d.pop(&mut f).unwrap() {
+                PopOutcome::Entry(e) => assert_eq!(e.task, 101 + round * 2),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(d.is_empty(&f));
+    }
+
+    #[test]
+    #[should_panic(expected = "task queue overflow")]
+    fn overflow_panics() {
+        let (mut f, d) = setup(2);
+        for i in 0..3 {
+            d.push(&mut f, entry(i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn phase_costs_follow_table3() {
+        // The four phases' unloaded costs match the Table 3 op inventory:
+        // empty check = small READ; lock = FAA (9.8K); steal = 2 READ + 1
+        // WRITE; unlock = small WRITE.
+        let (mut f, d) = setup(8);
+        d.push(&mut f, entry(1)).unwrap();
+        let c = CostModel::fx10();
+        let t0 = Cycles(0);
+        let t1 = match d.remote_empty_check(&mut f, t0, THIEF).unwrap() {
+            StealOutcome::Ok(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(t1, c.rdma_read(16, false));
+        let t2 = match d.remote_try_lock(&mut f, t1, THIEF).unwrap() {
+            StealOutcome::Ok(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(t2.since(t1), Cycles(9_800));
+        let (_, t3) = match d.remote_steal_entry(&mut f, t2, THIEF).unwrap() {
+            StealOutcome::Ok(v) => v,
+            other => panic!("{other:?}"),
+        };
+        let expect = c.rdma_read(16, false) + c.rdma_read(ENTRY_BYTES, false)
+            + c.rdma_write(8, false);
+        assert_eq!(t3.since(t2), expect);
+        let t4 = d.remote_unlock(&mut f, t3, THIEF).unwrap();
+        assert_eq!(t4.since(t3), c.rdma_write(8, false));
+    }
+}

@@ -1,0 +1,48 @@
+//! Native lightweight threads on x86-64 — the "real" half of the
+//! reproduction.
+//!
+//! The distributed experiments run in simulation (`uat-cluster`), but the
+//! paper's Table 2 — task creation overhead in cycles — is a single-node
+//! microbenchmark, and this crate measures it for real:
+//!
+//! - [`ctx`]: a faithful port of the paper's Appendix A
+//!   `save_context_and_call` / `resume_context` x86-64 assembly.
+//! - [`stack`]: `mmap`-backed task stacks with guard pages, pooled.
+//! - [`creation`]: the three creation strategies Table 2 compares —
+//!   `uniaddr` (Figure 4: save context, push queue entry, run the child
+//!   on the same linear stack, pop), `stack_pool` (MassiveThreads-like:
+//!   child on a fresh pooled stack via a full context switch), and
+//!   `seq_call` (Cilk-like fast clone: push, plain call, pop) — each
+//!   timed with `rdtsc`.
+//! - [`runtime`]: a multi-worker work-stealing executor (stack-pool
+//!   strategy + the THE deque from `uat-deque`), demonstrating genuine
+//!   steal-a-started-thread semantics in the shared-memory degenerate
+//!   case the paper notes in Section 2 ("migrating a task ... can be
+//!   done simply by passing the address of the stack").
+//! - [`ipc`]: the faithful **cross-address-space** demonstration —
+//!   process-per-core via `fork`, the uni-address region at the same
+//!   fixed virtual address in each process, shared-memory task-queue
+//!   words, a one-sided `process_vm_readv` stack transfer, and
+//!   `resume_context` of a started thread on the other process.
+//!
+//! # Safety
+//!
+//! This crate is the workspace's designated home for `unsafe`. Invariants
+//! are documented at each boundary; everything else in the workspace is
+//! `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![cfg(target_arch = "x86_64")]
+
+pub mod creation;
+pub mod ctx;
+pub mod ipc;
+pub mod runtime;
+pub mod stack;
+pub mod tsc;
+
+pub use creation::{measure_creation, CreationStrategy};
+pub use ipc::steal_between_processes;
+pub use runtime::{spawn, JoinHandle, Runtime};
+pub use stack::{Stack, StackPool};

@@ -1,0 +1,590 @@
+//! A native work-stealing fiber runtime.
+//!
+//! This is the shared-memory degenerate case of the paper's runtime
+//! (Section 2: "In shared memory environment, migrating a task in the
+//! middle of its execution can be done simply by passing the address of
+//! the stack"): workers are OS threads in one address space, every thread
+//! (task) runs on its own pooled stack (the stack-pool strategy — the
+//! same-stack Figure 4 layout is only sound across *separate* address
+//! spaces, which is exactly the paper's observation), continuations are
+//! [`Context`] records in the THE deques of `uat-deque`, and a steal is
+//! a `resume_context` of somebody else's saved parent.
+//!
+//! The scheduler is the paper's: child-first on spawn, FIFO stealing,
+//! the Figure 7 join loop (fast-path done-check, else suspend and find
+//! other work).
+//!
+//! # Safety model
+//!
+//! Control transfers never unwind (user closures are `catch_unwind`ed and
+//! a panic aborts). A context is resumed exactly once: the deque hands an
+//! entry to exactly one consumer (THE protocol), and the join waiter slot
+//! is claimed by exactly one CAS winner. A task's stack is retired only
+//! by its own completion and freed only after control has left it (the
+//! `pending_retire` hand-off). Functions passed to
+//! `switch_stack_and_call` and trampolines that claim a continuation
+//! diverge with only `Copy` locals live, so no destructor is skipped.
+
+use crate::ctx::{resume_context, save_context_and_call, switch_stack_and_call, Context};
+use crate::stack::{Stack, StackPool};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::ffi::c_void;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use uat_base::SplitMix64;
+use uat_deque::NativeDeque;
+
+const WAITER_EMPTY: u64 = 0;
+const WAITER_SEALED: u64 = 1;
+
+/// Join synchronization core: done flag + single waiter slot.
+struct JoinCore {
+    done: AtomicBool,
+    /// 0 = empty, 1 = sealed (child finished), else a `*mut Context`.
+    waiter: AtomicU64,
+}
+
+impl JoinCore {
+    fn new() -> Self {
+        JoinCore {
+            done: AtomicBool::new(false),
+            waiter: AtomicU64::new(WAITER_EMPTY),
+        }
+    }
+}
+
+/// Handle to a spawned thread; [`join`](JoinHandle::join) returns its
+/// result (the `task<T>`/`join` API of Figure 2).
+pub struct JoinHandle<T> {
+    core: Arc<JoinCore>,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+struct Shared {
+    deques: Vec<Arc<NativeDeque<u64>>>,
+    shutdown: AtomicBool,
+    live: AtomicU64,
+    seed_task: Mutex<Option<Box<Payload>>>,
+}
+
+struct Worker {
+    id: usize,
+    shared: Arc<Shared>,
+    pool: StackPool,
+    rng: SplitMix64,
+    sched_ctx: *mut Context,
+    pending_retire: Option<Stack>,
+}
+
+thread_local! {
+    static CURRENT: Cell<*mut Worker> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+#[inline]
+fn current() -> *mut Worker {
+    let w = CURRENT.with(|c| c.get());
+    assert!(
+        !w.is_null(),
+        "fiber operation outside a uat-fiber worker thread"
+    );
+    w
+}
+
+/// Free the stack retired by the previously completed thread, if any.
+/// Must run at every point control can land after a completion.
+#[inline]
+fn collect_retired() {
+    let w = current();
+    // SAFETY: only the owning OS thread touches its Worker, and no other
+    // borrow is live across this call.
+    let w = unsafe { &mut *w };
+    if let Some(s) = w.pending_retire.take() {
+        w.pool.put(s);
+    }
+}
+
+struct Payload {
+    body: Option<Box<dyn FnOnce() + Send>>,
+    core: Arc<JoinCore>,
+    stack: Option<Stack>,
+}
+
+/// Spawn a thread running `f`, child-first: `f` starts immediately on a
+/// fresh stack and the *caller's* continuation becomes stealable
+/// (Figure 4's semantics under the stack-pool strategy).
+///
+/// Must be called from inside [`Runtime::run`].
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let core = Arc::new(JoinCore::new());
+    let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let r2 = Arc::clone(&result);
+    let body: Box<dyn FnOnce() + Send> = Box::new(move || {
+        *r2.lock() = Some(f());
+    });
+    let w = current();
+    // SAFETY: exclusive access by the owning thread; short borrow.
+    let stack = unsafe { (*w).pool.take() };
+    let payload = Box::new(Payload {
+        body: Some(body),
+        core: Arc::clone(&core),
+        stack: Some(stack),
+    });
+    // SAFETY: shared is alive for the runtime's duration; the reference
+    // is dropped before the context switch below.
+    unsafe {
+        let wr = &*w;
+        wr.shared.live.fetch_add(1, Ordering::AcqRel);
+    }
+    // SAFETY: spawn_tramp never returns normally; the continuation saved
+    // here is resumed exactly once (by the child's pop or by a thief).
+    unsafe {
+        save_context_and_call(
+            std::ptr::null_mut(),
+            spawn_tramp,
+            Box::into_raw(payload) as *mut c_void,
+        );
+    }
+    // Resumed — possibly on a different worker thread.
+    collect_retired();
+    JoinHandle { core, result }
+}
+
+unsafe extern "C" fn spawn_tramp(ctx: *mut Context, arg: *mut c_void) {
+    let w = current();
+    // Push the parent thread's continuation: stealable from now on.
+    // SAFETY: worker structures outlive all tasks; references end before
+    // the stack switch.
+    let top = unsafe {
+        let wr = &*w;
+        wr.shared.deques[wr.id].push(ctx as u64);
+        let payload = &*(arg as *mut Payload);
+        payload.stack.as_ref().expect("stack present at start").top()
+    };
+    // SAFETY: fresh pooled stack; child_main diverges.
+    unsafe { switch_stack_and_call(top, child_main, arg) }
+}
+
+unsafe extern "C" fn child_main(arg: *mut c_void) -> ! {
+    {
+        // SAFETY: sole owner of the payload from here.
+        let mut payload = unsafe { Box::from_raw(arg as *mut Payload) };
+        let body = payload.body.take().expect("body present");
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).is_err() {
+            // Unwinding across a context switch is UB; mirror the paper's
+            // C++ runtime and die loudly.
+            eprintln!("uat-fiber: task panicked; aborting");
+            std::process::abort();
+        }
+        let w = current();
+        // Retire our own stack; freed once control is off it.
+        // SAFETY: exclusive worker access on this thread; the borrow is
+        // scoped to this block.
+        unsafe {
+            let wr = &mut *w;
+            debug_assert!(wr.pending_retire.is_none());
+            wr.pending_retire = payload.stack.take();
+        }
+        // Thread exit: publish the result, wake a waiter if one parked.
+        payload.core.done.store(true, Ordering::Release);
+        let prev = payload.core.waiter.swap(WAITER_SEALED, Ordering::AcqRel);
+        if prev > WAITER_SEALED {
+            // SAFETY: prev is a parked continuation, claimed exactly here;
+            // pushing it makes it runnable (and stealable).
+            unsafe {
+                let wr = &*w;
+                wr.shared.deques[wr.id].push(prev);
+            }
+        }
+        unsafe {
+            let wr = &*w;
+            wr.shared.live.fetch_sub(1, Ordering::AcqRel);
+        }
+    } // payload fully dropped before we abandon this stack
+    let w = current();
+    // Figure 4 lines 13-15: pop the parent continuation; if stolen, go
+    // to the scheduler.
+    // SAFETY: worker alive; contexts in the deque are live by protocol.
+    let target = unsafe {
+        let wr = &*w;
+        match wr.shared.deques[wr.id].pop() {
+            Some(c) => c as *mut Context,
+            None => wr.sched_ctx,
+        }
+    };
+    // SAFETY: target is resumed exactly once; only Copy locals live here.
+    unsafe { resume_context(target) }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to exit and take its result (Figure 7's
+    /// `join`): fast path is one done-flag load; otherwise the caller
+    /// suspends and the worker finds other work.
+    pub fn join(self) -> T {
+        if !self.core.done.load(Ordering::Acquire) {
+            let core_ptr: *const JoinCore = &*self.core;
+            // SAFETY: join_tramp either parks this continuation (resumed
+            // exactly once by the completer) or resumes it inline.
+            unsafe {
+                save_context_and_call(
+                    std::ptr::null_mut(),
+                    join_tramp,
+                    core_ptr as *mut c_void,
+                );
+            }
+            collect_retired();
+            debug_assert!(self.core.done.load(Ordering::Acquire));
+        }
+        let out = self
+            .result
+            .lock()
+            .take()
+            .expect("task set its result before publishing done");
+        out
+    }
+
+    /// Whether the thread has exited (non-blocking `try_join`).
+    pub fn is_done(&self) -> bool {
+        self.core.done.load(Ordering::Acquire)
+    }
+}
+
+unsafe extern "C" fn join_tramp(ctx: *mut Context, arg: *mut c_void) {
+    let core = arg as *const JoinCore;
+    // Park this continuation unless the child already finished.
+    // SAFETY: core outlives the join (the handle holds the Arc).
+    let parked = unsafe {
+        (*core)
+            .waiter
+            .compare_exchange(
+                WAITER_EMPTY,
+                ctx as u64,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    };
+    if !parked {
+        // Lost the race: the child sealed the slot. Continue immediately.
+        // SAFETY: our own just-saved context.
+        unsafe { resume_context(ctx) }
+    }
+    // Parked: find other work — local pop first, else the scheduler
+    // (which steals). Only Copy locals are live past this point.
+    let w = current();
+    // SAFETY: as in child_main.
+    let target = unsafe {
+        let wr = &*w;
+        match wr.shared.deques[wr.id].pop() {
+            Some(c) => c as *mut Context,
+            None => wr.sched_ctx,
+        }
+    };
+    unsafe { resume_context(target) }
+}
+
+/// The multi-worker runtime.
+pub struct Runtime {
+    nworkers: usize,
+    stack_size: usize,
+}
+
+impl Runtime {
+    /// A runtime with `nworkers` OS-thread workers.
+    pub fn new(nworkers: usize) -> Self {
+        assert!(nworkers >= 1);
+        Runtime {
+            nworkers,
+            stack_size: 128 << 10,
+        }
+    }
+
+    /// Override the per-task stack size (default 128 KiB).
+    pub fn with_stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = bytes;
+        self
+    }
+
+    /// Run `root` to completion (including everything it spawned and
+    /// joined) and return its result.
+    pub fn run<T, F>(&self, root: F) -> T
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let shared = Arc::new(Shared {
+            deques: (0..self.nworkers)
+                .map(|_| Arc::new(NativeDeque::new(8192)))
+                .collect(),
+            shutdown: AtomicBool::new(false),
+            live: AtomicU64::new(1), // the root
+            seed_task: Mutex::new(None),
+        });
+
+        let core = Arc::new(JoinCore::new());
+        let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let r2 = Arc::clone(&result);
+        let body: Box<dyn FnOnce() + Send> = Box::new(move || {
+            *r2.lock() = Some(root());
+        });
+        *shared.seed_task.lock() = Some(Box::new(Payload {
+            body: Some(body),
+            core: Arc::clone(&core),
+            stack: Some(Stack::new(self.stack_size)),
+        }));
+
+        let handles: Vec<_> = (0..self.nworkers)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                let stack_size = self.stack_size;
+                std::thread::Builder::new()
+                    .name(format!("uat-worker-{id}"))
+                    .spawn(move || worker_loop(id, shared, stack_size))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        // Wait for the root to finish, then for stragglers, then stop.
+        while !core.done.load(Ordering::Acquire) {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+        while shared.live.load(Ordering::Acquire) != 0 {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+        shared.shutdown.store(true, Ordering::Release);
+        for h in handles {
+            h.join().expect("worker thread");
+        }
+        let out = result.lock().take().expect("root set its result");
+        out
+    }
+}
+
+fn worker_loop(id: usize, shared: Arc<Shared>, stack_size: usize) {
+    let mut worker = Worker {
+        id,
+        shared: Arc::clone(&shared),
+        pool: StackPool::new(stack_size),
+        rng: SplitMix64::new(0x5EED ^ id as u64),
+        sched_ctx: std::ptr::null_mut(),
+        pending_retire: None,
+    };
+    let w: *mut Worker = &mut worker;
+    CURRENT.with(|c| c.set(w));
+
+    // Worker 0 seeds the root task.
+    if id == 0 {
+        let payload = shared.seed_task.lock().take().expect("seed present");
+        run_fresh(payload);
+    }
+
+    let n = shared.deques.len();
+    let mut idle_spins = 0u32;
+    loop {
+        collect_retired();
+        // Own deque first (ready waiters and un-stolen parents)...
+        let target = shared.deques[id].pop().or_else(|| {
+            // ...then random stealing.
+            if n == 1 {
+                return None;
+            }
+            // SAFETY: exclusive worker access on this thread.
+            let mut v = unsafe { (*w).rng.below(n as u64 - 1) as usize };
+            if v >= id {
+                v += 1;
+            }
+            shared.deques[v].steal()
+        });
+        match target {
+            Some(ctx) => {
+                idle_spins = 0;
+                run_ctx(ctx as *mut Context);
+            }
+            None => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                idle_spins = idle_spins.saturating_add(1);
+                if idle_spins > 64 {
+                    std::thread::sleep(std::time::Duration::from_micros(20));
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    CURRENT.with(|c| c.set(std::ptr::null_mut()));
+}
+
+/// Run a ready continuation, saving the scheduler's own context so tasks
+/// can bail back to this loop.
+fn run_ctx(target: *mut Context) {
+    // SAFETY: run_tramp diverges into `target`; the saved scheduler
+    // context is resumed exactly once (by whichever task runs out of
+    // local work on this worker).
+    unsafe {
+        save_context_and_call(std::ptr::null_mut(), run_tramp, target as *mut c_void);
+    }
+    collect_retired();
+}
+
+unsafe extern "C" fn run_tramp(sched_ctx: *mut Context, arg: *mut c_void) {
+    let w = current();
+    // SAFETY: exclusive worker access; borrow scoped.
+    unsafe {
+        (&mut *w).sched_ctx = sched_ctx;
+    }
+    // SAFETY: arg is a live continuation handed to us by the deque.
+    unsafe { resume_context(arg as *mut Context) }
+}
+
+/// Start a brand-new thread (no saved context yet) from the scheduler.
+fn run_fresh(payload: Box<Payload>) {
+    // SAFETY: fresh_tramp diverges into the task; scheduler context saved
+    // as in run_ctx.
+    unsafe {
+        save_context_and_call(
+            std::ptr::null_mut(),
+            fresh_tramp,
+            Box::into_raw(payload) as *mut c_void,
+        );
+    }
+    collect_retired();
+}
+
+unsafe extern "C" fn fresh_tramp(sched_ctx: *mut Context, arg: *mut c_void) {
+    let w = current();
+    // SAFETY: exclusive worker access; stack/top live in the payload.
+    let top = unsafe {
+        (&mut *w).sched_ctx = sched_ctx;
+        let payload = &*(arg as *mut Payload);
+        payload.stack.as_ref().expect("stack present").top()
+    };
+    // SAFETY: fresh stack, child_main diverges.
+    unsafe { switch_stack_and_call(top, child_main, arg) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_only() {
+        let rt = Runtime::new(1);
+        let out = rt.run(|| 40 + 2);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn spawn_join_single_worker() {
+        let rt = Runtime::new(1);
+        let out = rt.run(|| {
+            let a = spawn(|| 10);
+            let b = spawn(|| 20);
+            a.join() + b.join() + 12
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn nested_fib_single_worker() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let a = spawn(move || fib(n - 1));
+            let b = fib(n - 2);
+            a.join() + b
+        }
+        let rt = Runtime::new(1);
+        assert_eq!(rt.run(|| fib(15)), 610);
+    }
+
+    #[test]
+    fn fib_multi_worker() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let a = spawn(move || fib(n - 1));
+            let b = fib(n - 2);
+            a.join() + b
+        }
+        let rt = Runtime::new(3);
+        assert_eq!(rt.run(|| fib(18)), 2584);
+    }
+
+    #[test]
+    fn stealing_actually_happens() {
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+        let seen: Arc<StdMutex<HashSet<std::thread::ThreadId>>> =
+            Arc::new(StdMutex::new(HashSet::new()));
+        let seen2 = Arc::clone(&seen);
+        let rt = Runtime::new(4);
+        rt.run(move || {
+            fn tree(d: u32, seen: &Arc<StdMutex<HashSet<std::thread::ThreadId>>>) {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                if d == 0 {
+                    // Enough work that thieves get a window.
+                    let mut x = 0u64;
+                    for i in 0..20_000u64 {
+                        x = x.wrapping_add(std::hint::black_box(i));
+                    }
+                    std::hint::black_box(x);
+                    return;
+                }
+                let s1 = seen.clone();
+                let a = spawn(move || tree(d - 1, &s1));
+                tree(d - 1, seen);
+                a.join();
+            }
+            tree(7, &seen2);
+        });
+        let n = seen.lock().unwrap().len();
+        assert!(n >= 2, "work never spread beyond one worker (saw {n})");
+    }
+
+    #[test]
+    fn join_returns_moved_values() {
+        let rt = Runtime::new(2);
+        let out = rt.run(|| {
+            let h = spawn(|| vec![1u32, 2, 3]);
+            let mut v = h.join();
+            v.push(4);
+            v
+        });
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn many_sequential_spawns_recycle_stacks() {
+        let rt = Runtime::new(1);
+        let out = rt.run(|| {
+            let mut acc = 0u64;
+            for i in 0..2_000u64 {
+                acc += spawn(move || i).join();
+            }
+            acc
+        });
+        assert_eq!(out, 1999 * 2000 / 2);
+    }
+
+    #[test]
+    fn deep_spawn_chain() {
+        // Each level spawns one child and joins it: exercises suspended
+        // joins stacking up on the wait path.
+        fn chain(d: u64) -> u64 {
+            if d == 0 {
+                return 0;
+            }
+            spawn(move || chain(d - 1)).join() + 1
+        }
+        let rt = Runtime::new(2);
+        assert_eq!(rt.run(|| chain(500)), 500);
+    }
+}

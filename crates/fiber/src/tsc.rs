@@ -1,0 +1,80 @@
+//! Cycle counting with `rdtsc`/`rdtscp` — the unit of Table 2.
+
+use std::arch::x86_64::{__cpuid, _rdtsc, __rdtscp};
+
+/// Serialize, then read the timestamp counter (measurement start).
+#[inline]
+pub fn start() -> u64 {
+    unsafe {
+        // CPUID serializes the pipeline so earlier instructions cannot
+        // leak into the measured region.
+        let _ = __cpuid(0);
+        _rdtsc()
+    }
+}
+
+/// Read the timestamp counter with `rdtscp` (measurement end); the
+/// instruction waits for earlier instructions to retire.
+#[inline]
+pub fn stop() -> u64 {
+    unsafe {
+        let mut aux = 0u32;
+        let t = __rdtscp(&mut aux as *mut u32);
+        let _ = __cpuid(0);
+        t
+    }
+}
+
+/// Measure the mean cycles of one call to `f`, amortized over `batch`
+/// back-to-back calls, taking the minimum of `reps` batches (minimum
+/// filters scheduler noise, batching amortizes the fence overhead).
+pub fn measure<F: FnMut()>(mut f: F, batch: u64, reps: u64) -> f64 {
+    assert!(batch > 0 && reps > 0);
+    // Warm up caches and branch predictors.
+    for _ in 0..batch {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = start();
+        for _ in 0..batch {
+            f();
+        }
+        let t1 = stop();
+        let per = (t1.wrapping_sub(t0)) as f64 / batch as f64;
+        if per < best {
+            best = per;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotonic_enough() {
+        let a = start();
+        let b = stop();
+        assert!(b >= a, "tsc went backwards: {a} -> {b}");
+    }
+
+    #[test]
+    fn measure_scales_with_work() {
+        let short = measure(|| { std::hint::black_box(1 + 1); }, 1000, 20);
+        let long = measure(
+            || {
+                let mut x = 0u64;
+                for i in 0..100 {
+                    x = x.wrapping_add(std::hint::black_box(i));
+                }
+                std::hint::black_box(x);
+            },
+            1000,
+            20,
+        );
+        assert!(long > short, "short={short}, long={long}");
+        assert!((0.0..1_000.0).contains(&short), "short={short}");
+    }
+}

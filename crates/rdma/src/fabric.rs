@@ -1,0 +1,475 @@
+//! The fabric: registered memory + one-sided operations.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use uat_base::{CostModel, Cycles, Topology, WorkerId};
+
+/// Errors from fabric operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RdmaError {
+    /// The target range is not inside any registered (pinned) region.
+    NotRegistered {
+        /// Target process.
+        proc: WorkerId,
+        /// Faulting remote address.
+        addr: u64,
+    },
+    /// A new registration overlaps an existing one.
+    OverlappingRegistration {
+        /// Process attempting the registration.
+        proc: WorkerId,
+        /// Base of the new region.
+        addr: u64,
+    },
+    /// Atomic operations require 8-byte alignment.
+    Misaligned {
+        /// The unaligned address.
+        addr: u64,
+    },
+    /// Zero-length transfer.
+    ZeroLength,
+}
+
+impl fmt::Display for RdmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdmaError::NotRegistered { proc, addr } => {
+                write!(f, "address {addr:#x} on {proc} is not in a registered region")
+            }
+            RdmaError::OverlappingRegistration { proc, addr } => {
+                write!(f, "registration at {addr:#x} on {proc} overlaps an existing region")
+            }
+            RdmaError::Misaligned { addr } => {
+                write!(f, "atomic op on unaligned address {addr:#x}")
+            }
+            RdmaError::ZeroLength => write!(f, "zero-length transfer"),
+        }
+    }
+}
+
+impl std::error::Error for RdmaError {}
+
+/// The registered memory of one simulated process.
+///
+/// Regions are identified by their (simulated) base virtual address and
+/// back their bytes in an ordinary `Vec<u8>`. Registration implies the
+/// pages are pinned; the caller (uat-core) keeps the corresponding
+/// [`uat_vmem::AddressSpace`] in sync.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ProcMem {
+    regions: BTreeMap<u64, Vec<u8>>,
+}
+
+impl ProcMem {
+    fn locate(&self, addr: u64, len: usize) -> Option<(u64, usize)> {
+        let (&base, bytes) = self.regions.range(..=addr).next_back()?;
+        let off = (addr - base) as usize;
+        if off + len <= bytes.len() {
+            Some((base, off))
+        } else {
+            None
+        }
+    }
+
+    /// Read `buf.len()` bytes starting at `addr` (owner-side, zero cost).
+    pub fn read_local(&self, addr: u64, buf: &mut [u8]) -> Result<(), RdmaError> {
+        let (base, off) = self
+            .locate(addr, buf.len())
+            .ok_or(RdmaError::NotRegistered {
+                proc: WorkerId(u32::MAX),
+                addr,
+            })?;
+        buf.copy_from_slice(&self.regions[&base][off..off + buf.len()]);
+        Ok(())
+    }
+
+    /// Write `data` starting at `addr` (owner-side, zero cost).
+    pub fn write_local(&mut self, addr: u64, data: &[u8]) -> Result<(), RdmaError> {
+        let (base, off) = self
+            .locate(addr, data.len())
+            .ok_or(RdmaError::NotRegistered {
+                proc: WorkerId(u32::MAX),
+                addr,
+            })?;
+        self.regions.get_mut(&base).expect("located")[off..off + data.len()]
+            .copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Read a little-endian u64 (owner-side).
+    pub fn read_u64_local(&self, addr: u64) -> Result<u64, RdmaError> {
+        let mut b = [0u8; 8];
+        self.read_local(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Write a little-endian u64 (owner-side).
+    pub fn write_u64_local(&mut self, addr: u64, v: u64) -> Result<(), RdmaError> {
+        self.write_local(addr, &v.to_le_bytes())
+    }
+
+    /// Total registered bytes.
+    pub fn registered_bytes(&self) -> u64 {
+        self.regions.values().map(|v| v.len() as u64).sum()
+    }
+}
+
+/// Aggregate operation counters for a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricStats {
+    /// RDMA READ operations issued.
+    pub reads: u64,
+    /// RDMA WRITE operations issued.
+    pub writes: u64,
+    /// Remote fetch-and-add operations issued.
+    pub faas: u64,
+    /// Payload bytes moved by READs.
+    pub read_bytes: u64,
+    /// Payload bytes moved by WRITEs.
+    pub write_bytes: u64,
+    /// Cycles FAA requests spent queued behind a busy comm server
+    /// (contention visible in the `ablation_faa` experiment).
+    pub faa_queue_cycles: u64,
+}
+
+/// The simulated interconnect plus every process's registered memory.
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    topo: Topology,
+    cost: CostModel,
+    procs: Vec<ProcMem>,
+    /// Per-node comm-server busy-until instant (software FAA).
+    server_busy: Vec<Cycles>,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// A fabric connecting `topo.total_workers()` processes.
+    pub fn new(topo: Topology, cost: CostModel) -> Self {
+        let n = topo.total_workers() as usize;
+        Fabric {
+            procs: vec![ProcMem::default(); n],
+            server_busy: vec![Cycles::ZERO; topo.nodes as usize],
+            topo,
+            cost,
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// The machine topology.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Register `[addr, addr+len)` on `proc` as pinned, RDMA-accessible
+    /// memory, zero-initialized.
+    pub fn register(&mut self, proc: WorkerId, addr: u64, len: usize) -> Result<(), RdmaError> {
+        if len == 0 {
+            return Err(RdmaError::ZeroLength);
+        }
+        let mem = &mut self.procs[proc.index()];
+        let end = addr + len as u64;
+        let overlaps = mem
+            .regions
+            .range(..end)
+            .next_back()
+            .is_some_and(|(&b, v)| b + v.len() as u64 > addr);
+        if overlaps {
+            return Err(RdmaError::OverlappingRegistration { proc, addr });
+        }
+        mem.regions.insert(addr, vec![0; len]);
+        Ok(())
+    }
+
+    /// Owner-side view of a process's memory.
+    pub fn mem(&self, proc: WorkerId) -> &ProcMem {
+        &self.procs[proc.index()]
+    }
+
+    /// Owner-side mutable view of a process's memory.
+    pub fn mem_mut(&mut self, proc: WorkerId) -> &mut ProcMem {
+        &mut self.procs[proc.index()]
+    }
+
+    /// One-sided RDMA READ: copy `buf.len()` bytes from
+    /// `(target, remote_addr)` into `buf`. Returns the completion instant.
+    pub fn read(
+        &mut self,
+        now: Cycles,
+        initiator: WorkerId,
+        target: WorkerId,
+        remote_addr: u64,
+        buf: &mut [u8],
+    ) -> Result<Cycles, RdmaError> {
+        if buf.is_empty() {
+            return Err(RdmaError::ZeroLength);
+        }
+        self.procs[target.index()]
+            .read_local(remote_addr, buf)
+            .map_err(|_| RdmaError::NotRegistered {
+                proc: target,
+                addr: remote_addr,
+            })?;
+        self.stats.reads += 1;
+        self.stats.read_bytes += buf.len() as u64;
+        let intra = self.topo.same_node(initiator, target);
+        Ok(now + self.cost.rdma_read(buf.len(), intra))
+    }
+
+    /// One-sided RDMA WRITE: copy `data` to `(target, remote_addr)`.
+    /// Returns the instant the initiator observes completion.
+    pub fn write(
+        &mut self,
+        now: Cycles,
+        initiator: WorkerId,
+        target: WorkerId,
+        remote_addr: u64,
+        data: &[u8],
+    ) -> Result<Cycles, RdmaError> {
+        if data.is_empty() {
+            return Err(RdmaError::ZeroLength);
+        }
+        self.procs[target.index()]
+            .write_local(remote_addr, data)
+            .map_err(|_| RdmaError::NotRegistered {
+                proc: target,
+                addr: remote_addr,
+            })?;
+        self.stats.writes += 1;
+        self.stats.write_bytes += data.len() as u64;
+        let intra = self.topo.same_node(initiator, target);
+        Ok(now + self.cost.rdma_write(data.len(), intra))
+    }
+
+    /// Remote fetch-and-add on a little-endian u64.
+    ///
+    /// With the default (software) model the request is served by the
+    /// *target node's* comm server: the request notice travels to the
+    /// server, waits for the server to be free, is applied, and the reply
+    /// notice travels back. Returns `(previous value, completion instant)`.
+    /// The unloaded round trip is `2 × notice + service` = 9.8K cycles on
+    /// the FX10 profile; queueing delay is added on top and recorded in
+    /// [`FabricStats::faa_queue_cycles`].
+    pub fn fetch_add_u64(
+        &mut self,
+        now: Cycles,
+        _initiator: WorkerId,
+        target: WorkerId,
+        remote_addr: u64,
+        delta: u64,
+    ) -> Result<(u64, Cycles), RdmaError> {
+        if !remote_addr.is_multiple_of(8) {
+            return Err(RdmaError::Misaligned { addr: remote_addr });
+        }
+        let mem = &mut self.procs[target.index()];
+        let old = mem
+            .read_u64_local(remote_addr)
+            .map_err(|_| RdmaError::NotRegistered {
+                proc: target,
+                addr: remote_addr,
+            })?;
+        mem.write_u64_local(remote_addr, old.wrapping_add(delta))
+            .expect("readable address is writable");
+        self.stats.faas += 1;
+
+        let done = if self.cost.hardware_faa {
+            now + Cycles(self.cost.hardware_faa_latency)
+        } else {
+            let node = self.topo.node_of(target);
+            let arrival = now + Cycles(self.cost.faa_notice_latency);
+            let busy = &mut self.server_busy[node.index()];
+            let start = arrival.max(*busy);
+            self.stats.faa_queue_cycles += start.since(arrival).get();
+            let served = start + Cycles(self.cost.faa_service);
+            *busy = served;
+            served + Cycles(self.cost.faa_notice_latency)
+        };
+        Ok((old, done))
+    }
+
+    /// Convenience: remote read of a little-endian u64.
+    pub fn read_u64(
+        &mut self,
+        now: Cycles,
+        initiator: WorkerId,
+        target: WorkerId,
+        remote_addr: u64,
+    ) -> Result<(u64, Cycles), RdmaError> {
+        let mut b = [0u8; 8];
+        let done = self.read(now, initiator, target, remote_addr, &mut b)?;
+        Ok((u64::from_le_bytes(b), done))
+    }
+
+    /// Convenience: remote write of a little-endian u64.
+    pub fn write_u64(
+        &mut self,
+        now: Cycles,
+        initiator: WorkerId,
+        target: WorkerId,
+        remote_addr: u64,
+        v: u64,
+    ) -> Result<Cycles, RdmaError> {
+        self.write(now, initiator, target, remote_addr, &v.to_le_bytes())
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// Reset operation counters (between experiment phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = FabricStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric2() -> Fabric {
+        // Two nodes, two workers each.
+        Fabric::new(Topology::new(2, 2), CostModel::fx10())
+    }
+
+    const W0: WorkerId = WorkerId(0);
+    const W1: WorkerId = WorkerId(1);
+    const W2: WorkerId = WorkerId(2);
+
+    #[test]
+    fn read_write_roundtrip_moves_bytes() {
+        let mut f = fabric2();
+        f.register(W2, 0x1000, 256).unwrap();
+        let data = [0xab; 64];
+        let t1 = f.write(Cycles(100), W0, W2, 0x1040, &data).unwrap();
+        assert!(t1 > Cycles(100));
+        let mut buf = [0u8; 64];
+        let t2 = f.read(t1, W0, W2, 0x1040, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert!(t2 > t1);
+        // Untouched neighbours stay zero.
+        let mut b2 = [0u8; 8];
+        f.read(t2, W0, W2, 0x1000, &mut b2).unwrap();
+        assert_eq!(b2, [0; 8]);
+    }
+
+    #[test]
+    fn unregistered_access_fails() {
+        let mut f = fabric2();
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            f.read(Cycles::ZERO, W0, W1, 0x2000, &mut buf),
+            Err(RdmaError::NotRegistered { .. })
+        ));
+        f.register(W1, 0x2000, 16).unwrap();
+        // Straddling the end of the region fails too.
+        assert!(f.read(Cycles::ZERO, W0, W1, 0x200c, &mut buf).is_err());
+    }
+
+    #[test]
+    fn overlapping_registration_rejected() {
+        let mut f = fabric2();
+        f.register(W0, 0x1000, 4096).unwrap();
+        assert!(matches!(
+            f.register(W0, 0x1800, 16),
+            Err(RdmaError::OverlappingRegistration { .. })
+        ));
+        assert!(f.register(W0, 0x1000 + 4096, 16).is_ok(), "abutting ok");
+        // Same addresses on a different proc are independent.
+        assert!(f.register(W1, 0x1000, 4096).is_ok());
+    }
+
+    #[test]
+    fn faa_returns_previous_value() {
+        let mut f = fabric2();
+        f.register(W2, 0x3000, 64).unwrap();
+        f.mem_mut(W2).write_u64_local(0x3008, 41).unwrap();
+        let (old, done) = f.fetch_add_u64(Cycles(0), W0, W2, 0x3008, 1).unwrap();
+        assert_eq!(old, 41);
+        assert_eq!(f.mem(W2).read_u64_local(0x3008).unwrap(), 42);
+        // Unloaded software FAA = 9.8K cycles.
+        assert_eq!(done, Cycles(9_800));
+    }
+
+    #[test]
+    fn faa_misaligned_rejected() {
+        let mut f = fabric2();
+        f.register(W2, 0x3000, 64).unwrap();
+        assert!(matches!(
+            f.fetch_add_u64(Cycles(0), W0, W2, 0x3004, 1),
+            Err(RdmaError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn faa_contention_queues_at_comm_server() {
+        let mut f = fabric2();
+        f.register(W2, 0x3000, 64).unwrap();
+        // Two FAAs to the same node issued simultaneously: the second
+        // waits for the server.
+        let (_, d1) = f.fetch_add_u64(Cycles(0), W0, W2, 0x3000, 1).unwrap();
+        let (_, d2) = f.fetch_add_u64(Cycles(0), W1, W2, 0x3000, 1).unwrap();
+        assert_eq!(d1, Cycles(9_800));
+        assert_eq!(d2, Cycles(9_800 + 1_400), "queued behind one service");
+        assert_eq!(f.stats().faa_queue_cycles, 1_400);
+        // A different node's server is independent.
+        f.register(W0, 0x3000, 64).unwrap();
+        let (_, d3) = f.fetch_add_u64(Cycles(0), W2, W0, 0x3000, 1).unwrap();
+        assert_eq!(d3, Cycles(9_800));
+    }
+
+    #[test]
+    fn hardware_faa_ablation() {
+        let mut cost = CostModel::fx10();
+        cost.hardware_faa = true;
+        let mut f = Fabric::new(Topology::new(2, 2), cost);
+        f.register(W2, 0x3000, 64).unwrap();
+        let (_, d1) = f.fetch_add_u64(Cycles(0), W0, W2, 0x3000, 1).unwrap();
+        let (_, d2) = f.fetch_add_u64(Cycles(0), W1, W2, 0x3000, 1).unwrap();
+        assert_eq!(d1, Cycles(3_000));
+        assert_eq!(d2, Cycles(3_000), "NIC-side FAA does not serialize");
+    }
+
+    #[test]
+    fn intra_node_ops_are_faster() {
+        let mut f = fabric2();
+        f.register(W1, 0x1000, 64).unwrap();
+        f.register(W2, 0x1000, 64).unwrap();
+        let mut buf = [0u8; 32];
+        let intra = f.read(Cycles(0), W0, W1, 0x1000, &mut buf).unwrap();
+        let inter = f.read(Cycles(0), W0, W2, 0x1000, &mut buf).unwrap();
+        assert!(intra < inter);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut f = fabric2();
+        f.register(W1, 0x1000, 128).unwrap();
+        let mut buf = [0u8; 100];
+        f.read(Cycles(0), W0, W1, 0x1000, &mut buf).unwrap();
+        f.write(Cycles(0), W0, W1, 0x1000, &buf[..50]).unwrap();
+        f.fetch_add_u64(Cycles(0), W0, W1, 0x1000, 1).unwrap();
+        let s = f.stats();
+        assert_eq!((s.reads, s.writes, s.faas), (1, 1, 1));
+        assert_eq!(s.read_bytes, 100);
+        assert_eq!(s.write_bytes, 50);
+        f.reset_stats();
+        assert_eq!(f.stats(), FabricStats::default());
+    }
+
+    #[test]
+    fn local_access_helpers() {
+        let mut f = fabric2();
+        f.register(W0, 0x5000, 64).unwrap();
+        f.mem_mut(W0).write_u64_local(0x5010, 0xdead_beef).unwrap();
+        assert_eq!(f.mem(W0).read_u64_local(0x5010).unwrap(), 0xdead_beef);
+        assert!(f.mem(W0).read_u64_local(0x9000).is_err());
+        assert_eq!(f.mem(W0).registered_bytes(), 64);
+    }
+}

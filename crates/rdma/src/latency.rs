@@ -1,0 +1,100 @@
+//! Figure-9 latency model.
+//!
+//! Figure 9 of the paper plots RDMA READ and WRITE latency on FX10 against
+//! message size: flat (dominated by the round-trip base) for small
+//! messages, then linear in size once payload time exceeds the base. The
+//! model here is `base + size / bandwidth`, the standard LogGP-style
+//! first-order fit; `fig9_rdma_latency` regenerates the curve.
+
+use uat_base::{CostModel, Cycles};
+
+/// Which RDMA primitive a latency query is for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// RDMA READ (round trip: request + payload back).
+    Read,
+    /// RDMA WRITE (posted; completion observed at the initiator).
+    Write,
+}
+
+/// Thin view over the interconnect part of a [`CostModel`].
+#[derive(Clone, Debug)]
+pub struct LatencyModel {
+    cost: CostModel,
+}
+
+impl LatencyModel {
+    /// Wrap a cost model.
+    pub fn new(cost: CostModel) -> Self {
+        LatencyModel { cost }
+    }
+
+    /// Latency of `op` moving `bytes`, in cycles.
+    pub fn latency(&self, op: Op, bytes: usize, intra_node: bool) -> Cycles {
+        match op {
+            Op::Read => self.cost.rdma_read(bytes, intra_node),
+            Op::Write => self.cost.rdma_write(bytes, intra_node),
+        }
+    }
+
+    /// Latency in microseconds (the unit of Figure 9's y-axis).
+    pub fn latency_us(&self, op: Op, bytes: usize, intra_node: bool) -> f64 {
+        self.latency(op, bytes, intra_node).get() as f64 / self.cost.clock_hz * 1e6
+    }
+
+    /// The sweep of message sizes used by the Figure 9 harness: powers of
+    /// two from 8 B to 1 MiB.
+    pub fn fig9_sizes() -> Vec<usize> {
+        (3..=20).map(|p| 1usize << p).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_messages_are_latency_bound() {
+        let m = LatencyModel::new(CostModel::fx10());
+        let l8 = m.latency(Op::Read, 8, false);
+        let l256 = m.latency(Op::Read, 256, false);
+        // Under 256 B the curve is essentially flat (< 3% growth).
+        let growth = (l256.get() - l8.get()) as f64 / l8.get() as f64;
+        assert!(growth < 0.03, "growth {growth}");
+    }
+
+    #[test]
+    fn large_messages_are_bandwidth_bound() {
+        let m = LatencyModel::new(CostModel::fx10());
+        let a = m.latency(Op::Read, 1 << 19, false).get() as f64;
+        let b = m.latency(Op::Read, 1 << 20, false).get() as f64;
+        // Doubling the size should nearly double the latency.
+        assert!((b / a - 2.0).abs() < 0.1, "ratio {}", b / a);
+    }
+
+    #[test]
+    fn write_cheaper_than_read() {
+        // Posted writes avoid the response payload leg; Figure 9 shows
+        // WRITE below READ at every size.
+        let m = LatencyModel::new(CostModel::fx10());
+        for &sz in &LatencyModel::fig9_sizes() {
+            assert!(m.latency(Op::Write, sz, false) < m.latency(Op::Read, sz, false));
+        }
+    }
+
+    #[test]
+    fn microsecond_conversion() {
+        let m = LatencyModel::new(CostModel::fx10());
+        let us = m.latency_us(Op::Read, 8, false);
+        // 4.9K cycles at 1.848 GHz ≈ 2.65 µs, the right order for Tofu.
+        assert!(us > 1.0 && us < 5.0, "{us} µs");
+    }
+
+    #[test]
+    fn fig9_sweep_shape() {
+        let sizes = LatencyModel::fig9_sizes();
+        assert_eq!(sizes.first(), Some(&8));
+        assert_eq!(sizes.last(), Some(&(1 << 20)));
+        assert!(sizes.windows(2).all(|w| w[1] == w[0] * 2));
+    }
+}

@@ -1,0 +1,32 @@
+//! Simulated virtual memory.
+//!
+//! Section 4 of the paper argues that iso-address thread migration is
+//! unscalable because of how it uses *virtual memory*: every node must
+//! reserve the stack addresses of every worker in the system (2^49 bytes in
+//! the paper's example — more than x86-64's 2^48 VA space), physical pages
+//! are committed on first touch as stacks migrate, and RDMA requires pinned
+//! pages which cannot cover such a reservation. To *quantify* those claims
+//! we model an OS-level address space per simulated process:
+//!
+//! - [`AddressSpace::reserve`] / [`AddressSpace::reserve_at`] create
+//!   reservations (like `mmap(PROT_NONE)`), consuming VA space only;
+//! - [`AddressSpace::touch`] simulates access: each first touch of a page
+//!   commits a physical page and counts a page fault (21K cycles on
+//!   SPARC64IXfx, charged by the caller via the cost model);
+//! - [`AddressSpace::pin`] commits and pins pages for RDMA registration;
+//! - accounting reports reserved / committed / pinned bytes and fault
+//!   counts, which the `iso_vs_uni` experiment turns into the paper's
+//!   Section 4 numbers.
+//!
+//! The [`RegionAllocator`] provides the `pinned_malloc`-style variable-size
+//! allocator (Figure 8) used for the RDMA region that hosts suspended
+//! stacks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod space;
+
+pub use alloc::RegionAllocator;
+pub use space::{AddressSpace, MemStats, Reservation, VmemError, PAGE_SIZE};

@@ -1,0 +1,103 @@
+//! Property tests: the simulated address space against a flat reference
+//! model of page states.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use uat_vmem::{AddressSpace, VmemError, PAGE_SIZE};
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Page {
+    Reserved,
+    Committed,
+    Pinned,
+}
+
+proptest! {
+    /// Random reserve/touch/pin sequences agree with a naive page map on
+    /// fault counts and accounting totals.
+    #[test]
+    fn matches_reference_model(
+        ops in proptest::collection::vec((0u8..3, 0u64..64, 1u64..5), 1..120)
+    ) {
+        let mut space = AddressSpace::new();
+        let base_region = space.reserve(64 * PAGE_SIZE).unwrap();
+        let mut model: HashMap<u64, Page> = (0..64)
+            .map(|i| (base_region.base / PAGE_SIZE + i, Page::Reserved))
+            .collect();
+        let mut model_faults = 0u64;
+
+        for (kind, page, pages) in ops {
+            let page = page.min(63);
+            let pages = pages.min(64 - page);
+            let addr = base_region.base + page * PAGE_SIZE;
+            let len = pages * PAGE_SIZE;
+            match kind {
+                0 => {
+                    let faults = space.touch(addr, len).unwrap();
+                    let mut expect = 0;
+                    for p in 0..pages {
+                        let key = addr / PAGE_SIZE + p;
+                        if model[&key] == Page::Reserved {
+                            expect += 1;
+                            model.insert(key, Page::Committed);
+                        }
+                    }
+                    prop_assert_eq!(faults, expect);
+                    model_faults += expect;
+                }
+                1 => {
+                    space.pin(addr, len).unwrap();
+                    for p in 0..pages {
+                        model.insert(addr / PAGE_SIZE + p, Page::Pinned);
+                    }
+                }
+                _ => {
+                    let pinned = space.is_pinned(addr, len);
+                    let expect = (0..pages)
+                        .all(|p| model[&(addr / PAGE_SIZE + p)] == Page::Pinned);
+                    prop_assert_eq!(pinned, expect);
+                }
+            }
+            let s = space.stats();
+            let committed = model.values().filter(|&&p| p != Page::Reserved).count() as u64;
+            let pinned = model.values().filter(|&&p| p == Page::Pinned).count() as u64;
+            prop_assert_eq!(s.committed, committed * PAGE_SIZE);
+            prop_assert_eq!(s.pinned, pinned * PAGE_SIZE);
+            prop_assert_eq!(s.faults, model_faults);
+        }
+    }
+
+    /// Reservations never overlap and releases return every byte.
+    #[test]
+    fn reservations_partition_space(sizes in proptest::collection::vec(1u64..(1 << 20), 1..40)) {
+        let mut space = AddressSpace::new();
+        let mut held = Vec::new();
+        for sz in &sizes {
+            let r = space.reserve(*sz).unwrap();
+            for other in &held {
+                let o: &uat_vmem::Reservation = other;
+                prop_assert!(r.end() <= o.base || o.end() <= r.base, "overlap");
+            }
+            held.push(r);
+        }
+        let total: u64 = held.iter().map(|r| r.len).sum();
+        prop_assert_eq!(space.stats().reserved, total);
+        for r in held {
+            space.release(r).unwrap();
+        }
+        prop_assert_eq!(space.stats().reserved, 0);
+        prop_assert_eq!(space.stats().committed, 0);
+    }
+
+    /// Touching unreserved space is always an error and changes nothing.
+    #[test]
+    fn unmapped_touch_rejected(addr in (1u64 << 40)..(1u64 << 41), len in 1u64..4096) {
+        let mut space = AddressSpace::new();
+        space.reserve(PAGE_SIZE).unwrap();
+        let before = space.stats();
+        let r = space.touch(addr, len);
+        let unmapped = matches!(r, Err(VmemError::Unmapped { .. }));
+        prop_assert!(unmapped);
+        prop_assert_eq!(space.stats(), before);
+    }
+}

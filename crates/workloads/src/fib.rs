@@ -1,0 +1,92 @@
+//! Naive Fibonacci — the paper's Figure 1 fork-join example.
+//!
+//! Used by the quickstart example and as a second fine-grained stressor
+//! (its task tree is the classic Cilk microbenchmark shape).
+
+use uat_cluster::{Action, Workload};
+
+/// The `fib(n)` workload of Figure 1 (fork-join form).
+#[derive(Clone, Debug)]
+pub struct Fib {
+    /// Argument to `fib`.
+    pub n: u32,
+    /// Cycles of work per task (the add + call glue).
+    pub work: u64,
+    /// Frame bytes per task.
+    pub frame: u64,
+}
+
+impl Fib {
+    /// `fib(n)` with small default frames.
+    pub fn new(n: u32) -> Self {
+        Fib {
+            n,
+            work: 20,
+            frame: 320,
+        }
+    }
+
+    /// The Fibonacci number itself (for result checks).
+    pub fn value(&self) -> u64 {
+        let (mut a, mut b) = (0u64, 1u64);
+        for _ in 0..self.n {
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        a
+    }
+
+    /// Number of tasks the naive recursion spawns: `2·fib(n+1) - 1`.
+    pub fn expected_tasks(&self) -> u64 {
+        2 * Fib::new(self.n + 1).value() - 1
+    }
+}
+
+impl Workload for Fib {
+    type Desc = u32;
+
+    fn root(&self) -> u32 {
+        self.n
+    }
+
+    fn program(&self, d: &u32, out: &mut Vec<Action<u32>>) {
+        out.push(Action::Work(self.work));
+        if *d >= 2 {
+            out.push(Action::Spawn(*d - 1));
+            out.push(Action::Spawn(*d - 2));
+            out.push(Action::JoinAll);
+        }
+    }
+
+    fn frame_size(&self, _d: &u32) -> u64 {
+        self.frame
+    }
+
+    fn name(&self) -> String {
+        format!("fib({})", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uat_cluster::workload::sequential_profile;
+
+    #[test]
+    fn values() {
+        assert_eq!(Fib::new(0).value(), 0);
+        assert_eq!(Fib::new(1).value(), 1);
+        assert_eq!(Fib::new(10).value(), 55);
+        assert_eq!(Fib::new(30).value(), 832_040);
+    }
+
+    #[test]
+    fn task_count_formula() {
+        for n in 0..12 {
+            let w = Fib::new(n);
+            let p = sequential_profile(&w);
+            assert_eq!(p.tasks, w.expected_tasks(), "n={n}");
+        }
+    }
+}

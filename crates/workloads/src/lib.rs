@@ -1,0 +1,39 @@
+//! The paper's benchmark workloads (Section 6.1).
+//!
+//! - [`Btc`] — Binary Task Creation: each task repeats `iter` times:
+//!   spawn two children, join them. Pure task-management stress; the
+//!   paper's Figure 11(a,b) and Table 4 rows 1-4.
+//! - [`Uts`] — Unbalanced Tree Search: traversal of an unpredictable
+//!   geometric tree whose node identities derive from a from-scratch
+//!   [`sha1`] implementation (the UTS splittable RNG). Figure 11(c).
+//! - [`NQueens`] — BOTS-style N-queens enumeration. Figure 11(d).
+//! - [`Fib`] — the didactic Figure 1 example, used by the quickstart.
+//!
+//! UTS and NQueens use the binary divide-and-conquer loop splitting the
+//! paper describes ("we modified them to an efficient divide-and-conquer
+//! traversal over loops in which each task generates zero or two
+//! subtasks", Section 6.1): tasks over a range of children split in two
+//! until singletons. Helper (split) tasks report zero [`units`] so
+//! throughput counts tree *nodes*, as the paper plots.
+//!
+//! Frame sizes are calibrated to Table 4's per-level stack growth (see
+//! each type's docs); EXPERIMENTS.md records the paper-vs-measured
+//! comparison.
+//!
+//! [`units`]: uat_cluster::Workload::units
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod btc;
+pub mod chain;
+pub mod fib;
+pub mod nqueens;
+pub mod sha1;
+pub mod uts;
+
+pub use btc::Btc;
+pub use chain::Chain;
+pub use fib::Fib;
+pub use nqueens::NQueens;
+pub use uts::Uts;

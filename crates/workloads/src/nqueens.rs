@@ -1,0 +1,275 @@
+//! NQueens (BOTS-style) — count placements of N queens on an N×N board.
+//!
+//! The task tree explores partial placements row by row; a task's
+//! children are the safe columns of the next row. As in the paper
+//! (Section 6.1), the per-row child loop is converted to binary
+//! divide-and-conquer so each task spawns zero or two subtasks. Solutions
+//! are *counted* structurally (leaf tasks at row N); the engine's unit
+//! accounting reports explored positions, the paper's "nodes".
+//!
+//! Frame calibration (Table 4): one board row adds ≈4,848 bytes of
+//! uni-address region (74,272 → 79,120 bytes for N=17 → 18), split as
+//! one node frame plus ≈3 split frames per row.
+
+use uat_cluster::{Action, Workload};
+
+/// Frame bytes of a placement task.
+pub const NQ_NODE_FRAME: u64 = 1_968;
+/// Frame bytes of a split task.
+pub const NQ_SPLIT_FRAME: u64 = 960;
+
+/// A partial placement: `row` queens placed, attack sets as bitmasks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Board {
+    /// Rows filled so far.
+    pub row: u32,
+    /// Columns already used.
+    pub cols: u32,
+    /// "/" diagonals under attack (shifted left per row).
+    pub diag1: u64,
+    /// "\" diagonals under attack (shifted right per row).
+    pub diag2: u64,
+}
+
+impl Board {
+    /// The empty board.
+    pub fn empty() -> Self {
+        Board {
+            row: 0,
+            cols: 0,
+            diag1: 0,
+            diag2: 0,
+        }
+    }
+
+    /// Bitmask of safe columns for the next row on an `n`-wide board.
+    pub fn safe_columns(&self, n: u32) -> u32 {
+        let all = (1u32 << n) - 1;
+        all & !(self.cols | (self.diag1 as u32) | (self.diag2 as u32))
+    }
+
+    /// The board after placing a queen at `col` of the next row.
+    pub fn place(&self, col: u32) -> Board {
+        let bit = 1u64 << col;
+        Board {
+            row: self.row + 1,
+            cols: self.cols | bit as u32,
+            diag1: ((self.diag1 | bit) << 1) & 0xffff_ffff,
+            diag2: (self.diag2 | bit) >> 1,
+        }
+    }
+}
+
+/// A task: expand a placement, or split a candidate-column set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NqDesc {
+    /// Expand the placement `board`.
+    Node(Board),
+    /// Spawn placements of `board` for the candidate columns in `mask`.
+    Split {
+        /// The placement being extended.
+        board: Board,
+        /// Remaining candidate columns.
+        mask: u32,
+    },
+}
+
+/// The NQueens workload.
+#[derive(Clone, Debug)]
+pub struct NQueens {
+    /// Board size.
+    pub n: u32,
+    /// Cycles per node expansion (the real benchmark's per-position
+    /// work; calibrated so cycles/node lands near the paper's ≈38K).
+    pub work_per_node: u64,
+}
+
+impl NQueens {
+    /// Standard configuration for board size `n`.
+    pub fn new(n: u32) -> Self {
+        assert!((1..=28).contains(&n), "board size out of range");
+        NQueens {
+            n,
+            work_per_node: 35_000,
+        }
+    }
+
+    /// Sequentially count solutions (ground truth for tests).
+    pub fn solutions(&self) -> u64 {
+        fn go(b: Board, n: u32) -> u64 {
+            if b.row == n {
+                return 1;
+            }
+            let mut mask = b.safe_columns(n);
+            let mut total = 0;
+            while mask != 0 {
+                let col = mask.trailing_zeros();
+                mask &= mask - 1;
+                total += go(b.place(col), n);
+            }
+            total
+        }
+        go(Board::empty(), self.n)
+    }
+}
+
+impl Workload for NQueens {
+    type Desc = NqDesc;
+
+    fn root(&self) -> NqDesc {
+        NqDesc::Node(Board::empty())
+    }
+
+    fn program(&self, d: &NqDesc, out: &mut Vec<Action<NqDesc>>) {
+        match *d {
+            NqDesc::Node(board) => {
+                out.push(Action::Work(self.work_per_node));
+                if board.row == self.n {
+                    return; // a solution; leaf
+                }
+                let mask = board.safe_columns(self.n);
+                match mask.count_ones() {
+                    0 => {}
+                    1 => {
+                        out.push(Action::Spawn(NqDesc::Node(
+                            board.place(mask.trailing_zeros()),
+                        )));
+                        out.push(Action::JoinAll);
+                    }
+                    _ => {
+                        let (a, b) = split_mask(mask);
+                        out.push(Action::Spawn(NqDesc::Split { board, mask: a }));
+                        out.push(Action::Spawn(NqDesc::Split { board, mask: b }));
+                        out.push(Action::JoinAll);
+                    }
+                }
+            }
+            NqDesc::Split { board, mask } => {
+                debug_assert!(mask != 0);
+                if mask.count_ones() == 1 {
+                    out.push(Action::Spawn(NqDesc::Node(
+                        board.place(mask.trailing_zeros()),
+                    )));
+                } else {
+                    let (a, b) = split_mask(mask);
+                    out.push(Action::Spawn(NqDesc::Split { board, mask: a }));
+                    out.push(Action::Spawn(NqDesc::Split { board, mask: b }));
+                }
+                out.push(Action::JoinAll);
+            }
+        }
+    }
+
+    fn frame_size(&self, d: &NqDesc) -> u64 {
+        match d {
+            NqDesc::Node(_) => NQ_NODE_FRAME,
+            NqDesc::Split { .. } => NQ_SPLIT_FRAME,
+        }
+    }
+
+    fn units(&self, d: &NqDesc) -> u64 {
+        match d {
+            NqDesc::Node(_) => 1,
+            NqDesc::Split { .. } => 0,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("NQueens(N={})", self.n)
+    }
+}
+
+/// Split a bitmask into two halves of (nearly) equal popcount.
+fn split_mask(mask: u32) -> (u32, u32) {
+    let half = mask.count_ones() / 2;
+    let mut a = 0u32;
+    let mut rest = mask;
+    for _ in 0..half {
+        let bit = 1 << rest.trailing_zeros();
+        a |= bit;
+        rest &= !bit;
+    }
+    (a, rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uat_cluster::workload::sequential_profile;
+
+    #[test]
+    fn known_solution_counts() {
+        // OEIS A000170.
+        assert_eq!(NQueens::new(1).solutions(), 1);
+        assert_eq!(NQueens::new(4).solutions(), 2);
+        assert_eq!(NQueens::new(6).solutions(), 4);
+        assert_eq!(NQueens::new(8).solutions(), 92);
+        assert_eq!(NQueens::new(10).solutions(), 724);
+    }
+
+    #[test]
+    fn task_tree_explores_all_positions() {
+        // Units = explored placements (internal + leaves). For N=6 the
+        // tree has a known node count: count them independently.
+        fn count(b: Board, n: u32) -> u64 {
+            let mut total = 1;
+            if b.row < n {
+                let mut mask = b.safe_columns(n);
+                while mask != 0 {
+                    let col = mask.trailing_zeros();
+                    mask &= mask - 1;
+                    total += count(b.place(col), n);
+                }
+            }
+            total
+        }
+        let w = NQueens::new(6);
+        let p = sequential_profile(&w);
+        assert_eq!(p.units, count(Board::empty(), 6));
+        assert!(p.tasks > p.units, "split helpers exist");
+    }
+
+    #[test]
+    fn split_mask_partitions() {
+        for mask in [0b1u32, 0b11, 0b1011, 0b1111_0101, u32::MAX] {
+            let (a, b) = split_mask(mask);
+            assert_eq!(a | b, mask);
+            assert_eq!(a & b, 0);
+            if mask.count_ones() >= 2 {
+                assert!(a != 0 && b != 0);
+                let diff =
+                    (a.count_ones() as i64 - b.count_ones() as i64).unsigned_abs();
+                assert!(diff <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn board_mechanics() {
+        let b = Board::empty().place(0);
+        assert_eq!(b.row, 1);
+        // Column 0 and both its diagonals are now blocked in row 1.
+        let safe = b.safe_columns(4);
+        assert_eq!(safe & 0b0011, 0, "col 0 and diag col 1 blocked");
+        assert_ne!(safe & 0b0100, 0, "col 2 free");
+    }
+
+    #[test]
+    fn tasks_spawn_at_most_two() {
+        let w = NQueens::new(8);
+        let mut prog = Vec::new();
+        w.program(&w.root(), &mut prog);
+        let spawns = prog
+            .iter()
+            .filter(|a| matches!(a, Action::Spawn(_)))
+            .count();
+        assert!(spawns <= 2, "divide-and-conquer caps fanout at two");
+    }
+
+    #[test]
+    fn row_frame_delta_matches_table4() {
+        // One row ≈ node + 3 splits (≈8 candidates → split depth 3).
+        let per_row = NQ_NODE_FRAME + 3 * NQ_SPLIT_FRAME;
+        assert!((per_row as f64 / 4_848.0 - 1.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,309 @@
+//! Unbalanced Tree Search (UTS) [Olivier et al., LCPC'06].
+//!
+//! A node's identity is its SHA-1 descriptor; its child count is drawn
+//! from a geometric distribution keyed by that descriptor, so the tree is
+//! deterministic yet unpredictable and *highly* unbalanced — the
+//! benchmark for dynamic load balancing. The paper runs the geometric
+//! tree `-t 1 -r 0 -b 4 -a 3 -d {17,18}`: branching factor 4, fixed
+//! shape, cutoff depth 17/18 (nodes at the cutoff are leaves).
+//!
+//! Like the paper (Section 6.1) we convert the child loop into a binary
+//! divide-and-conquer: a node task with `k ≥ 2` children spawns two
+//! *split* tasks over the child-index range, which split recursively
+//! until singletons — "each task generates zero or two subtasks". Split
+//! tasks report zero units so throughput counts tree nodes.
+//!
+//! Child counts follow a geometric distribution conditioned to `0..=4`
+//! (P(k) ∝ q^k) with `q` chosen so the expected branching stays near the
+//! paper's b=4 regime while keeping scaled trees finite below the
+//! cutoff; the exact UTS constant differs (documented in EXPERIMENTS.md)
+//! but the unbalance structure — the property under test — is the same.
+//!
+//! Frame sizes are calibrated to Table 4: one tree level adds ≈7,856
+//! bytes of uni-address region (139,536 → 147,392 bytes for d=17 → 18),
+//! split as one node frame plus two split frames per level.
+
+use crate::sha1::{digest_u64, uts_child, uts_root, Digest};
+use uat_cluster::{Action, Workload};
+
+/// Frame bytes of a node task (Table 4 calibration).
+pub const UTS_NODE_FRAME: u64 = 3_928;
+/// Frame bytes of a split task.
+pub const UTS_SPLIT_FRAME: u64 = 1_964;
+
+/// A UTS task: a tree node or a split over a node's child range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UtsDesc {
+    /// Evaluate a tree node.
+    Node {
+        /// SHA-1 descriptor of the node.
+        digest: Digest,
+        /// Depth below the root.
+        depth: u32,
+    },
+    /// Spawn children `lo..hi` of the node with `digest`.
+    Split {
+        /// Parent node descriptor.
+        digest: Digest,
+        /// Parent depth.
+        depth: u32,
+        /// First child index.
+        lo: u32,
+        /// One past the last child index.
+        hi: u32,
+    },
+}
+
+/// The UTS workload (geometric tree, fixed shape).
+#[derive(Clone, Debug)]
+pub struct Uts {
+    /// Root seed (`-r`).
+    pub seed: u32,
+    /// Cutoff depth (`-d`): nodes at this depth are leaves.
+    pub cutoff: u32,
+    /// Maximum children per node (`-b`).
+    pub max_children: u32,
+    /// Geometric ratio numerator/2^16: P(k) ∝ (q/65536)^k.
+    pub q16: u32,
+    /// Cycles of work per node evaluation (the SHA-1 + bookkeeping of
+    /// the real benchmark; calibrated so cycles/node lands near the
+    /// paper's ≈4.6K).
+    pub work_per_node: u64,
+}
+
+impl Uts {
+    /// The paper's configuration shape at a given cutoff depth:
+    /// `-t 1 -r 0 -b 4 -a 3 -d cutoff`.
+    pub fn geometric(cutoff: u32) -> Self {
+        Uts {
+            seed: 0,
+            cutoff,
+            max_children: 4,
+            // q = 2.0 in fixed point: truncated-geometric mean ≈ 3.16,
+            // giving ~3x growth per level.
+            q16: 2 << 16,
+            work_per_node: 3_000,
+        }
+    }
+
+    /// Child count of the node with this digest: truncated geometric
+    /// P(k) ∝ q^k over `0..=max_children`, keyed by the digest.
+    pub fn num_children(&self, digest: &Digest, depth: u32) -> u32 {
+        if depth >= self.cutoff {
+            return 0;
+        }
+        let q = self.q16 as f64 / 65536.0;
+        // Cumulative weights of q^k, k = 0..=m.
+        let m = self.max_children;
+        let mut total = 0.0;
+        let mut wk = 1.0;
+        for _ in 0..=m {
+            total += wk;
+            wk *= q;
+        }
+        let u = (digest_u64(digest) >> 11) as f64 / (1u64 << 53) as f64 * total;
+        let mut acc = 0.0;
+        let mut wk = 1.0;
+        for k in 0..=m {
+            acc += wk;
+            if u < acc {
+                return k;
+            }
+            wk *= q;
+        }
+        m
+    }
+}
+
+impl Workload for Uts {
+    type Desc = UtsDesc;
+
+    fn root(&self) -> UtsDesc {
+        UtsDesc::Node {
+            digest: uts_root(self.seed),
+            depth: 0,
+        }
+    }
+
+    fn program(&self, d: &UtsDesc, out: &mut Vec<Action<UtsDesc>>) {
+        match d {
+            UtsDesc::Node { digest, depth } => {
+                out.push(Action::Work(self.work_per_node));
+                let k = self.num_children(digest, *depth);
+                match k {
+                    0 => {}
+                    1 => {
+                        out.push(Action::Spawn(UtsDesc::Node {
+                            digest: uts_child(digest, 0),
+                            depth: depth + 1,
+                        }));
+                        out.push(Action::JoinAll);
+                    }
+                    _ => {
+                        let mid = k / 2;
+                        out.push(Action::Spawn(UtsDesc::Split {
+                            digest: *digest,
+                            depth: *depth,
+                            lo: 0,
+                            hi: mid,
+                        }));
+                        out.push(Action::Spawn(UtsDesc::Split {
+                            digest: *digest,
+                            depth: *depth,
+                            lo: mid,
+                            hi: k,
+                        }));
+                        out.push(Action::JoinAll);
+                    }
+                }
+            }
+            UtsDesc::Split {
+                digest,
+                depth,
+                lo,
+                hi,
+            } => {
+                debug_assert!(lo < hi);
+                if hi - lo == 1 {
+                    // Singleton: become the child node's spawner.
+                    out.push(Action::Spawn(UtsDesc::Node {
+                        digest: uts_child(digest, *lo),
+                        depth: depth + 1,
+                    }));
+                } else {
+                    let mid = lo + (hi - lo) / 2;
+                    out.push(Action::Spawn(UtsDesc::Split {
+                        digest: *digest,
+                        depth: *depth,
+                        lo: *lo,
+                        hi: mid,
+                    }));
+                    out.push(Action::Spawn(UtsDesc::Split {
+                        digest: *digest,
+                        depth: *depth,
+                        lo: mid,
+                        hi: *hi,
+                    }));
+                }
+                out.push(Action::JoinAll);
+            }
+        }
+    }
+
+    fn frame_size(&self, d: &UtsDesc) -> u64 {
+        match d {
+            UtsDesc::Node { .. } => UTS_NODE_FRAME,
+            UtsDesc::Split { .. } => UTS_SPLIT_FRAME,
+        }
+    }
+
+    fn units(&self, d: &UtsDesc) -> u64 {
+        match d {
+            UtsDesc::Node { .. } => 1,
+            UtsDesc::Split { .. } => 0,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("UTS(geo, d={})", self.cutoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uat_cluster::workload::sequential_profile;
+
+    #[test]
+    fn tree_is_deterministic() {
+        let a = sequential_profile(&Uts::geometric(6));
+        let b = sequential_profile(&Uts::geometric(6));
+        assert_eq!(a, b);
+        // A different seed gives a different tree.
+        let mut w = Uts::geometric(6);
+        w.seed = 1;
+        assert_ne!(sequential_profile(&w).units, a.units);
+    }
+
+    #[test]
+    fn tree_grows_roughly_geometrically() {
+        let d5 = sequential_profile(&Uts::geometric(5)).units as f64;
+        let d8 = sequential_profile(&Uts::geometric(8)).units as f64;
+        let growth = (d8 / d5).powf(1.0 / 3.0);
+        assert!(
+            growth > 2.0 && growth < 4.5,
+            "per-level growth {growth} should sit near the b=4 regime"
+        );
+    }
+
+    #[test]
+    fn tree_is_unbalanced() {
+        // Subtree sizes under the root's children should differ a lot —
+        // that is the point of UTS.
+        let w = Uts::geometric(8);
+        let root = uts_root(0);
+        let k = w.num_children(&root, 0);
+        assert!(k >= 2, "root should branch (got {k})");
+        let mut sizes = Vec::new();
+        for c in 0..k {
+            let mut sub = w.clone();
+            sub.seed = 0;
+            // Count the subtree by walking from the child.
+            let mut stack = vec![(uts_child(&root, c), 1u32)];
+            let mut count = 0u64;
+            while let Some((d, depth)) = stack.pop() {
+                count += 1;
+                for i in 0..sub.num_children(&d, depth) {
+                    stack.push((uts_child(&d, i), depth + 1));
+                }
+            }
+            sizes.push(count);
+        }
+        let min = *sizes.iter().min().unwrap() as f64;
+        let max = *sizes.iter().max().unwrap() as f64;
+        assert!(max / min > 1.5, "subtree sizes {sizes:?} look too balanced");
+    }
+
+    #[test]
+    fn units_count_nodes_not_splits() {
+        let w = Uts::geometric(4);
+        let p = sequential_profile(&w);
+        assert!(p.tasks > p.units, "split tasks exist but do not count");
+        assert!(p.units > 10);
+    }
+
+    #[test]
+    fn split_tasks_spawn_at_most_two() {
+        let w = Uts::geometric(4);
+        let mut prog = Vec::new();
+        w.program(
+            &UtsDesc::Split {
+                digest: uts_root(0),
+                depth: 0,
+                lo: 0,
+                hi: 4,
+            },
+            &mut prog,
+        );
+        let spawns = prog
+            .iter()
+            .filter(|a| matches!(a, Action::Spawn(_)))
+            .count();
+        assert_eq!(spawns, 2);
+    }
+
+    #[test]
+    fn cutoff_caps_depth() {
+        let w = Uts::geometric(3);
+        let d = uts_root(0);
+        assert_eq!(w.num_children(&d, 3), 0);
+        assert_eq!(w.num_children(&d, 99), 0);
+    }
+
+    #[test]
+    fn per_level_frames_match_table4_delta() {
+        // One tree level ≈ node + 2 splits (b=4 → split depth 2).
+        let per_level = UTS_NODE_FRAME + 2 * UTS_SPLIT_FRAME;
+        assert!((per_level as f64 / 7_856.0 - 1.0).abs() < 0.01);
+    }
+}

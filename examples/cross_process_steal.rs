@@ -1,0 +1,47 @@
+//! The paper's mechanism, for real, on this machine: steal a *started*
+//! native thread from another process.
+//!
+//! - two processes (fork) = two address spaces, each with the
+//!   uni-address region at the same fixed virtual address;
+//! - the victim starts a thread on its region, builds pointer-bearing
+//!   stack state, spawns a child, and its continuation becomes
+//!   stealable through a shared-memory task-queue slot;
+//! - this process locks the slot, copies the victim's live frames with
+//!   `process_vm_readv` (one-sided: the victim's code is not involved —
+//!   the RDMA READ of Figure 6), and `resume_context`s the thread at
+//!   its original addresses;
+//! - the thread keeps running here, dereferencing the intra-stack
+//!   pointer it created in the other process.
+//!
+//! Run: `cargo run --release --example cross_process_steal`
+
+use uni_address_threads::fiber::ipc;
+
+fn main() {
+    println!("uni-address region: {:#x} (+{} KiB), same VA in both processes", ipc::UNI_BASE, ipc::UNI_SIZE >> 10);
+    match ipc::steal_between_processes() {
+        Ok(out) => {
+            println!(
+                "stole a running thread: transferred {} bytes of live frames \
+                 via process_vm_readv, resumed it here",
+                out.frames_bytes
+            );
+            println!(
+                "migrated thread computed {} from its pre-migration stack state \
+                 (expected {})",
+                out.result,
+                ipc::expected_result()
+            );
+            assert_eq!(out.result, ipc::expected_result());
+            println!(
+                "native timings: transfer {:?}, lock-to-resumed {:?}",
+                out.transfer, out.steal_to_resume
+            );
+            println!("intra-stack pointers survived the migration. QED.");
+        }
+        Err(e) => {
+            eprintln!("environment does not permit the demonstration: {e}");
+            std::process::exit(1);
+        }
+    }
+}

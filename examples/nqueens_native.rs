@@ -1,0 +1,54 @@
+//! NQueens on the *native* fiber runtime — a real parallel solver using
+//! spawn/join lightweight threads (the paper's Figure 2 API), not the
+//! simulator.
+//!
+//! Run: `cargo run --release --example nqueens_native -- [N] [workers]`
+
+use uni_address_threads::fiber::{self, Runtime};
+use uni_address_threads::workloads::nqueens::Board;
+
+/// Count solutions below `board`, spawning a thread per safe column
+/// while at least `par_rows` rows remain (below that, plain recursion —
+/// the granularity-control idiom every task-parallel program uses).
+fn solve(board: Board, n: u32, par_rows: u32) -> u64 {
+    if board.row == n {
+        return 1;
+    }
+    let mut mask = board.safe_columns(n);
+    if n - board.row <= par_rows {
+        // Sequential tail.
+        let mut total = 0;
+        while mask != 0 {
+            let col = mask.trailing_zeros();
+            mask &= mask - 1;
+            total += solve(board.place(col), n, par_rows);
+        }
+        return total;
+    }
+    let mut handles = Vec::new();
+    while mask != 0 {
+        let col = mask.trailing_zeros();
+        mask &= mask - 1;
+        let child = board.place(col);
+        handles.push(fiber::spawn(move || solve(child, n, par_rows)));
+    }
+    handles.into_iter().map(|h| h.join()).sum()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(11);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    let rt = Runtime::new(workers);
+    let t0 = std::time::Instant::now();
+    let solutions = rt.run(move || solve(Board::empty(), n, n.saturating_sub(4)));
+    let dt = t0.elapsed();
+
+    println!("NQueens N={n}: {solutions} solutions on {workers} workers in {dt:?}");
+
+    // Cross-check against the sequential solver.
+    let expected = uni_address_threads::workloads::NQueens::new(n).solutions();
+    assert_eq!(solutions, expected, "parallel result must match sequential");
+    println!("verified against the sequential solver.");
+}

@@ -1,0 +1,52 @@
+//! Quickstart: the two halves of the library in one file.
+//!
+//! 1. The *native* runtime: real lightweight threads on x86-64 with the
+//!    paper's Appendix A context switch, spawned child-first and stolen
+//!    between OS-thread workers.
+//! 2. The *simulated cluster*: the same scheduling algorithm over
+//!    simulated RDMA on an FX10-style machine, with the paper's cycle
+//!    costs.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use uni_address_threads::cluster::{Engine, SimConfig};
+use uni_address_threads::fiber::{self, Runtime};
+use uni_address_threads::workloads::Fib;
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    // Child-first: `fib(n-1)` starts executing immediately on this
+    // worker; our own continuation becomes stealable (Figure 4).
+    let a = fiber::spawn(move || fib(n - 1));
+    let b = fib(n - 2);
+    a.join() + b
+}
+
+fn main() {
+    // --- native ---
+    let workers = 4;
+    let rt = Runtime::new(workers);
+    let t0 = std::time::Instant::now();
+    let value = rt.run(|| fib(24));
+    println!(
+        "native   : fib(24) = {value} on {workers} workers in {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(value, 46_368);
+
+    // --- simulated ---
+    let w = Fib::new(24);
+    let stats = Engine::new(SimConfig::fx10(2), w.clone()).run();
+    println!(
+        "simulated: fib(24) task tree = {} tasks on {} FX10 cores, \
+         {:.3} ms simulated, {} steals, peak stack {} B",
+        stats.total_tasks,
+        stats.workers,
+        stats.seconds() * 1e3,
+        stats.steals_completed,
+        stats.peak_stack_usage,
+    );
+    assert_eq!(stats.total_tasks, w.expected_tasks());
+}

@@ -1,0 +1,41 @@
+//! Unbalanced Tree Search on the simulated cluster.
+//!
+//! The paper's flagship load-balancing benchmark: an unpredictable
+//! geometric tree (SHA-1-derived node identities) traversed with
+//! divide-and-conquer loop splitting, on an FX10-style machine. Prints a
+//! small scaling table like Figure 11(c).
+//!
+//! Run: `cargo run --release --example uts_cluster -- [cutoff-depth] [max-nodes]`
+
+use uni_address_threads::cluster::sweep::{render, sweep};
+use uni_address_threads::cluster::SimConfig;
+use uni_address_threads::workloads::Uts;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let depth: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(11);
+    let max_nodes: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+
+    let mut node_counts = vec![1u32];
+    while *node_counts.last().unwrap() < max_nodes {
+        node_counts.push(node_counts.last().unwrap() * 2);
+    }
+
+    let mut base = SimConfig::fx10(1);
+    base.core.uni_region_size = 256 << 10;
+    base.core.rdma_heap_size = 1 << 20;
+
+    println!("UTS geometric tree, cutoff depth {depth} (15 workers/node):\n");
+    let points = sweep(&base, &node_counts, || Uts::geometric(depth));
+    print!("{}", render(&points, "nodes"));
+
+    let last = points.last().unwrap();
+    println!(
+        "\ntree: {} nodes / {} tasks; peak stack {} B (paper bound: 144 KiB); \
+         {} steals at the largest machine",
+        last.stats.total_units,
+        last.stats.total_tasks,
+        last.stats.peak_stack_usage,
+        last.stats.steals_completed,
+    );
+}

@@ -1,0 +1,111 @@
+//! Integration tests for the native fiber runtime: real context
+//! switching, real stealing, results cross-checked against sequential
+//! and simulated executions.
+
+use uni_address_threads::fiber::{self, Runtime};
+use uni_address_threads::workloads::nqueens::Board;
+use uni_address_threads::workloads::NQueens;
+
+fn fib_fiber(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let a = fiber::spawn(move || fib_fiber(n - 1));
+    let b = fib_fiber(n - 2);
+    a.join() + b
+}
+
+#[test]
+fn fib_across_worker_counts() {
+    for workers in [1usize, 2, 4] {
+        let rt = Runtime::new(workers);
+        assert_eq!(rt.run(|| fib_fiber(20)), 6_765, "workers={workers}");
+    }
+}
+
+#[test]
+fn nqueens_native_matches_sequential() {
+    fn solve(board: Board, n: u32) -> u64 {
+        if board.row == n {
+            return 1;
+        }
+        let mut mask = board.safe_columns(n);
+        if n - board.row <= 5 {
+            let mut total = 0;
+            while mask != 0 {
+                let col = mask.trailing_zeros();
+                mask &= mask - 1;
+                total += solve(board.place(col), n);
+            }
+            return total;
+        }
+        let mut handles = Vec::new();
+        while mask != 0 {
+            let col = mask.trailing_zeros();
+            mask &= mask - 1;
+            let child = board.place(col);
+            handles.push(fiber::spawn(move || solve(child, n)));
+        }
+        handles.into_iter().map(|h| h.join()).sum()
+    }
+    let rt = Runtime::new(3);
+    let got = rt.run(|| solve(Board::empty(), 9));
+    assert_eq!(got, NQueens::new(9).solutions());
+}
+
+#[test]
+fn runtime_is_reusable() {
+    let rt = Runtime::new(2);
+    assert_eq!(rt.run(|| fib_fiber(10)), 55);
+    assert_eq!(rt.run(|| fib_fiber(12)), 144);
+}
+
+#[test]
+fn unbalanced_spawn_tree() {
+    // UTS-like shape natively: skewed recursion where one side is much
+    // deeper — the load balancer has to move work.
+    fn skew(depth: u32, fat: bool) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let d2 = if fat { depth - 1 } else { depth.saturating_sub(3) };
+        let a = fiber::spawn(move || skew(depth - 1, fat));
+        let b = if d2 == 0 { 1 } else { skew(d2, !fat) };
+        a.join() + b
+    }
+    let rt = Runtime::new(4);
+    let par = rt.run(|| skew(16, true));
+    // Same computation sequentially.
+    fn seq(depth: u32, fat: bool) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let d2 = if fat { depth - 1 } else { depth.saturating_sub(3) };
+        seq(depth - 1, fat) + if d2 == 0 { 1 } else { seq(d2, !fat) }
+    }
+    assert_eq!(par, seq(16, true));
+}
+
+#[test]
+fn join_handles_can_outlive_spawning_order() {
+    let rt = Runtime::new(2);
+    let total = rt.run(|| {
+        let handles: Vec<_> = (0..64u64).map(|i| fiber::spawn(move || i * i)).collect();
+        // Join in reverse: forces the non-parent-pop paths.
+        handles.into_iter().rev().map(|h| h.join()).sum::<u64>()
+    });
+    assert_eq!(total, (0..64u64).map(|i| i * i).sum());
+}
+
+#[test]
+fn creation_strategies_all_work_under_load() {
+    use uni_address_threads::fiber::{measure_creation, CreationStrategy};
+    for s in [
+        CreationStrategy::SeqCall,
+        CreationStrategy::UniAddr,
+        CreationStrategy::StackPool,
+    ] {
+        let cycles = measure_creation(s, 1_000, 5);
+        assert!(cycles > 0.0 && cycles < 50_000.0, "{s:?} -> {cycles}");
+    }
+}
