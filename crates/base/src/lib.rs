@@ -15,12 +15,14 @@
 
 pub mod cost;
 pub mod ids;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use cost::CostModel;
 pub use ids::{NodeId, TaskId, Topology, WorkerId};
+pub use json::{FromJson, Json, JsonError, ToJson};
 pub use rng::SplitMix64;
-pub use stats::{OnlineStats, Summary};
+pub use stats::{HistSummary, Histogram, OnlineStats, Summary};
 pub use time::Cycles;

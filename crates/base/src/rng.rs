@@ -31,7 +31,8 @@ impl SplitMix64 {
     /// which decorrelates sibling streams even for adjacent indices.
     #[inline]
     pub fn split(&self, stream: u64) -> SplitMix64 {
-        let mut child = SplitMix64::new(self.state ^ mix(stream.wrapping_add(0x9e37_79b9_7f4a_7c15)));
+        let mut child =
+            SplitMix64::new(self.state ^ mix(stream.wrapping_add(0x9e37_79b9_7f4a_7c15)));
         // Burn one output so `split(0)` differs from a clone.
         child.next_u64();
         child

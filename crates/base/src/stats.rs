@@ -6,16 +6,25 @@
 //! Welford's algorithm, plus a small fixed-bucket [`Histogram`] used for
 //! latency breakdowns.
 
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use serde::{Deserialize, Serialize};
 
 /// Numerically stable single-pass mean/variance accumulator (Welford).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for OnlineStats {
+    /// Same as [`OnlineStats::new`]. (A derived all-zero default would
+    /// seed `min` at 0.0 and drag every minimum down to it.)
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OnlineStats {
@@ -107,8 +116,7 @@ impl OnlineStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -196,21 +204,71 @@ impl Histogram {
         self.total
     }
 
-    /// Approximate quantile (returns the upper bound of the bucket that
-    /// contains the q-th observation); `q` in `[0, 1]`.
+    /// Approximate quantile; `q` in `[0, 1]` (clamped).
+    ///
+    /// For `q > 0` this returns the inclusive upper bound of the bucket
+    /// containing the `ceil(q·n)`-th smallest observation; `q = 0`
+    /// returns the lower bound of the first non-empty bucket (the
+    /// tightest lower bound on the minimum the histogram can give).
+    /// An empty histogram returns 0 for every `q`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
         }
-        let target = ((self.total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            let first = self.buckets.iter().position(|&c| c > 0).unwrap();
+            return Self::bucket_lower(first);
+        }
+        // ceil never rounds a value ≤ total above it, and q > 0 makes the
+        // target at least 1, so the scan below always terminates inside
+        // the loop; the fallthrough only guards float pathology.
+        let target = ((self.total as f64) * q).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
-            if seen >= target.max(1) {
-                return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+            if c > 0 && seen >= target {
+                return Self::bucket_upper(i);
             }
         }
-        u64::MAX
+        Self::bucket_upper(63)
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    fn bucket_lower(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    fn bucket_upper(i: usize) -> u64 {
+        if i >= 63 {
+            u64::MAX
+        } else {
+            (2u64 << i) - 1
+        }
+    }
+
+    /// Add every observation of `other` into this histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        self.total += other.total;
+    }
+
+    /// Compact snapshot (count plus p50/p90/p99/max bucket bounds).
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.total,
+            p50: self.quantile(0.5),
+            p90: self.quantile(0.9),
+            p99: self.quantile(0.99),
+            max: self.quantile(1.0),
+        }
     }
 
     /// Iterate over non-empty `(bucket_lower_bound, count)` pairs.
@@ -219,7 +277,132 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+            .map(|(i, &c)| (Self::bucket_lower(i), c))
+    }
+}
+
+/// Compact quantile snapshot of a [`Histogram`].
+///
+/// Quantiles are bucket upper bounds (see [`Histogram::quantile`]), so
+/// they over-estimate by at most 2× — good enough for the latency
+/// distributions the tracing layer reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Median bucket bound.
+    pub p50: u64,
+    /// 90th-percentile bucket bound.
+    pub p90: u64,
+    /// 99th-percentile bucket bound.
+    pub p99: u64,
+    /// Bound of the bucket holding the largest observation.
+    pub max: u64,
+}
+
+impl ToJson for HistSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::UInt(self.count)),
+            ("p50", Json::UInt(self.p50)),
+            ("p90", Json::UInt(self.p90)),
+            ("p99", Json::UInt(self.p99)),
+            ("max", Json::UInt(self.max)),
+        ])
+    }
+}
+
+impl FromJson for HistSummary {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(HistSummary {
+            count: v.field("count")?.as_u64()?,
+            p50: v.field("p50")?.as_u64()?,
+            p90: v.field("p90")?.as_u64()?,
+            p99: v.field("p99")?.as_u64()?,
+            max: v.field("max")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("total", Json::UInt(self.total)),
+            ("buckets", self.buckets.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Histogram {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let buckets: Vec<u64> = Vec::from_json(v.field("buckets")?)?;
+        if buckets.len() != 64 {
+            return Err(JsonError {
+                msg: format!("histogram needs 64 buckets, got {}", buckets.len()),
+            });
+        }
+        Ok(Histogram {
+            total: v.field("total")?.as_u64()?,
+            buckets,
+        })
+    }
+}
+
+impl ToJson for OnlineStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n", Json::UInt(self.n)),
+            ("mean", Json::Num(self.mean)),
+            ("m2", Json::Num(self.m2)),
+            ("min", Json::Num(self.min)),
+            ("max", Json::Num(self.max)),
+        ])
+    }
+}
+
+impl FromJson for OnlineStats {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let n = v.field("n")?.as_u64()?;
+        // An empty accumulator writes ±infinity min/max, which JSON
+        // spells as null; re-seed them so the round trip is lossless.
+        let (min, max) = if n == 0 {
+            (f64::INFINITY, f64::NEG_INFINITY)
+        } else {
+            (v.field("min")?.as_f64()?, v.field("max")?.as_f64()?)
+        };
+        Ok(OnlineStats {
+            n,
+            mean: v.field("mean")?.as_f64()?,
+            m2: v.field("m2")?.as_f64()?,
+            min,
+            max,
+        })
+    }
+}
+
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::UInt(self.count)),
+            ("mean", Json::Num(self.mean)),
+            ("stddev", Json::Num(self.stddev)),
+            ("ci95", Json::Num(self.ci95)),
+            ("min", Json::Num(self.min)),
+            ("max", Json::Num(self.max)),
+        ])
+    }
+}
+
+impl FromJson for Summary {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Summary {
+            count: v.field("count")?.as_u64()?,
+            mean: v.field("mean")?.as_f64()?,
+            stddev: v.field("stddev")?.as_f64()?,
+            ci95: v.field("ci95")?.as_f64()?,
+            min: v.field("min")?.as_f64()?,
+            max: v.field("max")?.as_f64()?,
+        })
     }
 }
 
@@ -320,6 +503,117 @@ mod tests {
     #[test]
     fn histogram_empty_quantile_is_zero() {
         let h = Histogram::new();
-        assert_eq!(h.quantile(0.5), 0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        assert_eq!(h.summary(), HistSummary::default());
+    }
+
+    #[test]
+    fn histogram_quantile_zero_is_min_bound() {
+        let mut h = Histogram::new();
+        h.record(100); // bucket [64, 128)
+        h.record(5000); // bucket [4096, 8192)
+        assert_eq!(h.quantile(0.0), 64);
+
+        let mut zeros = Histogram::new();
+        zeros.record(0);
+        assert_eq!(zeros.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn histogram_quantile_one_is_max_bucket_bound() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 3, 100] {
+            h.record(v);
+        }
+        // 100 lives in [64, 128); its inclusive upper bound is 127.
+        assert_eq!(h.quantile(1.0), 127);
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_single_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(33); // bucket [32, 64)
+        }
+        assert_eq!(h.quantile(0.0), 32);
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 63, "q={q}");
+        }
+        let s = h.summary();
+        assert_eq!((s.count, s.p50, s.max), (10, 63, 63));
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone() {
+        let mut h = Histogram::new();
+        let mut r = crate::SplitMix64::new(7);
+        for _ in 0..1000 {
+            h.record(r.next_u64() >> (r.next_u64() % 64));
+        }
+        let mut prev = 0;
+        for i in 0..=100 {
+            let q = h.quantile(i as f64 / 100.0);
+            assert!(q >= prev, "quantile not monotone at {i}%");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in [1u64, 9, 70, 300] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [2u64, 8000, 1 << 40] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn stats_json_round_trip() {
+        use crate::json::{FromJson, Json, ToJson};
+
+        let mut s = OnlineStats::new();
+        for x in [1.0, 2.5, -3.0, 42.0] {
+            s.push(x);
+        }
+        let back = OnlineStats::from_json(&Json::parse(&s.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back.count(), s.count());
+        assert_eq!(back.mean(), s.mean());
+        assert_eq!(back.variance(), s.variance());
+        assert_eq!(back.min(), s.min());
+        assert_eq!(back.max(), s.max());
+
+        let empty = OnlineStats::from_json(
+            &Json::parse(&OnlineStats::new().to_json().to_string()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(empty.count(), 0);
+        assert!(empty.min().is_nan());
+
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 900, u64::MAX] {
+            h.record(v);
+        }
+        let hb = Histogram::from_json(&Json::parse(&h.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(hb.count(), h.count());
+        assert_eq!(hb.quantile(1.0), h.quantile(1.0));
+
+        let sum = h.summary();
+        let sb = HistSummary::from_json(&Json::parse(&sum.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(sb, sum);
     }
 }

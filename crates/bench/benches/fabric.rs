@@ -18,16 +18,28 @@ fn bench_fabric(c: &mut Criterion) {
     g.bench_function("read_32B", |b| {
         b.iter(|| {
             black_box(
-                f.read(Cycles(0), WorkerId(0), WorkerId(1), 0x10_000, black_box(&mut small))
-                    .unwrap(),
+                f.read(
+                    Cycles(0),
+                    WorkerId(0),
+                    WorkerId(1),
+                    0x10_000,
+                    black_box(&mut small),
+                )
+                .unwrap(),
             )
         })
     });
     g.bench_function("read_16KiB", |b| {
         b.iter(|| {
             black_box(
-                f.read(Cycles(0), WorkerId(0), WorkerId(1), 0x10_000, black_box(&mut big))
-                    .unwrap(),
+                f.read(
+                    Cycles(0),
+                    WorkerId(0),
+                    WorkerId(1),
+                    0x10_000,
+                    black_box(&mut big),
+                )
+                .unwrap(),
             )
         })
     });

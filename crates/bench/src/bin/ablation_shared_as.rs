@@ -47,9 +47,7 @@ fn main() {
     println!("# Ablation — k workers/uni-address regions per address space\n");
     let mut rng = SplitMix64::new(0xAB1A7E);
     let processes = 64;
-    println!(
-        "placement utilization (64 processes, ready threads with random classes):\n"
-    );
+    println!("placement utilization (64 processes, ready threads with random classes):\n");
     println!(
         "{:>4} {:>12} {:>12} {:>12} {:>12}",
         "k", "r=cap/2", "r=cap", "r=2*cap", "r=8*cap"

@@ -6,19 +6,34 @@
 //! chain leaves the joining parent suspended on one worker while the
 //! other worker steals it — a steady ping-pong of one 3,055-byte thread.
 
+use uat_base::json::ToJson;
 use uat_base::{CostModel, Cycles, Topology};
-use uat_bench::{deviation, kcycles, paper};
+use uat_bench::{deviation, kcycles, paper, require_trace_feature, write_output, OutFlags};
 use uat_cluster::{Engine, SimConfig};
 use uat_core::StealPhase;
 use uat_workloads::Chain;
 
 fn main() {
+    let flags = OutFlags::parse();
+    require_trace_feature(&flags);
     // The paper's setup: *inter-node* work stealing, one worker per node.
     let mut cfg = SimConfig::fx10(2);
     cfg.topo = Topology::new(2, 1);
     cfg.core.verify_stack_bytes = true;
     let links = 2_000;
-    let stats = Engine::new(cfg, Chain::fig10(links)).run();
+    let engine = Engine::new(cfg, Chain::fig10(links));
+
+    #[cfg(feature = "trace")]
+    let (stats, trace) = if flags.trace.is_some() {
+        // A ring deep enough to hold the whole run, so exported
+        // steal-phase sums match the breakdown exactly.
+        let (stats, trace) = engine.with_tracing(1 << 20).run_traced();
+        (stats, Some(trace))
+    } else {
+        (engine.run(), None)
+    };
+    #[cfg(not(feature = "trace"))]
+    let stats = engine.run();
 
     println!("# Figure 10 — breakdown of inter-node work stealing (3,055-byte stack)\n");
     println!(
@@ -57,9 +72,9 @@ fn main() {
     // 3,055-byte thread is the uni-address scheme's own overhead and is
     // measured directly from the cost model, as §6.3 reports it.
     let cost = CostModel::fx10();
-    let suspend_pair =
-        (cost.suspend_cost(3_055) + cost.resume_cost(3_055)).get() as f64;
-    let adj_total = total - stats.breakdown.phase(StealPhase::Suspend).mean
+    let suspend_pair = (cost.suspend_cost(3_055) + cost.resume_cost(3_055)).get() as f64;
+    let adj_total = total
+        - stats.breakdown.phase(StealPhase::Suspend).mean
         - stats.breakdown.phase(StealPhase::Resume).mean
         + suspend_pair;
 
@@ -95,11 +110,29 @@ fn main() {
         "lock (software FAA) phase (cycles)",
         kcycles(stats.breakdown.phase(StealPhase::Lock).mean),
         kcycles(paper::FAA_CYCLES),
-        deviation(stats.breakdown.phase(StealPhase::Lock).mean, paper::FAA_CYCLES)
+        deviation(
+            stats.breakdown.phase(StealPhase::Lock).mean,
+            paper::FAA_CYCLES
+        )
     );
     println!(
         "\nstolen stack bytes per transfer: {} (paper: 3055); makespan {}",
         3_055,
         Cycles(stats.makespan.get())
     );
+
+    #[cfg(feature = "trace")]
+    if let (Some(path), Some(trace)) = (&flags.trace, &trace) {
+        if trace.dropped() > 0 {
+            eprintln!(
+                "warning: ring overflow dropped {} events; enlarge the ring \
+                 for exact phase sums",
+                trace.dropped()
+            );
+        }
+        write_output(path, &uat_trace::chrome_trace_json(trace), "Chrome trace");
+    }
+    if let Some(path) = &flags.json {
+        write_output(path, &uat_trace::jsonl([stats.to_json()]), "JSONL results");
+    }
 }

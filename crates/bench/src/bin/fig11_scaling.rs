@@ -2,7 +2,14 @@
 //! NQueens across core counts, with efficiency relative to the smallest
 //! point (the paper reports efficiency relative to 480 cores).
 //!
-//! Usage: `fig11_scaling [btc1|btc2|uts|nqueens|all] [--big]`
+//! Usage: `fig11_scaling [btc1|btc2|uts|nqueens|all] [--big]
+//! [--json <path>] [--trace <path>]`
+//!
+//! `--json` writes one JSONL line per sweep point (benchmark, problem
+//! size, worker count, efficiency, full `RunStats`). `--trace` writes a
+//! Chrome trace of one representative run — the first selected
+//! benchmark at its small size on the smallest machine of the sweep —
+//! openable at `ui.perfetto.dev`.
 //!
 //! Like the paper's figures, each benchmark is run at **two problem
 //! sizes**: efficiency at the top of the sweep improves with problem
@@ -14,7 +21,8 @@
 //! Default sweep: 60→960 cores. `--big`: 480→3,840 cores (the paper's
 //! range) with larger trees; minutes per curve.
 
-use uat_bench::compact_config;
+use uat_base::json::{Json, ToJson};
+use uat_bench::{compact_config, require_trace_feature, write_output, OutFlags};
 use uat_cluster::sweep::{render, sweep};
 use uat_cluster::Workload;
 use uat_workloads::{Btc, NQueens, Uts};
@@ -25,6 +33,7 @@ fn run_pair<W: Workload, F: Fn(u32) -> W>(
     nodes: &[u32],
     sizes: (u32, u32),
     make: F,
+    lines: &mut Vec<Json>,
 ) {
     let base = compact_config(nodes[0]);
     for size in [sizes.0, sizes.1] {
@@ -33,17 +42,42 @@ fn run_pair<W: Workload, F: Fn(u32) -> W>(
         let pts = sweep(&base, nodes, || make(size));
         print!("{}", render(&pts, unit));
         println!();
+        for p in &pts {
+            lines.push(Json::obj([
+                ("figure", Json::str(title)),
+                ("benchmark", Json::str(w.name())),
+                ("size", Json::UInt(size as u64)),
+                ("workers", Json::UInt(p.workers as u64)),
+                ("efficiency", Json::Num(p.efficiency)),
+                ("stats", p.stats.to_json()),
+            ]));
+        }
     }
 }
 
+/// One traced run of the sweep's smallest machine, exported for
+/// Perfetto.
+#[cfg(feature = "trace")]
+fn write_trace<W: Workload>(path: &std::path::Path, nodes: u32, w: W) {
+    // A bounded ring per worker: big sweeps run millions of tasks, so
+    // keep the newest window of events (the ring drops oldest first)
+    // rather than an export too large to open in Perfetto.
+    let (_, trace) = uat_cluster::Engine::new(compact_config(nodes), w)
+        .with_tracing(1 << 14)
+        .run_traced();
+    write_output(path, &uat_trace::chrome_trace_json(&trace), "Chrome trace");
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args
+    let flags = OutFlags::parse();
+    require_trace_feature(&flags);
+    let which = flags
+        .rest
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".into());
-    let big = args.iter().any(|a| a == "--big");
+    let big = flags.rest.iter().any(|a| a == "--big");
 
     let nodes: Vec<u32> = if big {
         vec![32, 64, 128, 256] // 480 .. 3840 cores, the paper's range
@@ -57,20 +91,62 @@ fn main() {
     let uts = if big { (14, 15) } else { (13, 14) };
     let nq = if big { (13, 14) } else { (12, 13) };
 
+    let mut lines = Vec::new();
     if which == "btc1" || which == "all" {
-        run_pair("Figure 11(a)", "tasks", &nodes, btc1, |d| Btc::new(d, 1));
+        run_pair(
+            "Figure 11(a)",
+            "tasks",
+            &nodes,
+            btc1,
+            |d| Btc::new(d, 1),
+            &mut lines,
+        );
     }
     if which == "btc2" || which == "all" {
-        run_pair("Figure 11(b)", "tasks", &nodes, btc2, |d| Btc::new(d, 2));
+        run_pair(
+            "Figure 11(b)",
+            "tasks",
+            &nodes,
+            btc2,
+            |d| Btc::new(d, 2),
+            &mut lines,
+        );
     }
     if which == "uts" || which == "all" {
-        run_pair("Figure 11(c)", "nodes", &nodes, uts, Uts::geometric);
+        run_pair(
+            "Figure 11(c)",
+            "nodes",
+            &nodes,
+            uts,
+            Uts::geometric,
+            &mut lines,
+        );
     }
     if which == "nqueens" || which == "all" {
-        run_pair("Figure 11(d)", "nodes", &nodes, nq, NQueens::new);
+        run_pair(
+            "Figure 11(d)",
+            "nodes",
+            &nodes,
+            nq,
+            NQueens::new,
+            &mut lines,
+        );
     }
     println!(
         "Reproduction target: per-core throughput flattens (efficiency rises\n\
          toward ~95%+) as the problem grows, matching the paper's Figure 11."
     );
+
+    if let Some(path) = &flags.json {
+        write_output(path, &uat_trace::jsonl(lines), "JSONL sweep points");
+    }
+    #[cfg(feature = "trace")]
+    if let Some(path) = &flags.trace {
+        match which.as_str() {
+            "btc2" => write_trace(path, nodes[0], Btc::new(btc2.0, 2)),
+            "uts" => write_trace(path, nodes[0], Uts::geometric(uts.0)),
+            "nqueens" => write_trace(path, nodes[0], NQueens::new(nq.0)),
+            _ => write_trace(path, nodes[0], Btc::new(btc1.0, 1)),
+        }
+    }
 }

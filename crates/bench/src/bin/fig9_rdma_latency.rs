@@ -32,7 +32,13 @@ fn main() {
     println!("\n# Cross-check via Fabric::read (end-to-end op path)");
     for sz in [8usize, 4096, 1 << 20] {
         let done = fabric
-            .read(Cycles(0), WorkerId(0), WorkerId(1), 0x10_000, &mut buf[..sz])
+            .read(
+                Cycles(0),
+                WorkerId(0),
+                WorkerId(1),
+                0x10_000,
+                &mut buf[..sz],
+            )
             .unwrap();
         println!("  read {sz:>8} B -> {done}");
     }

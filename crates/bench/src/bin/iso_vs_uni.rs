@@ -26,7 +26,7 @@ fn main() {
 fn part1_virtual_memory() {
     println!("# Part 1 — per-process virtual address space (Section 4)\n");
     let cfg = CoreConfig {
-        iso_stack_size: 1 << 14,       // 16 KiB stacks (the paper's example)
+        iso_stack_size: 1 << 14,        // 16 KiB stacks (the paper's example)
         iso_stacks_per_worker: 1 << 13, // tree depth 2^13 (UTS-like)
         ..CoreConfig::default()
     };
@@ -43,7 +43,11 @@ fn part1_virtual_memory() {
             workers,
             iso >> 30,
             uni_va >> 20,
-            if iso < (1u64 << 48) { "yes" } else { "NO (2^48)" }
+            if iso < (1u64 << 48) {
+                "yes"
+            } else {
+                "NO (2^48)"
+            }
         );
     }
     println!(
@@ -78,9 +82,7 @@ fn part2_steal_time() {
     // The paper's estimate is for a *cold* destination (a long run keeps
     // touching fresh pages): add the 21K-cycle first-touch fault back.
     let cold = results[0] / (results[1] + 21_000.0);
-    println!(
-        "\nuni / iso steal time (steady-state, warm pages) = {steady:.2}"
-    );
+    println!("\nuni / iso steal time (steady-state, warm pages) = {steady:.2}");
     println!(
         "uni / iso steal time (cold destination, +1 fault) = {:.2}  (paper estimate: {:.2}, {})",
         cold,

@@ -37,8 +37,16 @@ fn main() {
 
     println!("\n## Simulator cost model");
     for (label, cost, col) in [
-        ("SPARC64IXfx (FX10 profile)", CostModel::fx10(), &paper::CREATION_SPARC),
-        ("Xeon E5-2660 profile", CostModel::xeon(), &paper::CREATION_XEON),
+        (
+            "SPARC64IXfx (FX10 profile)",
+            CostModel::fx10(),
+            &paper::CREATION_SPARC,
+        ),
+        (
+            "Xeon E5-2660 profile",
+            CostModel::xeon(),
+            &paper::CREATION_XEON,
+        ),
     ] {
         let modelled = cost.spawn_cost().get() as f64;
         let reference = col[0].1;

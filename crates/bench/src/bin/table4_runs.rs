@@ -9,17 +9,40 @@
 //! benchmark the harness also projects the stack usage at the paper's
 //! depth from the measured per-level growth.
 
-use uat_bench::{compact_config, paper};
+use uat_base::json::{Json, ToJson};
+use uat_bench::{compact_config, paper, require_trace_feature, write_output, OutFlags};
 use uat_cluster::{Engine, RunStats, SimConfig, Workload};
+use uat_trace::TraceData;
 use uat_workloads::{btc::BTC_FRAME, nqueens, uts, Btc, NQueens, Uts};
 
-fn run<W: Workload>(cfg: SimConfig, w: W) -> RunStats {
-    Engine::new(cfg, w).run()
+/// Run one row; when a capture slot is passed (the first row, under
+/// `--trace`), keep the trace for export.
+fn run<W: Workload>(cfg: SimConfig, w: W, capture: Option<&mut Option<TraceData>>) -> RunStats {
+    match capture {
+        #[cfg(feature = "trace")]
+        Some(slot) => {
+            // A bounded ring per worker: Table 4 runs execute millions
+            // of tasks, so keep the newest window of events (the ring
+            // drops oldest first) rather than an export too large to
+            // open in Perfetto.
+            let (stats, trace) = Engine::new(cfg, w).with_tracing(1 << 14).run_traced();
+            *slot = Some(trace);
+            stats
+        }
+        // `require_trace_feature` already rejected `--trace` without the
+        // feature, so a capture slot cannot reach this arm.
+        #[cfg(not(feature = "trace"))]
+        Some(_) => unreachable!("--trace without the trace feature"),
+        None => Engine::new(cfg, w).run(),
+    }
 }
 
 fn main() {
-    let nodes: u32 = std::env::args()
-        .nth(1)
+    let flags = OutFlags::parse();
+    require_trace_feature(&flags);
+    let nodes: u32 = flags
+        .rest
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(256); // 256 nodes × 15 = 3840 cores
     let cfg = compact_config(nodes);
@@ -43,10 +66,16 @@ fn main() {
         paper_bytes: u64,
     }
 
+    // Under `--trace` the first row (BTC iter=1) is the traced run.
+    let mut captured: Option<TraceData> = None;
     let rows = vec![
         Row {
             label: "BTC iter=1 depth=22",
-            stats: run(cfg.clone(), Btc::new(22, 1)),
+            stats: run(
+                cfg.clone(),
+                Btc::new(22, 1),
+                flags.trace.is_some().then_some(&mut captured),
+            ),
             levels: 23,
             paper_levels: 39,
             per_level: BTC_FRAME,
@@ -54,7 +83,7 @@ fn main() {
         },
         Row {
             label: "BTC iter=2 depth=11",
-            stats: run(cfg.clone(), Btc::new(11, 2)),
+            stats: run(cfg.clone(), Btc::new(11, 2), None),
             levels: 12,
             paper_levels: 20,
             per_level: BTC_FRAME,
@@ -62,7 +91,7 @@ fn main() {
         },
         Row {
             label: "UTS geo depth=12",
-            stats: run(cfg.clone(), Uts::geometric(12)),
+            stats: run(cfg.clone(), Uts::geometric(12), None),
             levels: 13,
             paper_levels: 18,
             per_level: uts::UTS_NODE_FRAME + 2 * uts::UTS_SPLIT_FRAME,
@@ -70,7 +99,7 @@ fn main() {
         },
         Row {
             label: "NQueens N=12",
-            stats: run(cfg.clone(), NQueens::new(12)),
+            stats: run(cfg.clone(), NQueens::new(12), None),
             levels: 13,
             paper_levels: 18,
             per_level: nqueens::NQ_NODE_FRAME + 3 * nqueens::NQ_SPLIT_FRAME,
@@ -120,4 +149,17 @@ fn main() {
         cfg.core.uni_region_size >> 10,
         rows[0].stats.reserved_va_per_worker >> 10,
     );
+
+    if let Some(path) = &flags.json {
+        let lines = rows.iter().map(|r| {
+            Json::obj([
+                ("benchmark", Json::str(r.label)),
+                ("stats", r.stats.to_json()),
+            ])
+        });
+        write_output(path, &uat_trace::jsonl(lines), "JSONL results");
+    }
+    if let (Some(path), Some(trace)) = (&flags.trace, &captured) {
+        write_output(path, &uat_trace::chrome_trace_json(trace), "Chrome trace");
+    }
 }

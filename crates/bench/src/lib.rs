@@ -20,7 +20,92 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::path::{Path, PathBuf};
+
 use uat_cluster::SimConfig;
+
+/// Output flags shared by the experiment binaries.
+///
+/// `--trace <path>` writes a Chrome trace-event file (open it at
+/// `ui.perfetto.dev`); `--json <path>` writes machine-readable JSONL
+/// results. Both accept `--flag path` and `--flag=path` spellings;
+/// unrecognized arguments pass through in [`OutFlags::rest`] for the
+/// binary's own parsing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OutFlags {
+    /// Destination for the Chrome trace, when `--trace` was given.
+    pub trace: Option<PathBuf>,
+    /// Destination for JSONL results, when `--json` was given.
+    pub json: Option<PathBuf>,
+    /// Every argument that was not an output flag, in order.
+    pub rest: Vec<String>,
+}
+
+impl OutFlags {
+    /// Parse the process arguments; print the error and exit(2) on a
+    /// malformed flag.
+    pub fn parse() -> OutFlags {
+        match Self::try_from_args(std::env::args().skip(1)) {
+            Ok(flags) => flags,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse from an explicit argument list (testable core of
+    /// [`OutFlags::parse`]).
+    pub fn try_from_args<I>(args: I) -> Result<OutFlags, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut flags = OutFlags::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            if arg == "--trace" || arg == "--json" {
+                let value = args
+                    .next()
+                    .ok_or_else(|| format!("{arg} requires a path argument"))?;
+                let slot = if arg == "--trace" {
+                    &mut flags.trace
+                } else {
+                    &mut flags.json
+                };
+                *slot = Some(PathBuf::from(value));
+            } else if let Some(v) = arg.strip_prefix("--trace=") {
+                flags.trace = Some(PathBuf::from(v));
+            } else if let Some(v) = arg.strip_prefix("--json=") {
+                flags.json = Some(PathBuf::from(v));
+            } else {
+                flags.rest.push(arg);
+            }
+        }
+        Ok(flags)
+    }
+}
+
+/// Exit with a clear error if `--trace` was requested but the binary
+/// was built without the `trace` feature (`--no-default-features`).
+pub fn require_trace_feature(flags: &OutFlags) {
+    if cfg!(not(feature = "trace")) && flags.trace.is_some() {
+        eprintln!(
+            "error: --trace requires the `trace` feature; rebuild without \
+             `--no-default-features`"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// Write an output artifact, reporting the destination on stderr so it
+/// does not mix with the table on stdout; exit(1) on I/O failure.
+pub fn write_output(path: &Path, text: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("error: cannot write {what} to {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {what} to {}", path.display());
+}
 
 /// Reference values from the paper, for side-by-side output.
 pub mod paper {
@@ -104,5 +189,32 @@ mod tests {
         assert_eq!(kcycles(413.0), "413");
         assert_eq!(deviation(110.0, 100.0), "+10.0%");
         assert_eq!(deviation(0.0, 0.0), "-");
+    }
+
+    fn parse(args: &[&str]) -> Result<OutFlags, String> {
+        OutFlags::try_from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn out_flags_parse_both_spellings() {
+        let f = parse(&["--trace", "/tmp/t.json", "--json=/tmp/r.jsonl"]).unwrap();
+        assert_eq!(f.trace.as_deref(), Some(Path::new("/tmp/t.json")));
+        assert_eq!(f.json.as_deref(), Some(Path::new("/tmp/r.jsonl")));
+        assert!(f.rest.is_empty());
+    }
+
+    #[test]
+    fn out_flags_pass_other_args_through_in_order() {
+        let f = parse(&["btc1", "--trace=t", "--big"]).unwrap();
+        assert_eq!(f.rest, ["btc1", "--big"]);
+        assert_eq!(f.trace.as_deref(), Some(Path::new("t")));
+        assert_eq!(f.json, None);
+    }
+
+    #[test]
+    fn out_flags_missing_value_is_an_error() {
+        let e = parse(&["--json"]).unwrap_err();
+        assert!(e.contains("--json"), "{e}");
+        assert!(parse(&[]).unwrap().trace.is_none());
     }
 }

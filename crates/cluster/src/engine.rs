@@ -32,6 +32,7 @@
 use crate::config::SimConfig;
 use crate::metrics::RunStats;
 use crate::task::{TaskId64, TaskTable, TaskWhere};
+use crate::tracing::TraceCtl;
 use crate::workload::{Action, Workload};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -39,6 +40,7 @@ use uat_base::{Cycles, SplitMix64, WorkerId};
 use uat_core::{transfer_stolen, StackMgr, StealBreakdown, StealPhase};
 use uat_deque::{PopOutcome, StealOutcome, TaskqEntry};
 use uat_rdma::Fabric;
+use uat_trace::{Bucket, StealOutcome as StealEnd, StealPhaseId};
 
 /// What a worker's next event means.
 #[derive(Clone, Copy, Debug)]
@@ -71,6 +73,7 @@ enum Pending {
     },
     /// Unlock done; resume the stolen thread.
     StealUnlock {
+        victim: WorkerId,
         entry: TaskqEntry,
     },
 }
@@ -112,6 +115,7 @@ pub struct Engine<W: Workload> {
     steal_attempts: u64,
     breakdown: StealBreakdown,
     page_faults: u64,
+    trace: TraceCtl,
 }
 
 impl<W: Workload> Engine<W> {
@@ -157,21 +161,32 @@ impl<W: Workload> Engine<W> {
             steal_attempts: 0,
             breakdown: StealBreakdown::new(),
             page_faults: 0,
+            trace: TraceCtl::new(topo.total_workers() as usize),
         }
     }
 
     /// Run to completion of the root task; returns the measurements.
     pub fn run(mut self) -> RunStats {
+        let makespan = self.run_loop();
+        self.collect(makespan)
+    }
+
+    /// Drive the event loop until the root completes; returns the
+    /// makespan with tracing accounts finalized against it.
+    fn run_loop(&mut self) -> Cycles {
         // Materialize and start the root on worker 0.
         let w0 = WorkerId(0);
         let root = self.spawn_task(w0, self.workload.root(), None);
         self.root = Some(root);
+        self.trace.task_begin(w0, root, Cycles::ZERO, None);
         self.workers[0].current = Some(root);
         self.workers[0].pending = Pending::TaskStep(root);
+        self.trace.set_bucket(w0, Bucket::Work);
         self.schedule(w0, Cycles::ZERO);
         // Everyone else starts looking for work.
         for w in self.cfg.topo.workers().skip(1) {
             self.workers[w.index()].pending = Pending::Sched;
+            self.trace.set_bucket(w, Bucket::Idle);
             self.schedule(w, Cycles::ZERO);
         }
 
@@ -192,7 +207,8 @@ impl<W: Workload> Engine<W> {
         let makespan = self
             .finished_at
             .expect("root task never completed — scheduler bug");
-        self.collect(makespan)
+        self.trace.finalize(makespan);
+        makespan
     }
 
     // ------------------------------------------------------------------
@@ -205,6 +221,7 @@ impl<W: Workload> Engine<W> {
     }
 
     fn fire(&mut self, w: WorkerId, t: Cycles) {
+        self.trace.charge(w, t);
         let pending = self.workers[w.index()].pending;
         match pending {
             Pending::Sched => self.sched_step(w, t),
@@ -212,9 +229,7 @@ impl<W: Workload> Engine<W> {
             Pending::PostComplete => self.post_complete(w, t),
             Pending::StealEmpty { victim, ok } => self.steal_after_empty(w, victim, ok, t),
             Pending::StealLock { victim, ok } => self.steal_after_lock(w, victim, ok, t),
-            Pending::StealEntry { victim, entry } => {
-                self.steal_after_entry(w, victim, entry, t)
-            }
+            Pending::StealEntry { victim, entry } => self.steal_after_entry(w, victim, entry, t),
             Pending::StealAbortUnlock => {
                 // Lock released after a raced-empty steal.
                 self.sched_wait_step(w, t)
@@ -222,11 +237,14 @@ impl<W: Workload> Engine<W> {
             Pending::StealTransfer { victim, entry } => {
                 self.steal_after_transfer(w, victim, entry, t)
             }
-            Pending::StealUnlock { entry } => self.steal_after_unlock(w, entry, t),
+            Pending::StealUnlock { victim, entry } => self.steal_after_unlock(w, victim, entry, t),
         }
     }
 
-    fn set(&mut self, w: WorkerId, pending: Pending, at: Cycles) {
+    /// Schedule `w`'s next event; `bucket` is where the span between now
+    /// and that event will be charged in the worker's time account.
+    fn set(&mut self, w: WorkerId, pending: Pending, at: Cycles, bucket: Bucket) {
+        self.trace.set_bucket(w, bucket);
         self.workers[w.index()].pending = pending;
         self.schedule(w, at);
     }
@@ -272,7 +290,7 @@ impl<W: Workload> Engine<W> {
                 Action::Work(c) => {
                     self.tasks.get_mut(task).pc += 1;
                     self.total_work += c;
-                    self.set(w, Pending::TaskStep(task), t + Cycles(c));
+                    self.set(w, Pending::TaskStep(task), t + Cycles(c), Bucket::Work);
                     return;
                 }
                 Action::Spawn(desc) => {
@@ -312,8 +330,8 @@ impl<W: Workload> Engine<W> {
                         .expect("deque push");
                     let faults_before = self.page_faults;
                     let child = self.spawn_task(w, desc, Some(task));
-                    let fault_cost =
-                        Cycles((self.page_faults - faults_before) * cost.page_fault);
+                    self.trace.task_begin(w, child, t, Some(task));
+                    let fault_cost = Cycles((self.page_faults - faults_before) * cost.page_fault);
                     self.workers[w.index()].current = Some(child);
                     self.workers[w.index()].tasks_run += 1;
                     // Half of the Figure 4 creation overhead: the context
@@ -329,7 +347,12 @@ impl<W: Workload> Engine<W> {
                         create += cost.suspend_cost(frame_size as usize)
                             + cost.resume_cost(frame_size as usize);
                     }
-                    self.set(w, Pending::TaskStep(child), t + create + fault_cost);
+                    self.set(
+                        w,
+                        Pending::TaskStep(child),
+                        t + create + fault_cost,
+                        Bucket::Spawn,
+                    );
                     return;
                 }
                 Action::JoinAll => {
@@ -347,7 +370,7 @@ impl<W: Workload> Engine<W> {
                     let ctl = &mut self.workers[w.index()];
                     ctl.current = None;
                     ctl.blocked = Some(task);
-                    self.set(w, Pending::Sched, t);
+                    self.set(w, Pending::Sched, t, Bucket::Idle);
                     return;
                 }
             }
@@ -356,8 +379,12 @@ impl<W: Workload> Engine<W> {
 
     /// The running task's program ended (thread exit).
     fn complete_task(&mut self, w: WorkerId, task: TaskId64, t: Cycles) {
+        self.trace.task_end(w, task, t);
         let rec = self.tasks.free(task);
-        debug_assert!(rec.outstanding == 0, "a task cannot exit with live children");
+        debug_assert!(
+            rec.outstanding == 0,
+            "a task cannot exit with live children"
+        );
         if let Some((owner, slot)) = self.mgrs[w.index()].complete(task, &self.cfg.core) {
             self.mgrs[owner.index()].reclaim_slot(slot);
         }
@@ -395,17 +422,23 @@ impl<W: Workload> Engine<W> {
                     w,
                     Pending::TaskStep(e.task),
                     t + Cycles(cost.deque_pop + 43),
+                    Bucket::Spawn,
                 );
             }
             PopOutcome::Empty => {
                 // Every ancestor was stolen; the remaining frames here are
                 // dead copies. Drain and go looking for work.
                 self.mgrs[w.index()].on_pop_empty();
-                self.set(w, Pending::Sched, t + Cycles(cost.deque_pop));
+                self.set(w, Pending::Sched, t + Cycles(cost.deque_pop), Bucket::Idle);
             }
             PopOutcome::Contended => {
                 // A thief holds our lock mid-transfer; retry shortly.
-                self.set(w, Pending::PostComplete, t + Cycles(cost.deque_pop + 200));
+                self.set(
+                    w,
+                    Pending::PostComplete,
+                    t + Cycles(cost.deque_pop + 200),
+                    Bucket::Idle,
+                );
             }
         }
     }
@@ -418,7 +451,7 @@ impl<W: Workload> Engine<W> {
     /// Figure 8 suspend — copy the frames out to the RDMA region and
     /// queue the saved context on the wait queue. Returns the cost, and
     /// records it in the Figure 10 "suspend" bar when `for_steal`.
-    fn park_blocked(&mut self, w: WorkerId, for_steal: bool) -> Cycles {
+    fn park_blocked(&mut self, w: WorkerId, for_steal: bool, now: Cycles) -> Cycles {
         let cost = self.cfg.cost.clone();
         let Some(task) = self.workers[w.index()].blocked.take() else {
             if for_steal {
@@ -426,6 +459,7 @@ impl<W: Workload> Engine<W> {
             }
             return Cycles::ZERO;
         };
+        self.trace.task_suspend(w, task, now);
         let pc = self.tasks.get(task).pc as u64;
         let (h, c) = self.mgrs[w.index()].suspend_current(&mut self.fabric, task, pc, &cost);
         self.mgrs[w.index()].wait_push(h);
@@ -440,6 +474,7 @@ impl<W: Workload> Engine<W> {
     /// the local queue, else start a steal.
     fn sched_step(&mut self, w: WorkerId, t: Cycles) {
         let cost = self.cfg.cost.clone();
+        let t0 = t;
         // `while (!try_join)`: the blocked thread resumes in place — the
         // paper's "typical case" where join only confirms termination.
         if let Some(task) = self.workers[w.index()].blocked {
@@ -449,7 +484,8 @@ impl<W: Workload> Engine<W> {
                 ctl.blocked = None;
                 ctl.current = Some(task);
                 ctl.fails = 0;
-                self.set(w, Pending::TaskStep(task), t);
+                self.trace.task_resume(w, task, t);
+                self.set(w, Pending::TaskStep(task), t, Bucket::SuspendResume);
                 return;
             }
         }
@@ -460,17 +496,20 @@ impl<W: Workload> Engine<W> {
                 // (Figure 7 line 22: suspend current, resume popped),
                 // then resume the ancestor in place: it is the bottom
                 // live segment now.
-                let parked = self.park_blocked(w, false);
+                let parked = self.park_blocked(w, false, t);
                 let rec = self.tasks.get_mut(e.task);
                 debug_assert_eq!(rec.at, TaskWhere::InDeque(w));
                 rec.at = TaskWhere::Running(w);
                 rec.pc = e.ctx as u32;
                 self.workers[w.index()].current = Some(e.task);
                 self.workers[w.index()].fails = 0;
+                self.trace.task_resume(w, e.task, t + parked);
+                self.trace.carry(w, Bucket::SuspendResume, parked);
                 self.set(
                     w,
                     Pending::TaskStep(e.task),
                     t + parked + Cycles(cost.deque_pop + cost.ctx_restore),
+                    Bucket::Spawn,
                 );
                 return;
             }
@@ -482,7 +521,12 @@ impl<W: Workload> Engine<W> {
                 }
             }
             PopOutcome::Contended => {
-                self.set(w, Pending::Sched, t + Cycles(cost.deque_pop + 200));
+                self.set(
+                    w,
+                    Pending::Sched,
+                    t + Cycles(cost.deque_pop + 200),
+                    Bucket::Idle,
+                );
                 return;
             }
         }
@@ -500,6 +544,10 @@ impl<W: Workload> Engine<W> {
         }
         let victim = WorkerId(v);
         self.steal_attempts += 1;
+        self.trace.steal_attempt(w);
+        // The local pop that came up empty is scheduler overhead, not
+        // part of the empty-check phase.
+        self.trace.carry(w, Bucket::Idle, t.since(t0));
         let ctl = &mut self.workers[w.index()];
         ctl.attempt_start = t;
         ctl.phase_start = t;
@@ -508,10 +556,18 @@ impl<W: Workload> Engine<W> {
             .remote_empty_check(&mut self.fabric, t, w)
             .expect("empty check")
         {
-            StealOutcome::Ok(done) => self.set(w, Pending::StealEmpty { victim, ok: true }, done),
-            StealOutcome::Empty(done) => {
-                self.set(w, Pending::StealEmpty { victim, ok: false }, done)
-            }
+            StealOutcome::Ok(done) => self.set(
+                w,
+                Pending::StealEmpty { victim, ok: true },
+                done,
+                Bucket::StealEmpty,
+            ),
+            StealOutcome::Empty(done) => self.set(
+                w,
+                Pending::StealEmpty { victim, ok: false },
+                done,
+                Bucket::StealEmpty,
+            ),
             StealOutcome::LockBusy(_) => unreachable!("empty check takes no lock"),
         }
     }
@@ -526,9 +582,11 @@ impl<W: Workload> Engine<W> {
         // loop polls on (the paper's runtime pays the same copy to find
         // out; Figure 7 lines 28-30).
         if self.mgrs[w.index()].wait_len() > 0 {
-            let parked = self.park_blocked(w, false);
+            let parked = self.park_blocked(w, false, t);
             self.mgrs[w.index()].on_pop_empty();
-            let h = self.mgrs[w.index()].wait_pop().expect("non-empty wait queue");
+            let h = self.mgrs[w.index()]
+                .wait_pop()
+                .expect("non-empty wait queue");
             let info = self.mgrs[w.index()].resume_saved(&mut self.fabric, h, &cost);
             let rec = self.tasks.get_mut(info.task);
             debug_assert_eq!(rec.at, TaskWhere::Waiting(w));
@@ -537,10 +595,16 @@ impl<W: Workload> Engine<W> {
             let ctl = &mut self.workers[w.index()];
             ctl.current = Some(info.task);
             ctl.fails = 0;
+            self.trace.task_resume(w, info.task, t + parked);
             // The resumed thread re-runs its JoinAll check; if its child
             // is still outstanding it becomes the blocked thread here
             // (polling, as the paper's join loop does).
-            self.set(w, Pending::TaskStep(info.task), t + parked + info.cost);
+            self.set(
+                w,
+                Pending::TaskStep(info.task),
+                t + parked + info.cost,
+                Bucket::SuspendResume,
+            );
             return;
         }
         // Nothing to switch to. If this worker still has a blocked joiner
@@ -558,7 +622,13 @@ impl<W: Workload> Engine<W> {
             ctl.fails = ctl.fails.saturating_add(1);
             self.cfg.idle_backoff * (ctl.fails.min(self.cfg.idle_backoff_cap) as u64)
         };
-        self.set(w, Pending::Sched, t + Cycles(cost.idle_poll + backoff));
+        self.trace.idle_poll(w, t);
+        self.set(
+            w,
+            Pending::Sched,
+            t + Cycles(cost.idle_poll + backoff),
+            Bucket::Idle,
+        );
     }
 
     // ------------------------------------------------------------------
@@ -568,21 +638,44 @@ impl<W: Workload> Engine<W> {
     fn steal_after_empty(&mut self, w: WorkerId, victim: WorkerId, ok: bool, t: Cycles) {
         if !ok {
             self.breakdown.aborted_empty += 1;
+            let latency = t.since(self.workers[w.index()].attempt_start);
+            self.trace
+                .steal_result(w, victim, StealEnd::AbortEmpty, t, latency);
             self.sched_wait_step(w, t);
             return;
         }
-        let elapsed = t.since(self.workers[w.index()].phase_start);
+        let phase_start = self.workers[w.index()].phase_start;
+        let elapsed = t.since(phase_start);
         self.breakdown.record(StealPhase::EmptyCheck, elapsed);
+        self.trace
+            .steal_phase(w, victim, StealPhaseId::EmptyCheck, phase_start, elapsed);
         self.workers[w.index()].phase_start = t;
+        #[cfg(feature = "trace")]
+        let faa_before = self.fabric.stats().faa_queue_cycles;
         let vdeque = self.mgrs[victim.index()].deque();
-        match vdeque
+        let outcome = vdeque
             .remote_try_lock(&mut self.fabric, t, w)
-            .expect("lock")
+            .expect("lock");
+        #[cfg(feature = "trace")]
         {
-            StealOutcome::Ok(done) => self.set(w, Pending::StealLock { victim, ok: true }, done),
-            StealOutcome::LockBusy(done) => {
-                self.set(w, Pending::StealLock { victim, ok: false }, done)
-            }
+            // Queueing at the victim node's software FAA server happens
+            // at the start of the lock span; split it out of the bucket.
+            let wait = self.fabric.stats().faa_queue_cycles - faa_before;
+            self.trace.carry(w, Bucket::FaaQueue, Cycles(wait));
+        }
+        match outcome {
+            StealOutcome::Ok(done) => self.set(
+                w,
+                Pending::StealLock { victim, ok: true },
+                done,
+                Bucket::StealLock,
+            ),
+            StealOutcome::LockBusy(done) => self.set(
+                w,
+                Pending::StealLock { victim, ok: false },
+                done,
+                Bucket::StealLock,
+            ),
             StealOutcome::Empty(_) => unreachable!("lock does not observe emptiness"),
         }
     }
@@ -590,11 +683,17 @@ impl<W: Workload> Engine<W> {
     fn steal_after_lock(&mut self, w: WorkerId, victim: WorkerId, ok: bool, t: Cycles) {
         if !ok {
             self.breakdown.aborted_lock += 1;
+            let latency = t.since(self.workers[w.index()].attempt_start);
+            self.trace
+                .steal_result(w, victim, StealEnd::AbortLock, t, latency);
             self.sched_wait_step(w, t);
             return;
         }
-        let elapsed = t.since(self.workers[w.index()].phase_start);
+        let phase_start = self.workers[w.index()].phase_start;
+        let elapsed = t.since(phase_start);
         self.breakdown.record(StealPhase::Lock, elapsed);
+        self.trace
+            .steal_phase(w, victim, StealPhaseId::Lock, phase_start, elapsed);
         self.workers[w.index()].phase_start = t;
         let vdeque = self.mgrs[victim.index()].deque();
         match vdeque
@@ -612,11 +711,18 @@ impl<W: Workload> Engine<W> {
                         entry: Some(e),
                     },
                     done,
+                    Bucket::StealEntry,
                 )
             }
-            StealOutcome::Empty(done) => {
-                self.set(w, Pending::StealEntry { victim, entry: None }, done)
-            }
+            StealOutcome::Empty(done) => self.set(
+                w,
+                Pending::StealEntry {
+                    victim,
+                    entry: None,
+                },
+                done,
+                Bucket::StealEntry,
+            ),
             StealOutcome::LockBusy(_) => unreachable!("we hold the lock"),
         }
     }
@@ -632,17 +738,26 @@ impl<W: Workload> Engine<W> {
         let Some(e) = entry else {
             // Drained while we were locking; unlock and give up.
             self.breakdown.aborted_raced += 1;
+            let latency = t.since(self.workers[w.index()].attempt_start);
+            self.trace
+                .steal_result(w, victim, StealEnd::AbortRaced, t, latency);
             let done = vdeque
                 .remote_unlock(&mut self.fabric, t, w)
                 .expect("unlock");
-            self.set(w, Pending::StealAbortUnlock, done);
+            self.set(w, Pending::StealAbortUnlock, done, Bucket::StealUnlock);
             return;
         };
-        let elapsed = t.since(self.workers[w.index()].phase_start);
+        let phase_start = self.workers[w.index()].phase_start;
+        let elapsed = t.since(phase_start);
         self.breakdown.record(StealPhase::Steal, elapsed);
+        self.trace
+            .steal_phase(w, victim, StealPhaseId::Steal, phase_start, elapsed);
         // Figure 6 line 19: suspend whatever this worker still holds
         // before bringing in the stolen frames.
-        let parked = self.park_blocked(w, true);
+        let parked = self.park_blocked(w, true, t);
+        self.trace
+            .steal_phase(w, victim, StealPhaseId::Suspend, t, parked);
+        self.trace.carry(w, Bucket::SuspendResume, parked);
         self.mgrs[w.index()].on_pop_empty();
         let t = t + parked;
         self.workers[w.index()].phase_start = t;
@@ -659,7 +774,12 @@ impl<W: Workload> Engine<W> {
             e.frame_size,
         );
         self.page_faults += info.faults;
-        self.set(w, Pending::StealTransfer { victim, entry: e }, info.done);
+        self.set(
+            w,
+            Pending::StealTransfer { victim, entry: e },
+            info.done,
+            Bucket::StealTransfer,
+        );
     }
 
     fn steal_after_transfer(
@@ -669,24 +789,40 @@ impl<W: Workload> Engine<W> {
         entry: TaskqEntry,
         t: Cycles,
     ) {
-        let elapsed = t.since(self.workers[w.index()].phase_start);
+        let phase_start = self.workers[w.index()].phase_start;
+        let elapsed = t.since(phase_start);
         self.breakdown.record(StealPhase::StackTransfer, elapsed);
+        self.trace
+            .steal_phase(w, victim, StealPhaseId::StackTransfer, phase_start, elapsed);
         self.workers[w.index()].phase_start = t;
         let vdeque = self.mgrs[victim.index()].deque();
         let done = vdeque
             .remote_unlock(&mut self.fabric, t, w)
             .expect("unlock");
-        self.set(w, Pending::StealUnlock { entry }, done);
+        self.set(
+            w,
+            Pending::StealUnlock { victim, entry },
+            done,
+            Bucket::StealUnlock,
+        );
     }
 
-    fn steal_after_unlock(&mut self, w: WorkerId, entry: TaskqEntry, t: Cycles) {
+    fn steal_after_unlock(&mut self, w: WorkerId, victim: WorkerId, entry: TaskqEntry, t: Cycles) {
         let cost = self.cfg.cost.clone();
-        let elapsed = t.since(self.workers[w.index()].phase_start);
+        let phase_start = self.workers[w.index()].phase_start;
+        let elapsed = t.since(phase_start);
         self.breakdown.record(StealPhase::Unlock, elapsed);
+        self.trace
+            .steal_phase(w, victim, StealPhaseId::Unlock, phase_start, elapsed);
         self.breakdown
             .record(StealPhase::Resume, Cycles(cost.resume_base));
+        self.trace
+            .steal_phase(w, victim, StealPhaseId::Resume, t, Cycles(cost.resume_base));
         self.breakdown.completed += 1;
         self.steals_completed += 1;
+        let latency = t.since(self.workers[w.index()].attempt_start) + Cycles(cost.resume_base);
+        self.trace
+            .steal_result(w, victim, StealEnd::Completed, t, latency);
         let rec = self.tasks.get_mut(entry.task);
         debug_assert_eq!(rec.at, TaskWhere::InFlight);
         rec.at = TaskWhere::Running(w);
@@ -695,10 +831,12 @@ impl<W: Workload> Engine<W> {
         ctl.current = Some(entry.task);
         ctl.fails = 0;
         ctl.tasks_run += 1;
+        self.trace.task_resume(w, entry.task, t);
         self.set(
             w,
             Pending::TaskStep(entry.task),
             t + Cycles(cost.resume_base),
+            Bucket::SuspendResume,
         );
     }
 
@@ -726,6 +864,8 @@ impl<W: Workload> Engine<W> {
             .max()
             .unwrap_or(0);
         let committed: u64 = self.mgrs.iter().map(|m| m.mem_stats().committed).sum();
+        let tasks_run: Vec<u64> = self.workers.iter().map(|c| c.tasks_run).collect();
+        let (per_worker, steal_latency, task_run_length) = self.trace.collect_summaries(&tasks_run);
         RunStats {
             workload: self.workload.name(),
             scheme: self.cfg.scheme,
@@ -746,16 +886,59 @@ impl<W: Workload> Engine<W> {
             committed_total: committed,
             fabric: self.fabric.stats(),
             events: self.events,
+            per_worker,
+            steal_latency,
+            task_run_length,
         }
+    }
+}
+
+#[cfg(feature = "trace")]
+impl<W: Workload> Engine<W> {
+    /// Default per-worker ring capacity for [`Engine::run_traced`].
+    pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+    /// Install a structured-event sink (one bounded ring of
+    /// `ring_capacity` events per worker) and enable fabric-level RDMA
+    /// tracing. Without this, a `trace`-feature build still fills the
+    /// per-worker time accounts and histograms but keeps no event log.
+    pub fn with_tracing(mut self, ring_capacity: usize) -> Self {
+        let workers = self.cfg.topo.total_workers() as usize;
+        self.trace.install_sink(workers, ring_capacity);
+        self.fabric.enable_trace(ring_capacity);
+        self
+    }
+
+    /// Run to completion, returning both the measurements and the full
+    /// event trace (installing a default-capacity sink if
+    /// [`Engine::with_tracing`] was not called).
+    pub fn run_traced(mut self) -> (RunStats, uat_trace::TraceData) {
+        if !self.trace.has_sink() {
+            self = self.with_tracing(Self::DEFAULT_RING_CAPACITY);
+        }
+        let makespan = self.run_loop();
+        let clock_hz = self.cfg.cost.clock_hz;
+        let workers = self.trace.take_rings();
+        let fabric = self.fabric.take_trace();
+        let stats = self.collect(makespan);
+        (
+            stats,
+            uat_trace::TraceData {
+                clock_hz,
+                workers,
+                fabric,
+                makespan,
+            },
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uat_core::SchemeKind;
     use crate::workload::sequential_profile;
     use crate::workload::testutil::BinTree;
+    use uat_core::SchemeKind;
 
     fn tree(depth: u32, work: u64) -> BinTree {
         BinTree {
@@ -859,5 +1042,112 @@ mod tests {
             cpt > 300.0 && cpt < 1_500.0,
             "cycles per task {cpt} should be near the 413-cycle spawn cost"
         );
+    }
+
+    /// Cross-checks between the tracing layer and the engine's own
+    /// accumulators — the tentpole invariants of the trace subsystem.
+    #[cfg(feature = "trace")]
+    mod trace_checks {
+        use super::*;
+        use uat_trace::Bucket;
+
+        fn engine(workers: u32, depth: u32, work: u64, seed: u64) -> Engine<BinTree> {
+            let mut cfg = SimConfig::tiny(workers)
+                .with_scheme(SchemeKind::Uni)
+                .with_seed(seed);
+            cfg.core.verify_stack_bytes = true;
+            cfg.max_events = 50_000_000;
+            Engine::new(cfg, tree(depth, work))
+        }
+
+        #[test]
+        fn per_worker_accounts_sum_to_makespan() {
+            // Holds with or without a sink installed: plain run().
+            let s = engine(4, 10, 800, 11).run();
+            assert_eq!(s.per_worker.len(), 4);
+            for ws in &s.per_worker {
+                assert_eq!(
+                    ws.account.total(),
+                    s.makespan,
+                    "worker {} account does not tile the makespan",
+                    ws.worker
+                );
+            }
+            let attempts: u64 = s.per_worker.iter().map(|w| w.steal_attempts).sum();
+            let completed: u64 = s.per_worker.iter().map(|w| w.steals_completed).sum();
+            let tasks: u64 = s.per_worker.iter().map(|w| w.tasks_run).sum();
+            assert_eq!(attempts, s.steal_attempts);
+            assert_eq!(completed, s.steals_completed);
+            // `tasks_run` counts activations: every spawned child (the
+            // root is installed, not spawned) plus every stolen
+            // continuation resumed on the thief.
+            assert_eq!(tasks, s.total_tasks - 1 + s.steals_completed);
+            assert_eq!(s.task_run_length.count, s.total_tasks);
+            // Attempts still in flight at the makespan never resolve, so
+            // the latency digest can trail the attempt counter slightly.
+            assert!(s.steal_latency.count <= s.steal_attempts);
+            assert!(s.steal_latency.count >= s.steals_completed);
+            assert!(s.idle_fraction() > 0.0 && s.idle_fraction() < 1.0);
+        }
+
+        #[test]
+        fn trace_steal_phase_durations_match_breakdown() {
+            let (s, trace) = engine(4, 10, 2_000, 12).with_tracing(1 << 20).run_traced();
+            assert!(s.breakdown.completed > 0, "need steals to cross-check");
+            assert_eq!(trace.dropped(), 0, "ring must hold the whole run");
+            let totals = trace.steal_phase_totals();
+            for (i, p) in StealPhase::ALL.iter().enumerate() {
+                let expect = s.breakdown.phase_total(*p);
+                let got = totals[i] as f64;
+                assert!(
+                    (got - expect).abs() <= expect.abs() * 1e-9 + 0.5,
+                    "{}: trace total {got} vs breakdown {expect}",
+                    p.name()
+                );
+            }
+        }
+
+        #[test]
+        fn timeline_slices_tile_every_worker_exactly() {
+            let (s, trace) = engine(2, 8, 1_000, 13).with_tracing(1 << 20).run_traced();
+            assert_eq!(trace.dropped(), 0);
+            let mut sums = vec![0u64; s.workers as usize];
+            for b in Bucket::ALL {
+                for (w, total) in trace.slice_totals(b).into_iter().enumerate() {
+                    sums[w] += total;
+                }
+            }
+            for (w, sum) in sums.into_iter().enumerate() {
+                assert_eq!(sum, s.makespan.get(), "worker {w} slices do not tile");
+            }
+        }
+
+        #[test]
+        fn chrome_export_of_a_run_is_valid_json() {
+            let (s, trace) = engine(2, 6, 500, 14).run_traced();
+            let text = uat_trace::chrome_trace_json(&trace);
+            let doc = uat_base::Json::parse(&text).expect("valid Chrome trace JSON");
+            let events = doc.field("traceEvents").unwrap().as_arr().unwrap();
+            // At least the metadata rows plus real events.
+            assert!(events.len() > 1 + s.workers as usize);
+            assert_eq!(
+                doc.field("otherData")
+                    .unwrap()
+                    .field("makespan_cycles")
+                    .unwrap()
+                    .as_u64()
+                    .unwrap(),
+                s.makespan.get()
+            );
+        }
+
+        #[test]
+        fn untraced_and_traced_runs_agree_on_measurements() {
+            let a = engine(4, 9, 700, 15).run();
+            let (b, _) = engine(4, 9, 700, 15).run_traced();
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.steals_completed, b.steals_completed);
+        }
     }
 }

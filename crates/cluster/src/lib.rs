@@ -27,11 +27,12 @@ pub mod engine;
 pub mod metrics;
 pub mod sweep;
 pub mod task;
+mod tracing;
 pub mod workload;
 
 pub use config::SimConfig;
 pub use engine::Engine;
-pub use metrics::RunStats;
+pub use metrics::{RunStats, WorkerSummary};
 pub use sweep::{sweep, ScalePoint};
 pub use task::{TaskId64, TaskTable};
 pub use workload::{Action, Workload};

@@ -1,9 +1,61 @@
 //! Run-level metrics: what the paper's tables and figures are made of.
 
 use serde::{Deserialize, Serialize};
-use uat_base::Cycles;
+use uat_base::json::{FromJson, Json, JsonError, ToJson};
+use uat_base::{Cycles, HistSummary};
 use uat_core::{SchemeKind, StealBreakdown};
 use uat_rdma::FabricStats;
+use uat_trace::{Bucket, TimeAccount};
+
+/// One worker's slice of a run, from the tracing layer. Populated only
+/// when the `trace` feature is enabled (the default); otherwise
+/// `RunStats::per_worker` is simply empty.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WorkerSummary {
+    /// Worker id.
+    pub worker: u32,
+    /// Tasks this worker executed (spawned-and-ran plus stolen).
+    pub tasks_run: u64,
+    /// Steal attempts this worker initiated.
+    pub steal_attempts: u64,
+    /// Steal attempts that completed with a stolen thread resumed.
+    pub steals_completed: u64,
+    /// Every simulated cycle of this worker, charged by bucket; totals
+    /// the run's makespan exactly.
+    pub account: TimeAccount,
+    /// Distribution of steal-attempt latency (issue to abort/resume).
+    pub steal_latency: HistSummary,
+    /// Distribution of task run lengths (spawn to completion).
+    pub run_length: HistSummary,
+}
+
+impl ToJson for WorkerSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("worker", Json::UInt(self.worker as u64)),
+            ("tasks_run", Json::UInt(self.tasks_run)),
+            ("steal_attempts", Json::UInt(self.steal_attempts)),
+            ("steals_completed", Json::UInt(self.steals_completed)),
+            ("account", self.account.to_json()),
+            ("steal_latency", self.steal_latency.to_json()),
+            ("run_length", self.run_length.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WorkerSummary {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(WorkerSummary {
+            worker: v.field("worker")?.as_u64()? as u32,
+            tasks_run: v.field("tasks_run")?.as_u64()?,
+            steal_attempts: v.field("steal_attempts")?.as_u64()?,
+            steals_completed: v.field("steals_completed")?.as_u64()?,
+            account: TimeAccount::from_json(v.field("account")?)?,
+            steal_latency: HistSummary::from_json(v.field("steal_latency")?)?,
+            run_length: HistSummary::from_json(v.field("run_length")?)?,
+        })
+    }
+}
 
 /// Everything measured in one simulated run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -47,6 +99,13 @@ pub struct RunStats {
     pub fabric: FabricStats,
     /// Discrete events processed (simulator diagnostics).
     pub events: u64,
+    /// Per-worker timeline accounts and histograms (empty when the
+    /// `trace` feature is disabled).
+    pub per_worker: Vec<WorkerSummary>,
+    /// Machine-wide steal-attempt latency digest.
+    pub steal_latency: HistSummary,
+    /// Machine-wide task run-length digest.
+    pub task_run_length: HistSummary,
 }
 
 impl RunStats {
@@ -86,10 +145,37 @@ impl RunStats {
         (self.makespan.get() as f64 * self.workers as f64) / self.total_tasks as f64
     }
 
+    /// Fraction of steal attempts that completed with a stolen thread.
+    pub fn steal_success_rate(&self) -> f64 {
+        if self.steal_attempts == 0 {
+            return 0.0;
+        }
+        self.steals_completed as f64 / self.steal_attempts as f64
+    }
+
+    /// Machine-wide fraction of worker time spent idle, from the
+    /// per-worker accounts (0 when tracing was compiled out).
+    pub fn idle_fraction(&self) -> f64 {
+        let total: u64 = self
+            .per_worker
+            .iter()
+            .map(|w| w.account.total().get())
+            .sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let idle: u64 = self
+            .per_worker
+            .iter()
+            .map(|w| w.account.get(Bucket::Idle).get())
+            .sum();
+        idle as f64 / total as f64
+    }
+
     /// One-line summary for harness output.
     pub fn summary_line(&self) -> String {
         format!(
-            "{:<24} {:?} w={:<5} tasks={:<12} time={:>10.4}s thr={:>12.0}/s steals={:<8} stack={}B",
+            "{:<24} {:?} w={:<5} tasks={:<12} time={:>10.4}s thr={:>12.0}/s steals={:<8} ok={:>5.1}% idle={:>5.1}% stack={}B",
             self.workload,
             self.scheme,
             self.workers,
@@ -97,8 +183,71 @@ impl RunStats {
             self.seconds(),
             self.throughput(),
             self.steals_completed,
+            100.0 * self.steal_success_rate(),
+            100.0 * self.idle_fraction(),
             self.peak_stack_usage,
         )
+    }
+}
+
+impl ToJson for RunStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::str(&self.workload)),
+            ("scheme", self.scheme.to_json()),
+            ("workers", Json::UInt(self.workers as u64)),
+            ("clock_hz", Json::Num(self.clock_hz)),
+            ("makespan_cycles", Json::UInt(self.makespan.get())),
+            ("total_tasks", Json::UInt(self.total_tasks)),
+            ("total_units", Json::UInt(self.total_units)),
+            ("total_work_cycles", Json::UInt(self.total_work_cycles)),
+            ("peak_live_tasks", Json::UInt(self.peak_live_tasks)),
+            ("steals_completed", Json::UInt(self.steals_completed)),
+            ("steal_attempts", Json::UInt(self.steal_attempts)),
+            ("breakdown", self.breakdown.to_json()),
+            ("peak_stack_usage", Json::UInt(self.peak_stack_usage)),
+            (
+                "reserved_va_per_worker",
+                Json::UInt(self.reserved_va_per_worker),
+            ),
+            ("pinned_per_worker", Json::UInt(self.pinned_per_worker)),
+            ("page_faults", Json::UInt(self.page_faults)),
+            ("committed_total", Json::UInt(self.committed_total)),
+            ("fabric", self.fabric.to_json()),
+            ("events", Json::UInt(self.events)),
+            ("per_worker", self.per_worker.to_json()),
+            ("steal_latency", self.steal_latency.to_json()),
+            ("task_run_length", self.task_run_length.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RunStats {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(RunStats {
+            workload: String::from_json(v.field("workload")?)?,
+            scheme: SchemeKind::from_json(v.field("scheme")?)?,
+            workers: v.field("workers")?.as_u64()? as u32,
+            clock_hz: v.field("clock_hz")?.as_f64()?,
+            makespan: Cycles(v.field("makespan_cycles")?.as_u64()?),
+            total_tasks: v.field("total_tasks")?.as_u64()?,
+            total_units: v.field("total_units")?.as_u64()?,
+            total_work_cycles: v.field("total_work_cycles")?.as_u64()?,
+            peak_live_tasks: v.field("peak_live_tasks")?.as_u64()?,
+            steals_completed: v.field("steals_completed")?.as_u64()?,
+            steal_attempts: v.field("steal_attempts")?.as_u64()?,
+            breakdown: StealBreakdown::from_json(v.field("breakdown")?)?,
+            peak_stack_usage: v.field("peak_stack_usage")?.as_u64()?,
+            reserved_va_per_worker: v.field("reserved_va_per_worker")?.as_u64()?,
+            pinned_per_worker: v.field("pinned_per_worker")?.as_u64()?,
+            page_faults: v.field("page_faults")?.as_u64()?,
+            committed_total: v.field("committed_total")?.as_u64()?,
+            fabric: FabricStats::from_json(v.field("fabric")?)?,
+            events: v.field("events")?.as_u64()?,
+            per_worker: Vec::from_json(v.field("per_worker")?)?,
+            steal_latency: HistSummary::from_json(v.field("steal_latency")?)?,
+            task_run_length: HistSummary::from_json(v.field("task_run_length")?)?,
+        })
     }
 }
 
@@ -127,6 +276,9 @@ mod tests {
             committed_total: 0,
             fabric: FabricStats::default(),
             events: 0,
+            per_worker: Vec::new(),
+            steal_latency: HistSummary::default(),
+            task_run_length: HistSummary::default(),
         }
     }
 
@@ -157,5 +309,94 @@ mod tests {
         let s = stats(1, 0, 0);
         assert_eq!(s.throughput(), 0.0);
         assert_eq!(s.cycles_per_task(), 0.0);
+        assert_eq!(s.steal_success_rate(), 0.0);
+        assert_eq!(s.idle_fraction(), 0.0);
+    }
+
+    fn worker_summary(worker: u32, work: u64, idle: u64) -> WorkerSummary {
+        let mut account = TimeAccount::new();
+        account.charge(Bucket::Work, Cycles(work));
+        account.charge(Bucket::Idle, Cycles(idle));
+        WorkerSummary {
+            worker,
+            tasks_run: 3,
+            steal_attempts: 5,
+            steals_completed: 2,
+            account,
+            steal_latency: HistSummary {
+                count: 5,
+                p50: 31,
+                p90: 63,
+                p99: 63,
+                max: 63,
+            },
+            run_length: HistSummary {
+                count: 3,
+                p50: 127,
+                p90: 255,
+                p99: 255,
+                max: 255,
+            },
+        }
+    }
+
+    #[test]
+    fn steal_success_and_idle_fraction() {
+        let mut s = stats(2, 100, 1_000);
+        s.steal_attempts = 10;
+        s.steals_completed = 4;
+        s.per_worker = vec![worker_summary(0, 900, 100), worker_summary(1, 500, 500)];
+        assert!((s.steal_success_rate() - 0.4).abs() < 1e-12);
+        assert!((s.idle_fraction() - 600.0 / 2_000.0).abs() < 1e-12);
+    }
+
+    /// Pins the exact `summary_line` layout: harness output is parsed by
+    /// eye and by scripts, so a format change must be deliberate.
+    #[test]
+    fn summary_line_format_is_pinned() {
+        let mut s = stats(4, 1_000_000, 1_000_000_000);
+        s.steal_attempts = 10;
+        s.steals_completed = 5;
+        assert_eq!(
+            s.summary_line(),
+            "t                        Uni w=4     tasks=1000000      time=    1.0000s \
+             thr=     1000000/s steals=5        ok= 50.0% idle=  0.0% stack=0B"
+        );
+    }
+
+    #[test]
+    fn run_stats_json_round_trip() {
+        let mut s = stats(2, 1_000, 500_000);
+        s.steal_attempts = 7;
+        s.steals_completed = 3;
+        s.page_faults = 11;
+        s.per_worker = vec![
+            worker_summary(0, 400_000, 100_000),
+            worker_summary(1, 1, 499_999),
+        ];
+        s.steal_latency = HistSummary {
+            count: 7,
+            p50: 15,
+            p90: 31,
+            p99: 31,
+            max: 31,
+        };
+        s.task_run_length = HistSummary {
+            count: 1_000,
+            p50: 511,
+            p90: 1_023,
+            p99: 2_047,
+            max: 4_095,
+        };
+        let text = s.to_json().to_string();
+        let back = RunStats::from_json(&uat_base::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.workload, s.workload);
+        assert_eq!(back.makespan, s.makespan);
+        assert_eq!(back.per_worker.len(), 2);
+        assert_eq!(back.per_worker[1].account, s.per_worker[1].account);
+        assert_eq!(back.steal_latency, s.steal_latency);
+        assert_eq!(back.task_run_length, s.task_run_length);
+        // Byte-exact re-serialization: the schema has no lossy fields.
+        assert_eq!(back.to_json().to_string(), text);
     }
 }

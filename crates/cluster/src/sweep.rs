@@ -20,11 +20,7 @@ pub struct ScalePoint {
 
 /// Run `workload` at each node count (FX10 shape: 15 workers/node) and
 /// report throughput + efficiency relative to the first point.
-pub fn sweep<W, F>(
-    base: &SimConfig,
-    node_counts: &[u32],
-    make_workload: F,
-) -> Vec<ScalePoint>
+pub fn sweep<W, F>(base: &SimConfig, node_counts: &[u32], make_workload: F) -> Vec<ScalePoint>
 where
     W: Workload,
     F: Fn() -> W,
@@ -54,7 +50,11 @@ pub fn render(points: &[ScalePoint], unit: &str) -> String {
     writeln!(
         s,
         "{:>8} {:>16} {:>12} {:>10} {:>10}",
-        "cores", format!("{unit}/s"), "time(s)", "steals", "efficiency"
+        "cores",
+        format!("{unit}/s"),
+        "time(s)",
+        "steals",
+        "efficiency"
     )
     .unwrap();
     for p in points {

@@ -124,7 +124,9 @@ impl<D> TaskTable<D> {
         let generation = (id >> 32) as u32;
         let s = &mut self.slots[slot];
         assert_eq!(s.generation, generation, "stale task id {id:#x}");
-        s.task.as_mut().unwrap_or_else(|| panic!("task {id:#x} freed"))
+        s.task
+            .as_mut()
+            .unwrap_or_else(|| panic!("task {id:#x} freed"))
     }
 
     /// Access if live and current.
@@ -144,7 +146,10 @@ impl<D> TaskTable<D> {
         let generation = (id >> 32) as u32;
         let s = &mut self.slots[slot];
         assert_eq!(s.generation, generation, "stale task id {id:#x}");
-        let t = s.task.take().unwrap_or_else(|| panic!("double free of {id:#x}"));
+        let t = s
+            .task
+            .take()
+            .unwrap_or_else(|| panic!("double free of {id:#x}"));
         s.generation = s.generation.wrapping_add(1);
         self.free.push(slot as u32);
         self.live -= 1;
@@ -178,7 +183,12 @@ mod tests {
     #[test]
     fn spawn_get_free_roundtrip() {
         let mut t = table();
-        let id = t.spawn(vec![Action::Work(5)], None, TaskWhere::Running(WorkerId(0)), 100);
+        let id = t.spawn(
+            vec![Action::Work(5)],
+            None,
+            TaskWhere::Running(WorkerId(0)),
+            100,
+        );
         assert_eq!(t.live(), 1);
         assert_eq!(t.get(id).frame_size, 100);
         t.get_mut(id).pc = 1;

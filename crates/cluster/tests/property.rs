@@ -50,7 +50,10 @@ impl Workload for RandomTree {
         for p in 0..phases {
             let in_phase = if p + 1 == phases { n - spawned } else { n / 2 };
             for i in 0..in_phase {
-                out.push(Action::Spawn((depth + 1, mix(h, 100 + u64::from(spawned + i)))));
+                out.push(Action::Spawn((
+                    depth + 1,
+                    mix(h, 100 + u64::from(spawned + i)),
+                )));
             }
             spawned += in_phase;
             if in_phase > 0 {

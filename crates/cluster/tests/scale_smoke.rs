@@ -50,11 +50,20 @@ fn btc_relative_efficiency_probe() {
         let s = Engine::new(base, Btc::new(23, 1)).run();
         eprintln!(
             "{}w: time={:.4}s cpt={:.0} steals={} events={}",
-            s.workers, s.seconds(), s.cycles_per_task(), s.steals_completed, s.events
+            s.workers,
+            s.seconds(),
+            s.cycles_per_task(),
+            s.steals_completed,
+            s.events
         );
         pts.push(s);
     }
     for p in &pts[1..] {
-        eprintln!("eff({} vs {}) = {:.3}", p.workers, pts[0].workers, p.efficiency_vs(&pts[0]));
+        eprintln!(
+            "eff({} vs {}) = {:.3}",
+            p.workers,
+            pts[0].workers,
+            p.efficiency_vs(&pts[0])
+        );
     }
 }

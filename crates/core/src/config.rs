@@ -35,10 +35,10 @@ impl Default for CoreConfig {
     fn default() -> Self {
         CoreConfig {
             uni_base: 0x7f80_0000_0000,
-            uni_region_size: 1 << 20,      // 1 MiB
-            rdma_heap_size: 8 << 20,       // 8 MiB
+            uni_region_size: 1 << 20, // 1 MiB
+            rdma_heap_size: 8 << 20,  // 8 MiB
             deque_capacity: 4096,
-            iso_stack_size: 16 << 10,      // 16 KiB (paper's estimate)
+            iso_stack_size: 16 << 10,       // 16 KiB (paper's estimate)
             iso_stacks_per_worker: 1 << 13, // tree depth ~8K (paper's example)
             verify_stack_bytes: false,
         }

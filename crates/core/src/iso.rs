@@ -81,12 +81,7 @@ impl IsoMgr {
     ///
     /// Panics if the reservation exceeds the 2^48 x86-64 address space —
     /// exactly the failure mode of the paper's Section 4 example.
-    pub fn new(
-        fabric: &mut Fabric,
-        id: WorkerId,
-        cfg: &CoreConfig,
-        total_workers: u64,
-    ) -> Self {
+    pub fn new(fabric: &mut Fabric, id: WorkerId, cfg: &CoreConfig, total_workers: u64) -> Self {
         let mut space = AddressSpace::new();
         let global = cfg.iso_global_range(total_workers);
         space.reserve_at(ISO_BASE, global).unwrap_or_else(|e| {
@@ -104,8 +99,7 @@ impl IsoMgr {
         fabric
             .register(id, dq_r.base, dq_bytes as usize)
             .expect("register deque");
-        let deque =
-            SimDeque::init(fabric, id, dq_r.base, cfg.deque_capacity).expect("init deque");
+        let deque = SimDeque::init(fabric, id, dq_r.base, cfg.deque_capacity).expect("init deque");
 
         IsoMgr {
             id,
@@ -244,7 +238,10 @@ impl IsoMgr {
         let intra = fabric.topology().same_node(self.id, victim.id);
         let payload = cost.rdma_read(size as usize, intra);
         // Same address, new address space: first touches fault here.
-        let faults = self.space.touch(st.base, size).expect("global range reserved");
+        let faults = self
+            .space
+            .touch(st.base, size)
+            .expect("global range reserved");
         let fault_cycles = Cycles(faults * cost.page_fault);
         if self.verify {
             assert_eq!(
@@ -380,7 +377,11 @@ mod tests {
         let cost = CostModel::fx10();
         a.spawn_frame(1, 2000);
         let (h, c_susp) = a.suspend(1, 99, &cost);
-        assert_eq!(c_susp, Cycles(cost.suspend_base), "no memcpy in iso suspend");
+        assert_eq!(
+            c_susp,
+            Cycles(cost.suspend_base),
+            "no memcpy in iso suspend"
+        );
         a.wait_push(h);
         let h2 = a.wait_pop().unwrap();
         let (task, ctx, _) = a.resume_saved(h2, &cost);

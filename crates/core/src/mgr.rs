@@ -23,6 +23,27 @@ pub enum SchemeKind {
     Iso,
 }
 
+impl uat_base::ToJson for SchemeKind {
+    fn to_json(&self) -> uat_base::Json {
+        uat_base::Json::str(match self {
+            SchemeKind::Uni => "uni",
+            SchemeKind::Iso => "iso",
+        })
+    }
+}
+
+impl uat_base::FromJson for SchemeKind {
+    fn from_json(v: &uat_base::Json) -> Result<Self, uat_base::JsonError> {
+        match v.as_str()? {
+            "uni" => Ok(SchemeKind::Uni),
+            "iso" => Ok(SchemeKind::Iso),
+            other => Err(uat_base::JsonError {
+                msg: format!("unknown scheme `{other}`"),
+            }),
+        }
+    }
+}
+
 /// What resuming a suspended thread yields.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ResumeInfo {
@@ -94,11 +115,7 @@ impl StackMgr {
 
     /// The running task exits. For iso, returns the stack slot to recycle
     /// as `(slab_owner, slot_base)`; the cluster routes it home.
-    pub fn complete(
-        &mut self,
-        task: u64,
-        cfg: &CoreConfig,
-    ) -> Option<(WorkerId, u64)> {
+    pub fn complete(&mut self, task: u64, cfg: &CoreConfig) -> Option<(WorkerId, u64)> {
         match self {
             StackMgr::Uni(m) => {
                 m.complete_bottom(task);
@@ -272,7 +289,16 @@ mod tests {
         let (p_base, _) = mgrs[0].spawn_frame(&mut f, 1, 3000);
         mgrs[0].spawn_frame(&mut f, 2, 800);
         // Worker 3 steals parent 1.
-        let info = transfer_stolen(&mut f, Cycles(0), &mut mgrs, WorkerId(3), WorkerId(0), 1, p_base, 3000);
+        let info = transfer_stolen(
+            &mut f,
+            Cycles(0),
+            &mut mgrs,
+            WorkerId(3),
+            WorkerId(0),
+            1,
+            p_base,
+            3000,
+        );
         assert!(info.done > Cycles(0));
         match kind {
             SchemeKind::Uni => assert_eq!(info.faults, 0, "one-sided, pinned: no faults"),
@@ -325,7 +351,10 @@ mod tests {
             let m = StackMgr::new(SchemeKind::Iso, &mut f, WorkerId(0), &cfg, total);
             iso_va.push(m.mem_stats().reserved);
         }
-        assert!(iso_va[1] >= iso_va[0] * 500, "iso VA grows with the machine");
+        assert!(
+            iso_va[1] >= iso_va[0] * 500,
+            "iso VA grows with the machine"
+        );
         assert!(iso_va[1] > uni_va * 100);
         assert!(iso_va[0] >= cfg.iso_global_range(4));
         // Uni would be unchanged at any machine size: nothing in UniMgr
@@ -336,6 +365,15 @@ mod tests {
     #[should_panic(expected = "cannot steal from itself")]
     fn self_steal_rejected() {
         let (mut f, mut mgrs, _) = machine(SchemeKind::Uni);
-        transfer_stolen(&mut f, Cycles(0), &mut mgrs, WorkerId(0), WorkerId(0), 1, 0, 64);
+        transfer_stolen(
+            &mut f,
+            Cycles(0),
+            &mut mgrs,
+            WorkerId(0),
+            WorkerId(0),
+            1,
+            0,
+            64,
+        );
     }
 }

@@ -195,7 +195,10 @@ impl UniRegion {
     /// or swap-out). `p` rises past it and past any dead segments exposed
     /// above it. Returns the removed segment.
     pub fn release_bottom(&mut self, task: u64) -> Result<Segment, RegionError> {
-        let bottom = *self.segments.last().ok_or(RegionError::NoSuchSegment { task })?;
+        let bottom = *self
+            .segments
+            .last()
+            .ok_or(RegionError::NoSuchSegment { task })?;
         if bottom.task != task {
             return Err(RegionError::NotBottom { task });
         }
@@ -319,7 +322,11 @@ mod tests {
         r.alloc(2, 200).unwrap();
         let seg = r.release_bottom(2).unwrap();
         assert_eq!(seg.size, 200);
-        assert_eq!(r.bottom().unwrap().task, 1, "thread just above is now bottom");
+        assert_eq!(
+            r.bottom().unwrap().task,
+            1,
+            "thread just above is now bottom"
+        );
         assert_eq!(r.usage(), 100);
         r.release_bottom(1).unwrap();
         assert!(r.is_empty());
@@ -359,7 +366,7 @@ mod tests {
         r.alloc(1, 100).unwrap(); // topmost (root-most ancestor)
         r.alloc(2, 100).unwrap();
         r.alloc(3, 100).unwrap(); // running
-        // Ancestor 1 stolen: its addresses stay used.
+                                  // Ancestor 1 stolen: its addresses stay used.
         r.mark_dead(1).unwrap();
         assert_eq!(r.usage(), 300);
         // Running thread finishes; 2 resumes; usage drops by one segment.

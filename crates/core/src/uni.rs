@@ -58,8 +58,7 @@ impl UniMgr {
         fabric
             .register(id, dq_r.base, dq_bytes as usize)
             .expect("register deque");
-        let deque = SimDeque::init(fabric, id, dq_r.base, cfg.deque_capacity)
-            .expect("init deque");
+        let deque = SimDeque::init(fabric, id, dq_r.base, cfg.deque_capacity).expect("init deque");
 
         UniMgr {
             id,
@@ -293,8 +292,7 @@ mod tests {
         let p_base = victim.spawn_frame(&mut f, 1, 3055);
         victim.spawn_frame(&mut f, 2, 800);
         // Thief's region is empty; transfer task 1's frames.
-        let done =
-            thief.transfer_stolen_in(&mut f, Cycles(0), WorkerId(0), 1, p_base, 3055);
+        let done = thief.transfer_stolen_in(&mut f, Cycles(0), WorkerId(0), 1, p_base, 3055);
         assert!(done > Cycles(0));
         // Installed at the same virtual address (pattern checked inside).
         assert_eq!(thief.region.bottom().unwrap().base, p_base);

@@ -301,24 +301,22 @@ mod tests {
 
     fn full_steal(f: &mut Fabric, d: &SimDeque, now: Cycles) -> Option<TaskqEntry> {
         match d.remote_empty_check(f, now, THIEF).unwrap() {
-            StealOutcome::Ok(t) => {
-                match d.remote_try_lock(f, t, THIEF).unwrap() {
-                    StealOutcome::Ok(t) => {
-                        let r = d.remote_steal_entry(f, t, THIEF).unwrap();
-                        match r {
-                            StealOutcome::Ok((e, t)) => {
-                                d.remote_unlock(f, t, THIEF).unwrap();
-                                Some(e)
-                            }
-                            _ => {
-                                d.remote_unlock(f, t, THIEF).unwrap();
-                                None
-                            }
+            StealOutcome::Ok(t) => match d.remote_try_lock(f, t, THIEF).unwrap() {
+                StealOutcome::Ok(t) => {
+                    let r = d.remote_steal_entry(f, t, THIEF).unwrap();
+                    match r {
+                        StealOutcome::Ok((e, t)) => {
+                            d.remote_unlock(f, t, THIEF).unwrap();
+                            Some(e)
+                        }
+                        _ => {
+                            d.remote_unlock(f, t, THIEF).unwrap();
+                            None
                         }
                     }
-                    _ => None,
                 }
-            }
+                _ => None,
+            },
             _ => None,
         }
     }
@@ -519,8 +517,8 @@ mod tests {
             StealOutcome::Ok(v) => v,
             other => panic!("{other:?}"),
         };
-        let expect = c.rdma_read(16, false) + c.rdma_read(ENTRY_BYTES, false)
-            + c.rdma_write(8, false);
+        let expect =
+            c.rdma_read(16, false) + c.rdma_read(ENTRY_BYTES, false) + c.rdma_write(8, false);
         assert_eq!(t3.since(t2), expect);
         let t4 = d.remote_unlock(&mut f, t3, THIEF).unwrap();
         assert_eq!(t4.since(t3), c.rdma_write(8, false));

@@ -58,11 +58,7 @@ unsafe extern "C" {
     /// most once, and only while the 72 bytes at `ctx` hold the saved
     /// record (they may have been copied out and back in the meantime —
     /// that is the uni-address trick). No unwinding may cross this frame.
-    pub fn save_context_and_call(
-        parent: *mut Context,
-        f: ContextFn,
-        arg: *mut core::ffi::c_void,
-    );
+    pub fn save_context_and_call(parent: *mut Context, f: ContextFn, arg: *mut core::ffi::c_void);
 
     /// Jump into a saved context: `rsp = ctx; ret`.
     ///

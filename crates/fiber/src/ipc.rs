@@ -324,11 +324,7 @@ pub fn steal_between_processes() -> Result<IpcStealOutcome, String> {
     // SAFETY: the frames (including the Context record at frame_base)
     // are installed; thief_tramp stores our return context first.
     unsafe {
-        save_context_and_call(
-            std::ptr::null_mut(),
-            thief_tramp,
-            frame_base as *mut c_void,
-        );
+        save_context_and_call(std::ptr::null_mut(), thief_tramp, frame_base as *mut c_void);
     }
     let steal_to_resume = t_lock.elapsed();
     // The migrated thread ran to completion here and resumed us.

@@ -27,11 +27,11 @@
 
 use crate::ctx::{resume_context, save_context_and_call, switch_stack_and_call, Context};
 use crate::stack::{Stack, StackPool};
-use parking_lot::Mutex;
 use std::cell::Cell;
 use std::ffi::c_void;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 use uat_base::SplitMix64;
 use uat_deque::NativeDeque;
 
@@ -124,7 +124,7 @@ where
     let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
     let r2 = Arc::clone(&result);
     let body: Box<dyn FnOnce() + Send> = Box::new(move || {
-        *r2.lock() = Some(f());
+        *r2.lock().unwrap() = Some(f());
     });
     let w = current();
     // SAFETY: exclusive access by the owning thread; short borrow.
@@ -163,7 +163,11 @@ unsafe extern "C" fn spawn_tramp(ctx: *mut Context, arg: *mut c_void) {
         let wr = &*w;
         wr.shared.deques[wr.id].push(ctx as u64);
         let payload = &*(arg as *mut Payload);
-        payload.stack.as_ref().expect("stack present at start").top()
+        payload
+            .stack
+            .as_ref()
+            .expect("stack present at start")
+            .top()
     };
     // SAFETY: fresh pooled stack; child_main diverges.
     unsafe { switch_stack_and_call(top, child_main, arg) }
@@ -230,11 +234,7 @@ impl<T> JoinHandle<T> {
             // SAFETY: join_tramp either parks this continuation (resumed
             // exactly once by the completer) or resumes it inline.
             unsafe {
-                save_context_and_call(
-                    std::ptr::null_mut(),
-                    join_tramp,
-                    core_ptr as *mut c_void,
-                );
+                save_context_and_call(std::ptr::null_mut(), join_tramp, core_ptr as *mut c_void);
             }
             collect_retired();
             debug_assert!(self.core.done.load(Ordering::Acquire));
@@ -242,6 +242,7 @@ impl<T> JoinHandle<T> {
         let out = self
             .result
             .lock()
+            .unwrap()
             .take()
             .expect("task set its result before publishing done");
         out
@@ -329,9 +330,9 @@ impl Runtime {
         let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
         let r2 = Arc::clone(&result);
         let body: Box<dyn FnOnce() + Send> = Box::new(move || {
-            *r2.lock() = Some(root());
+            *r2.lock().unwrap() = Some(root());
         });
-        *shared.seed_task.lock() = Some(Box::new(Payload {
+        *shared.seed_task.lock().unwrap() = Some(Box::new(Payload {
             body: Some(body),
             core: Arc::clone(&core),
             stack: Some(Stack::new(self.stack_size)),
@@ -359,7 +360,7 @@ impl Runtime {
         for h in handles {
             h.join().expect("worker thread");
         }
-        let out = result.lock().take().expect("root set its result");
+        let out = result.lock().unwrap().take().expect("root set its result");
         out
     }
 }
@@ -378,7 +379,12 @@ fn worker_loop(id: usize, shared: Arc<Shared>, stack_size: usize) {
 
     // Worker 0 seeds the root task.
     if id == 0 {
-        let payload = shared.seed_task.lock().take().expect("seed present");
+        let payload = shared
+            .seed_task
+            .lock()
+            .unwrap()
+            .take()
+            .expect("seed present");
         run_fresh(payload);
     }
 

@@ -1,6 +1,6 @@
 //! Cycle counting with `rdtsc`/`rdtscp` — the unit of Table 2.
 
-use std::arch::x86_64::{__cpuid, _rdtsc, __rdtscp};
+use std::arch::x86_64::{__cpuid, __rdtscp, _rdtsc};
 
 /// Serialize, then read the timestamp counter (measurement start).
 #[inline]
@@ -62,7 +62,13 @@ mod tests {
 
     #[test]
     fn measure_scales_with_work() {
-        let short = measure(|| { std::hint::black_box(1 + 1); }, 1000, 20);
+        let short = measure(
+            || {
+                std::hint::black_box(1 + 1);
+            },
+            1000,
+            20,
+        );
         let long = measure(
             || {
                 let mut x = 0u64;

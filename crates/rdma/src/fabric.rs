@@ -3,7 +3,10 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use uat_base::json::{FromJson, Json, JsonError, ToJson};
 use uat_base::{CostModel, Cycles, Topology, WorkerId};
+#[cfg(feature = "trace")]
+use uat_trace::{EventKind, RdmaOpKind, RingBuffer, TraceEvent};
 
 /// Errors from fabric operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -35,10 +38,16 @@ impl fmt::Display for RdmaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RdmaError::NotRegistered { proc, addr } => {
-                write!(f, "address {addr:#x} on {proc} is not in a registered region")
+                write!(
+                    f,
+                    "address {addr:#x} on {proc} is not in a registered region"
+                )
             }
             RdmaError::OverlappingRegistration { proc, addr } => {
-                write!(f, "registration at {addr:#x} on {proc} overlaps an existing region")
+                write!(
+                    f,
+                    "registration at {addr:#x} on {proc} overlaps an existing region"
+                )
             }
             RdmaError::Misaligned { addr } => {
                 write!(f, "atomic op on unaligned address {addr:#x}")
@@ -92,8 +101,7 @@ impl ProcMem {
                 proc: WorkerId(u32::MAX),
                 addr,
             })?;
-        self.regions.get_mut(&base).expect("located")[off..off + data.len()]
-            .copy_from_slice(data);
+        self.regions.get_mut(&base).expect("located")[off..off + data.len()].copy_from_slice(data);
         Ok(())
     }
 
@@ -133,6 +141,32 @@ pub struct FabricStats {
     pub faa_queue_cycles: u64,
 }
 
+impl ToJson for FabricStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("reads", Json::UInt(self.reads)),
+            ("writes", Json::UInt(self.writes)),
+            ("faas", Json::UInt(self.faas)),
+            ("read_bytes", Json::UInt(self.read_bytes)),
+            ("write_bytes", Json::UInt(self.write_bytes)),
+            ("faa_queue_cycles", Json::UInt(self.faa_queue_cycles)),
+        ])
+    }
+}
+
+impl FromJson for FabricStats {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(FabricStats {
+            reads: v.field("reads")?.as_u64()?,
+            writes: v.field("writes")?.as_u64()?,
+            faas: v.field("faas")?.as_u64()?,
+            read_bytes: v.field("read_bytes")?.as_u64()?,
+            write_bytes: v.field("write_bytes")?.as_u64()?,
+            faa_queue_cycles: v.field("faa_queue_cycles")?.as_u64()?,
+        })
+    }
+}
+
 /// The simulated interconnect plus every process's registered memory.
 #[derive(Clone, Debug)]
 pub struct Fabric {
@@ -142,6 +176,9 @@ pub struct Fabric {
     /// Per-node comm-server busy-until instant (software FAA).
     server_busy: Vec<Cycles>,
     stats: FabricStats,
+    /// Op-level trace ring; `None` (the default) records nothing.
+    #[cfg(feature = "trace")]
+    trace: Option<RingBuffer>,
 }
 
 impl Fabric {
@@ -154,6 +191,45 @@ impl Fabric {
             topo,
             cost,
             stats: FabricStats::default(),
+            #[cfg(feature = "trace")]
+            trace: None,
+        }
+    }
+
+    /// Start recording op-level trace events into a ring of `capacity`.
+    #[cfg(feature = "trace")]
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(RingBuffer::new(capacity));
+    }
+
+    /// Stop tracing and take the recorded events (oldest first).
+    #[cfg(feature = "trace")]
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace
+            .take()
+            .map(|r| r.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Record one completed operation into the trace ring, if tracing.
+    #[cfg(feature = "trace")]
+    fn trace_op(
+        &mut self,
+        now: Cycles,
+        done: Cycles,
+        initiator: WorkerId,
+        op: RdmaOpKind,
+        target: WorkerId,
+        bytes: u64,
+    ) {
+        if let Some(ring) = self.trace.as_mut() {
+            let target = self.topo.node_of(target);
+            ring.push(TraceEvent::span(
+                now,
+                done.since(now),
+                initiator,
+                EventKind::RdmaOp { op, target, bytes },
+            ));
         }
     }
 
@@ -219,7 +295,17 @@ impl Fabric {
         self.stats.reads += 1;
         self.stats.read_bytes += buf.len() as u64;
         let intra = self.topo.same_node(initiator, target);
-        Ok(now + self.cost.rdma_read(buf.len(), intra))
+        let done = now + self.cost.rdma_read(buf.len(), intra);
+        #[cfg(feature = "trace")]
+        self.trace_op(
+            now,
+            done,
+            initiator,
+            RdmaOpKind::Read,
+            target,
+            buf.len() as u64,
+        );
+        Ok(done)
     }
 
     /// One-sided RDMA WRITE: copy `data` to `(target, remote_addr)`.
@@ -244,7 +330,17 @@ impl Fabric {
         self.stats.writes += 1;
         self.stats.write_bytes += data.len() as u64;
         let intra = self.topo.same_node(initiator, target);
-        Ok(now + self.cost.rdma_write(data.len(), intra))
+        let done = now + self.cost.rdma_write(data.len(), intra);
+        #[cfg(feature = "trace")]
+        self.trace_op(
+            now,
+            done,
+            initiator,
+            RdmaOpKind::Write,
+            target,
+            data.len() as u64,
+        );
+        Ok(done)
     }
 
     /// Remote fetch-and-add on a little-endian u64.
@@ -285,11 +381,25 @@ impl Fabric {
             let arrival = now + Cycles(self.cost.faa_notice_latency);
             let busy = &mut self.server_busy[node.index()];
             let start = arrival.max(*busy);
-            self.stats.faa_queue_cycles += start.since(arrival).get();
+            let wait = start.since(arrival);
+            self.stats.faa_queue_cycles += wait.get();
             let served = start + Cycles(self.cost.faa_service);
             *busy = served;
+            #[cfg(feature = "trace")]
+            if wait.get() > 0 {
+                if let Some(ring) = self.trace.as_mut() {
+                    ring.push(TraceEvent::span(
+                        arrival,
+                        wait,
+                        _initiator,
+                        EventKind::FaaQueueWait { wait },
+                    ));
+                }
+            }
             served + Cycles(self.cost.faa_notice_latency)
         };
+        #[cfg(feature = "trace")]
+        self.trace_op(now, done, _initiator, RdmaOpKind::FetchAdd, target, 8);
         Ok((old, done))
     }
 
@@ -461,6 +571,68 @@ mod tests {
         assert_eq!(s.write_bytes, 50);
         f.reset_stats();
         assert_eq!(f.stats(), FabricStats::default());
+    }
+
+    #[test]
+    fn fabric_stats_json_round_trip() {
+        let mut f = fabric2();
+        f.register(W1, 0x1000, 128).unwrap();
+        let mut buf = [0u8; 64];
+        f.read(Cycles(0), W0, W1, 0x1000, &mut buf).unwrap();
+        f.write(Cycles(0), W0, W1, 0x1000, &buf[..16]).unwrap();
+        f.fetch_add_u64(Cycles(0), W0, W1, 0x1000, 1).unwrap();
+        f.fetch_add_u64(Cycles(0), W2, W1, 0x1000, 1).unwrap();
+        let s = f.stats();
+        assert!(s.faa_queue_cycles > 0, "second FAA must queue");
+        let text = s.to_json().to_string();
+        let back = FabricStats::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn tracing_records_ops_and_faa_queue_waits() {
+        use uat_trace::{EventKind, RdmaOpKind};
+
+        let mut f = fabric2();
+        f.enable_trace(1024);
+        f.register(W2, 0x1000, 128).unwrap();
+        let mut buf = [0u8; 32];
+        f.read(Cycles(0), W0, W2, 0x1000, &mut buf).unwrap();
+        f.write(Cycles(10), W0, W2, 0x1000, &buf[..8]).unwrap();
+        f.fetch_add_u64(Cycles(0), W0, W2, 0x1000, 1).unwrap();
+        f.fetch_add_u64(Cycles(0), W1, W2, 0x1000, 1).unwrap();
+        let events = f.take_trace();
+        let ops: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::RdmaOp { op, bytes, .. } => Some((op, bytes)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                (RdmaOpKind::Read, 32),
+                (RdmaOpKind::Write, 8),
+                (RdmaOpKind::FetchAdd, 8),
+                (RdmaOpKind::FetchAdd, 8),
+            ]
+        );
+        // The second FAA queued behind the first; its wait is traced and
+        // matches the stats counter.
+        let waits: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::FaaQueueWait { wait } => Some(wait.get()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(waits.iter().sum::<u64>(), f.stats().faa_queue_cycles);
+        assert_eq!(waits.len(), 1);
+        // Tracing is one-shot: taking it disables further recording.
+        f.read(Cycles(0), W0, W2, 0x1000, &mut buf).unwrap();
+        assert!(f.take_trace().is_empty());
     }
 
     #[test]

@@ -45,7 +45,7 @@ proptest! {
             let issuer = WorkerId((i % 2) as u32);
             let (_, done) = f.fetch_add_u64(now, issuer, WorkerId(2), A, d).unwrap();
             dones.push(done);
-            now = now + Cycles(137); // issue cadence faster than service
+            now += Cycles(137); // issue cadence faster than service
         }
         let total: u64 = deltas.iter().sum();
         prop_assert_eq!(f.mem(WorkerId(2)).read_u64_local(A).unwrap(), total);

@@ -1,0 +1,253 @@
+//! The structured trace event model.
+//!
+//! Every event carries the emitting worker, a start timestamp in
+//! simulated [`Cycles`], and a duration (zero for instants). The
+//! [`EventKind`] payload mirrors the protocol vocabulary of the paper:
+//! task lifecycle, the seven steal phases of Table 3, FAA-queue waits at
+//! the comm server, and idle polls.
+
+use serde::{Deserialize, Serialize};
+use uat_base::{Cycles, NodeId, WorkerId};
+
+/// One trace record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Start of the event, in simulated cycles since the run began.
+    pub at: Cycles,
+    /// Duration in cycles; zero marks an instantaneous event.
+    pub dur: Cycles,
+    /// Worker whose timeline this event belongs to.
+    pub worker: WorkerId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// An instantaneous event.
+    pub fn instant(at: Cycles, worker: WorkerId, kind: EventKind) -> Self {
+        TraceEvent {
+            at,
+            dur: Cycles::ZERO,
+            worker,
+            kind,
+        }
+    }
+
+    /// An event spanning `[at, at + dur)`.
+    pub fn span(at: Cycles, dur: Cycles, worker: WorkerId, kind: EventKind) -> Self {
+        TraceEvent {
+            at,
+            dur,
+            worker,
+            kind,
+        }
+    }
+}
+
+/// What a [`TraceEvent`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A task started running for the first time.
+    TaskBegin {
+        /// Packed task id.
+        task: u64,
+    },
+    /// A task ran to completion.
+    TaskEnd {
+        /// Packed task id.
+        task: u64,
+        /// Wall-clock (simulated) span from spawn to completion.
+        run: Cycles,
+    },
+    /// A task spawned a child (child-first: the child runs next).
+    Spawn {
+        /// Packed id of the spawning task.
+        parent: u64,
+        /// Packed id of the new task.
+        child: u64,
+    },
+    /// The running task was suspended (blocked join or preempted by a thief).
+    Suspend {
+        /// Packed task id.
+        task: u64,
+    },
+    /// A previously suspended task resumed.
+    Resume {
+        /// Packed task id.
+        task: u64,
+    },
+    /// A timeline slice charged to one accounting bucket
+    /// (see [`crate::Bucket`]); these tile each worker's timeline.
+    Slice {
+        /// The bucket the span was charged to.
+        bucket: crate::Bucket,
+    },
+    /// One phase of a steal attempt, with the same duration fed to the
+    /// `StealBreakdown` accumulator (Figure 10).
+    StealPhase {
+        /// The worker being robbed.
+        victim: WorkerId,
+        /// Which protocol phase.
+        phase: StealPhaseId,
+    },
+    /// A steal attempt finished.
+    StealResult {
+        /// The worker that was targeted.
+        victim: WorkerId,
+        /// How the attempt ended.
+        outcome: StealOutcome,
+    },
+    /// Time an FAA request spent queued behind others at the victim
+    /// node's software comm server.
+    FaaQueueWait {
+        /// Queueing delay excluded from the wire time.
+        wait: Cycles,
+    },
+    /// An idle scheduler poll (nothing local, no steal issued).
+    IdlePoll,
+    /// An RDMA operation issued by this worker (fabric-level view).
+    RdmaOp {
+        /// Operation type.
+        op: RdmaOpKind,
+        /// Node the operation targeted.
+        target: NodeId,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+}
+
+impl EventKind {
+    /// Short display name (used as the Chrome trace event name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::TaskBegin { .. } => "task-begin",
+            EventKind::TaskEnd { .. } => "task-end",
+            EventKind::Spawn { .. } => "spawn",
+            EventKind::Suspend { .. } => "suspend",
+            EventKind::Resume { .. } => "resume",
+            EventKind::Slice { bucket } => bucket.name(),
+            EventKind::StealPhase { phase, .. } => phase.name(),
+            EventKind::StealResult { .. } => "steal-result",
+            EventKind::FaaQueueWait { .. } => "faa-queue-wait",
+            EventKind::IdlePoll => "idle-poll",
+            EventKind::RdmaOp { op, .. } => op.name(),
+        }
+    }
+
+    /// Chrome trace category, used by tooling to filter event families.
+    pub fn category(&self) -> &'static str {
+        match self {
+            EventKind::TaskBegin { .. }
+            | EventKind::TaskEnd { .. }
+            | EventKind::Spawn { .. }
+            | EventKind::Suspend { .. }
+            | EventKind::Resume { .. } => "task",
+            EventKind::Slice { .. } => "timeline",
+            EventKind::StealPhase { .. } => "steal",
+            EventKind::StealResult { .. } => "steal-result",
+            EventKind::FaaQueueWait { .. } | EventKind::RdmaOp { .. } => "rdma",
+            EventKind::IdlePoll => "sched",
+        }
+    }
+}
+
+/// The seven steal phases of Table 3, as the trace layer names them.
+///
+/// This mirrors `uat_core::StealPhase`; the trace crate sits below
+/// `uat-core` in the dependency graph (the RDMA fabric records into it),
+/// so it carries its own copy of the enum rather than importing it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StealPhaseId {
+    /// RDMA READ of (top, bottom): is the victim's queue non-empty?
+    EmptyCheck,
+    /// Remote fetch-and-add acquiring the queue lock.
+    Lock,
+    /// Two RDMA READs + one RDMA WRITE taking the queue entry.
+    Steal,
+    /// Thief-side suspend of whatever it was running.
+    Suspend,
+    /// RDMA READ of the stolen thread's frames.
+    StackTransfer,
+    /// RDMA WRITE of 0 releasing the queue lock.
+    Unlock,
+    /// `resume_context` of the stolen thread.
+    Resume,
+}
+
+impl StealPhaseId {
+    /// All phases in protocol order.
+    pub const ALL: [StealPhaseId; 7] = [
+        StealPhaseId::EmptyCheck,
+        StealPhaseId::Lock,
+        StealPhaseId::Steal,
+        StealPhaseId::Suspend,
+        StealPhaseId::StackTransfer,
+        StealPhaseId::Unlock,
+        StealPhaseId::Resume,
+    ];
+
+    /// Name matching `uat_core::StealPhase::name`, prefixed for tracks.
+    pub fn name(self) -> &'static str {
+        match self {
+            StealPhaseId::EmptyCheck => "steal-phase: empty check",
+            StealPhaseId::Lock => "steal-phase: lock",
+            StealPhaseId::Steal => "steal-phase: steal",
+            StealPhaseId::Suspend => "steal-phase: suspend",
+            StealPhaseId::StackTransfer => "steal-phase: stack transfer",
+            StealPhaseId::Unlock => "steal-phase: unlock",
+            StealPhaseId::Resume => "steal-phase: resume",
+        }
+    }
+
+    /// The bare phase name as `uat_core::StealPhase::name` spells it.
+    pub fn phase_name(self) -> &'static str {
+        self.name().trim_start_matches("steal-phase: ")
+    }
+}
+
+/// Terminal states of a steal attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StealOutcome {
+    /// The thief took an entry and resumed the stolen thread.
+    Completed,
+    /// Aborted: the victim's queue looked empty.
+    AbortEmpty,
+    /// Aborted: the victim's queue was locked by someone else.
+    AbortLock,
+    /// Aborted: locked successfully but the queue had drained (race).
+    AbortRaced,
+}
+
+impl StealOutcome {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StealOutcome::Completed => "completed",
+            StealOutcome::AbortEmpty => "abort-empty",
+            StealOutcome::AbortLock => "abort-lock",
+            StealOutcome::AbortRaced => "abort-raced",
+        }
+    }
+}
+
+/// RDMA verb, as the fabric layer classifies operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RdmaOpKind {
+    /// One-sided remote read.
+    Read,
+    /// One-sided remote write.
+    Write,
+    /// Software-emulated fetch-and-add via the comm server.
+    FetchAdd,
+}
+
+impl RdmaOpKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RdmaOpKind::Read => "rdma-read",
+            RdmaOpKind::Write => "rdma-write",
+            RdmaOpKind::FetchAdd => "rdma-faa",
+        }
+    }
+}

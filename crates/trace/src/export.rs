@@ -1,0 +1,313 @@
+//! Exporters: Chrome trace-event JSON (openable in Perfetto / `chrome://tracing`)
+//! and JSONL.
+//!
+//! The Chrome format is the "JSON Array Format" with an object wrapper:
+//! `{"traceEvents": [...]}`. One track (`tid`) per worker, all under
+//! `pid` 0. Spans are `"ph":"X"` complete events; zero-duration records
+//! become `"ph":"i"` instants. Timestamps are microseconds, converted
+//! from simulated cycles with the run's clock; every event also carries
+//! the exact cycle values in `args` so tooling (and the test suite) can
+//! cross-check without float rounding.
+
+use crate::{Bucket, EventKind, RingBuffer, TraceEvent};
+use uat_base::json::Json;
+use uat_base::Cycles;
+
+/// Everything a traced run produced, ready for export.
+#[derive(Clone, Debug)]
+pub struct TraceData {
+    /// Simulated core clock, for cycle→µs conversion.
+    pub clock_hz: f64,
+    /// Per-worker engine-level events, indexed by worker id.
+    pub workers: Vec<RingBuffer>,
+    /// Fabric-level RDMA events (worker field = initiating worker).
+    pub fabric: Vec<TraceEvent>,
+    /// The run's makespan, exported as trace metadata.
+    pub makespan: Cycles,
+}
+
+impl TraceData {
+    /// Total events across all sources.
+    pub fn event_count(&self) -> usize {
+        self.workers.iter().map(RingBuffer::len).sum::<usize>() + self.fabric.len()
+    }
+
+    /// Events evicted from full rings before export.
+    pub fn dropped(&self) -> u64 {
+        self.workers.iter().map(RingBuffer::dropped).sum()
+    }
+
+    /// Iterate over every exported event.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.workers
+            .iter()
+            .flat_map(RingBuffer::iter)
+            .chain(self.fabric.iter())
+    }
+
+    /// Sum of `dur` over steal-phase events, by phase index
+    /// (protocol order, as in `StealPhaseId::ALL`).
+    pub fn steal_phase_totals(&self) -> [u64; 7] {
+        let mut totals = [0u64; 7];
+        for ev in self.events() {
+            if let EventKind::StealPhase { phase, .. } = ev.kind {
+                let idx = crate::StealPhaseId::ALL
+                    .iter()
+                    .position(|&p| p == phase)
+                    .unwrap();
+                totals[idx] += ev.dur.get();
+            }
+        }
+        totals
+    }
+
+    /// Sum of `dur` over timeline slices charged to `bucket`, per worker.
+    pub fn slice_totals(&self, bucket: Bucket) -> Vec<u64> {
+        let mut totals = vec![0u64; self.workers.len()];
+        for (w, ring) in self.workers.iter().enumerate() {
+            for ev in ring.iter() {
+                if let EventKind::Slice { bucket: b } = ev.kind {
+                    if b == bucket {
+                        totals[w] += ev.dur.get();
+                    }
+                }
+            }
+        }
+        totals
+    }
+}
+
+fn micros(c: Cycles, clock_hz: f64) -> Json {
+    Json::Num(c.get() as f64 / clock_hz * 1e6)
+}
+
+fn event_args(ev: &TraceEvent) -> Vec<(String, Json)> {
+    let mut args: Vec<(String, Json)> = vec![
+        ("cycles".into(), Json::UInt(ev.at.get())),
+        ("dur_cycles".into(), Json::UInt(ev.dur.get())),
+    ];
+    match ev.kind {
+        EventKind::TaskBegin { task }
+        | EventKind::Suspend { task }
+        | EventKind::Resume { task } => {
+            args.push(("task".into(), Json::UInt(task)));
+        }
+        EventKind::TaskEnd { task, run } => {
+            args.push(("task".into(), Json::UInt(task)));
+            args.push(("run_cycles".into(), Json::UInt(run.get())));
+        }
+        EventKind::Spawn { parent, child } => {
+            args.push(("parent".into(), Json::UInt(parent)));
+            args.push(("child".into(), Json::UInt(child)));
+        }
+        EventKind::Slice { .. } | EventKind::IdlePoll => {}
+        EventKind::StealPhase { victim, .. } => {
+            args.push(("victim".into(), Json::UInt(victim.0 as u64)));
+        }
+        EventKind::StealResult { victim, outcome } => {
+            args.push(("victim".into(), Json::UInt(victim.0 as u64)));
+            args.push(("outcome".into(), Json::str(outcome.name())));
+        }
+        EventKind::FaaQueueWait { wait } => {
+            args.push(("wait_cycles".into(), Json::UInt(wait.get())));
+        }
+        EventKind::RdmaOp { target, bytes, .. } => {
+            args.push(("target_node".into(), Json::UInt(target.0 as u64)));
+            args.push(("bytes".into(), Json::UInt(bytes)));
+        }
+    }
+    args
+}
+
+fn chrome_event(ev: &TraceEvent, clock_hz: f64) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("name".into(), Json::str(ev.kind.name())),
+        ("cat".into(), Json::str(ev.kind.category())),
+        ("pid".into(), Json::UInt(0)),
+        ("tid".into(), Json::UInt(ev.worker.0 as u64)),
+        ("ts".into(), micros(ev.at, clock_hz)),
+    ];
+    if ev.dur.get() > 0 {
+        fields.insert(1, ("ph".into(), Json::str("X")));
+        fields.push(("dur".into(), micros(ev.dur, clock_hz)));
+    } else {
+        fields.insert(1, ("ph".into(), Json::str("i")));
+        // Instant scope: thread.
+        fields.push(("s".into(), Json::str("t")));
+    }
+    fields.push(("args".into(), Json::Obj(event_args(ev))));
+    Json::Obj(fields)
+}
+
+fn metadata(name: &str, tid: u64, value: &str) -> Json {
+    Json::obj([
+        ("name", Json::str(name)),
+        ("ph", Json::str("M")),
+        ("pid", Json::UInt(0)),
+        ("tid", Json::UInt(tid)),
+        ("args", Json::obj([("name", Json::str(value))])),
+    ])
+}
+
+/// Build the Chrome trace-event document for a traced run.
+pub fn chrome_trace(data: &TraceData) -> Json {
+    let mut events = Vec::with_capacity(data.event_count() + data.workers.len() + 2);
+    events.push(metadata("process_name", 0, "uni-address simulator"));
+    for (w, ring) in data.workers.iter().enumerate() {
+        let label = if ring.dropped() > 0 {
+            format!("worker {w} ({} events dropped)", ring.dropped())
+        } else {
+            format!("worker {w}")
+        };
+        events.push(metadata("thread_name", w as u64, &label));
+    }
+    for ev in data.events() {
+        events.push(chrome_event(ev, data.clock_hz));
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        (
+            "otherData",
+            Json::obj([
+                ("clock_hz", Json::Num(data.clock_hz)),
+                ("makespan_cycles", Json::UInt(data.makespan.get())),
+                ("dropped_events", Json::UInt(data.dropped())),
+            ]),
+        ),
+    ])
+}
+
+/// Serialize a traced run as a Chrome trace-event JSON string.
+pub fn chrome_trace_json(data: &TraceData) -> String {
+    chrome_trace(data).to_string()
+}
+
+/// Render values as JSON Lines (one compact document per line).
+pub fn jsonl<I: IntoIterator<Item = Json>>(lines: I) -> String {
+    let mut out = String::new();
+    for line in lines {
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RingSink, StealPhaseId, TraceSink};
+    use uat_base::{NodeId, WorkerId};
+
+    fn sample_data() -> TraceData {
+        let mut sink = RingSink::new(2, 64);
+        sink.record(TraceEvent::span(
+            Cycles(0),
+            Cycles(1_000),
+            WorkerId(0),
+            EventKind::Slice {
+                bucket: Bucket::Work,
+            },
+        ));
+        sink.record(TraceEvent::instant(
+            Cycles(1_000),
+            WorkerId(0),
+            EventKind::Spawn {
+                parent: 1,
+                child: 2,
+            },
+        ));
+        sink.record(TraceEvent::span(
+            Cycles(500),
+            Cycles(300),
+            WorkerId(1),
+            EventKind::StealPhase {
+                victim: WorkerId(0),
+                phase: StealPhaseId::Lock,
+            },
+        ));
+        TraceData {
+            clock_hz: 1.848e9,
+            workers: sink.into_rings(),
+            fabric: vec![TraceEvent::span(
+                Cycles(600),
+                Cycles(120),
+                WorkerId(1),
+                EventKind::RdmaOp {
+                    op: crate::RdmaOpKind::FetchAdd,
+                    target: NodeId(0),
+                    bytes: 8,
+                },
+            )],
+            makespan: Cycles(2_000),
+        }
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_expected_shape() {
+        let data = sample_data();
+        let text = chrome_trace_json(&data);
+        let doc = Json::parse(&text).expect("exporter must emit valid JSON");
+        let events = doc.field("traceEvents").unwrap().as_arr().unwrap();
+        // 1 process_name + 2 thread_name + 4 events.
+        assert_eq!(events.len(), 7);
+        let phases: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("cat").map(|c| c.as_str().unwrap()) == Some("steal"))
+            .collect();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].field("ph").unwrap().as_str().unwrap(), "X");
+        assert_eq!(
+            phases[0]
+                .field("args")
+                .unwrap()
+                .field("dur_cycles")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            300
+        );
+        assert_eq!(
+            doc.field("otherData")
+                .unwrap()
+                .field("makespan_cycles")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            2_000
+        );
+    }
+
+    #[test]
+    fn instants_use_instant_phase() {
+        let data = sample_data();
+        let doc = chrome_trace(&data);
+        let events = doc.field("traceEvents").unwrap().as_arr().unwrap();
+        let spawn = events
+            .iter()
+            .find(|e| e.get("name").map(|n| n.as_str().unwrap()) == Some("spawn"))
+            .unwrap();
+        assert_eq!(spawn.field("ph").unwrap().as_str().unwrap(), "i");
+        assert_eq!(spawn.field("s").unwrap().as_str().unwrap(), "t");
+    }
+
+    #[test]
+    fn steal_phase_totals_sum_durations() {
+        let data = sample_data();
+        let totals = data.steal_phase_totals();
+        let lock_idx = StealPhaseId::ALL
+            .iter()
+            .position(|&p| p == StealPhaseId::Lock)
+            .unwrap();
+        assert_eq!(totals[lock_idx], 300);
+        assert_eq!(totals.iter().sum::<u64>(), 300);
+    }
+
+    #[test]
+    fn jsonl_is_one_document_per_line() {
+        let text = jsonl(vec![Json::UInt(1), Json::obj([("a", Json::Bool(true))])]);
+        let mut lines = text.lines();
+        assert_eq!(Json::parse(lines.next().unwrap()).unwrap(), Json::UInt(1));
+        assert!(Json::parse(lines.next().unwrap()).is_ok());
+        assert!(lines.next().is_none());
+    }
+}

@@ -1,0 +1,102 @@
+//! Where trace events go.
+//!
+//! The engine emits through a [`TraceSink`]; the default [`NullSink`]
+//! compiles to nothing, and [`RingSink`] keeps a bounded per-worker
+//! ring. Custom sinks (e.g. a streaming writer) implement the trait.
+
+use crate::{RingBuffer, TraceEvent};
+
+/// Receiver of trace events.
+pub trait TraceSink {
+    /// Accept one event.
+    fn record(&mut self, ev: TraceEvent);
+}
+
+/// Discards everything; the zero-overhead default.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn record(&mut self, _ev: TraceEvent) {}
+}
+
+/// One bounded [`RingBuffer`] per worker.
+#[derive(Clone, Debug)]
+pub struct RingSink {
+    rings: Vec<RingBuffer>,
+}
+
+impl RingSink {
+    /// Sink for `workers` workers with `capacity` events each.
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        RingSink {
+            rings: (0..workers).map(|_| RingBuffer::new(capacity)).collect(),
+        }
+    }
+
+    /// The per-worker rings, indexed by worker id.
+    pub fn rings(&self) -> &[RingBuffer] {
+        &self.rings
+    }
+
+    /// Consume the sink, yielding its rings.
+    pub fn into_rings(self) -> Vec<RingBuffer> {
+        self.rings
+    }
+
+    /// Total events currently buffered across workers.
+    pub fn len(&self) -> usize {
+        self.rings.iter().map(RingBuffer::len).sum()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: TraceEvent) {
+        let w = ev.worker.index();
+        if let Some(ring) = self.rings.get_mut(w) {
+            ring.push(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+    use uat_base::{Cycles, WorkerId};
+
+    #[test]
+    fn ring_sink_routes_by_worker() {
+        let mut s = RingSink::new(2, 8);
+        s.record(TraceEvent::instant(
+            Cycles(1),
+            WorkerId(0),
+            EventKind::IdlePoll,
+        ));
+        s.record(TraceEvent::instant(
+            Cycles(2),
+            WorkerId(1),
+            EventKind::IdlePoll,
+        ));
+        s.record(TraceEvent::instant(
+            Cycles(3),
+            WorkerId(1),
+            EventKind::IdlePoll,
+        ));
+        assert_eq!(s.rings()[0].len(), 1);
+        assert_eq!(s.rings()[1].len(), 2);
+        // Out-of-range worker ids are ignored rather than panicking.
+        s.record(TraceEvent::instant(
+            Cycles(4),
+            WorkerId(9),
+            EventKind::IdlePoll,
+        ));
+        assert_eq!(s.len(), 3);
+    }
+}

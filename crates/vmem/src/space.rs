@@ -188,7 +188,11 @@ impl AddressSpace {
         if len == 0 {
             return Err(VmemError::ZeroLength);
         }
-        assert_eq!(addr % PAGE_SIZE, 0, "fixed reservations must be page aligned");
+        assert_eq!(
+            addr % PAGE_SIZE,
+            0,
+            "fixed reservations must be page aligned"
+        );
         let len = Self::page_align(len);
         if self.conflicting(addr, len).is_some() {
             return Err(VmemError::Overlap { addr, len });
@@ -197,12 +201,10 @@ impl AddressSpace {
     }
 
     fn insert(&mut self, base: u64, len: u64) -> Result<Reservation, VmemError> {
-        let end = base
-            .checked_add(len)
-            .ok_or(VmemError::OutOfAddressSpace {
-                requested: len,
-                available: 0,
-            })?;
+        let end = base.checked_add(len).ok_or(VmemError::OutOfAddressSpace {
+            requested: len,
+            available: 0,
+        })?;
         if end > self.va_limit || self.stats.reserved.saturating_add(len) > self.va_limit {
             return Err(VmemError::OutOfAddressSpace {
                 requested: len,

@@ -237,8 +237,7 @@ mod tests {
             assert_eq!(a & b, 0);
             if mask.count_ones() >= 2 {
                 assert!(a != 0 && b != 0);
-                let diff =
-                    (a.count_ones() as i64 - b.count_ones() as i64).unsigned_abs();
+                let diff = (a.count_ones() as i64 - b.count_ones() as i64).unsigned_abs();
                 assert!(diff <= 1);
             }
         }

@@ -18,7 +18,11 @@
 use uni_address_threads::fiber::ipc;
 
 fn main() {
-    println!("uni-address region: {:#x} (+{} KiB), same VA in both processes", ipc::UNI_BASE, ipc::UNI_SIZE >> 10);
+    println!(
+        "uni-address region: {:#x} (+{} KiB), same VA in both processes",
+        ipc::UNI_BASE,
+        ipc::UNI_SIZE >> 10
+    );
     match ipc::steal_between_processes() {
         Ok(out) => {
             println!(

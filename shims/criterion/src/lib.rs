@@ -1,0 +1,174 @@
+//! Offline stand-in for `criterion`, implementing the subset of its API
+//! this workspace's benches use: `Criterion::benchmark_group`,
+//! `sample_size`, `measurement_time`, `throughput`, `bench_function`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Methodology (simple but honest): each sample times a batch of
+//! iterations sized so one batch takes ≳1ms, samples repeat until
+//! `measurement_time` is spent or `sample_size` samples are taken, and
+//! the report prints the median, min, and max per-iteration time plus
+//! derived throughput. No statistics beyond that — this exists so
+//! `cargo bench` runs without a crates registry, with stable output
+//! good enough for spotting multi-percent regressions.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Top-level bench context (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+
+    /// Run registered groups; accepts and ignores criterion CLI args.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget; this shim does not warm up, so it is ignored.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Set the per-iteration throughput used in the report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            batch: 1,
+            ns_per_iter: Vec::new(),
+        };
+        // Calibrate the batch so one sample takes at least ~1ms.
+        loop {
+            b.ns_per_iter.clear();
+            f(&mut b);
+            let ns = b.ns_per_iter.last().copied().unwrap_or(0.0);
+            if ns * b.batch as f64 >= 1.0e6 || b.batch >= 1 << 20 {
+                break;
+            }
+            b.batch *= 8;
+        }
+        b.ns_per_iter.clear();
+        let start = Instant::now();
+        while b.ns_per_iter.len() < self.sample_size && start.elapsed() < self.measurement_time {
+            f(&mut b);
+        }
+        let mut samples = b.ns_per_iter;
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {:>12.3e} elem/s", n as f64 * 1e9 / median)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  thrpt: {:>12.3e} B/s", n as f64 * 1e9 / median)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id:<28} time: [{:.1} ns  median {:.1} ns  {:.1} ns] n={}{}",
+            self.name,
+            samples[0],
+            median,
+            samples[samples.len() - 1],
+            samples.len(),
+            rate,
+        );
+        self
+    }
+
+    /// End the group (report spacing only).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Times closures; handed to `bench_function` callbacks.
+pub struct Bencher {
+    batch: u64,
+    ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, recording one sample of `batch` iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(f());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / self.batch as f64;
+        self.ns_per_iter.push(ns);
+    }
+}
+
+/// Collect bench functions into a runnable group, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! This container has no access to a crates registry, so the workspace
+//! carries a minimal local `serde` that keeps the existing
+//! `#[derive(Serialize, Deserialize)]` annotations compiling. The traits
+//! are blanket-implemented markers; nothing in the workspace relies on
+//! serde's data model. Machine-readable output (the `uat-trace` JSONL and
+//! Chrome-trace exporters) is produced by `uat_base::json`, which has
+//! explicit, round-trip-tested encoders per type.
+//!
+//! If the real `serde` becomes available, delete `shims/serde*` and point
+//! the `[workspace.dependencies]` entry back at the registry — no source
+//! changes needed.
+
+/// Marker stand-in for `serde::Serialize`; implemented by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

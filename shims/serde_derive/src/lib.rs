@@ -1,0 +1,24 @@
+//! No-op stand-in for `serde_derive`, used because this workspace must
+//! build without network access to a crates registry.
+//!
+//! The real derive generates `Serialize`/`Deserialize` impls; here the
+//! traits (in the sibling `serde` shim) are blanket-implemented for every
+//! type, so the derive has nothing to emit. It still has to *exist* so
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` helper
+//! attributes parse. Actual serialization in this workspace goes through
+//! `uat_base::json` (see crates/base/src/json.rs), which is explicit and
+//! covered by round-trip tests.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers); emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers); emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

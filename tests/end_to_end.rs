@@ -128,7 +128,11 @@ fn steal_breakdown_phases_are_ordered_sanely() {
 
 #[test]
 fn work_cycles_conserved_under_iso() {
-    let w = Btc { depth: 8, iter: 1, work: 777 };
+    let w = Btc {
+        depth: 8,
+        iter: 1,
+        work: 777,
+    };
     let seq = sequential_profile(&w);
     let stats = Engine::new(verified(5).with_scheme(SchemeKind::Iso), w).run();
     assert_eq!(stats.total_work_cycles, seq.work_cycles);

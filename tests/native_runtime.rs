@@ -68,7 +68,11 @@ fn unbalanced_spawn_tree() {
         if depth == 0 {
             return 1;
         }
-        let d2 = if fat { depth - 1 } else { depth.saturating_sub(3) };
+        let d2 = if fat {
+            depth - 1
+        } else {
+            depth.saturating_sub(3)
+        };
         let a = fiber::spawn(move || skew(depth - 1, fat));
         let b = if d2 == 0 { 1 } else { skew(d2, !fat) };
         a.join() + b
@@ -80,7 +84,11 @@ fn unbalanced_spawn_tree() {
         if depth == 0 {
             return 1;
         }
-        let d2 = if fat { depth - 1 } else { depth.saturating_sub(3) };
+        let d2 = if fat {
+            depth - 1
+        } else {
+            depth.saturating_sub(3)
+        };
         seq(depth - 1, fat) + if d2 == 0 { 1 } else { seq(d2, !fat) }
     }
     assert_eq!(par, seq(16, true));
