@@ -75,6 +75,15 @@ pub struct CostModel {
     pub try_join: u64,
     /// Cost of one scheduler-loop iteration that finds nothing to do.
     pub idle_poll: u64,
+    /// Call/return glue in `save_context_and_call` not covered by the
+    /// register save or deque traffic: the indirect call, frame setup, and
+    /// the fence separating the push from the child body. Completes the
+    /// Table 2 creation total (`spawn_cost`) and prices the pop-side glue
+    /// when a completed child returns to a present parent.
+    pub call_glue: u64,
+    /// Backoff + re-check spin after losing a THE pop race to a thief
+    /// (owner sees the lock held and retries the slow path).
+    pub contended_retry: u64,
 }
 
 impl CostModel {
@@ -101,6 +110,8 @@ impl CostModel {
             resume_base: 1_400,
             try_join: 25,
             idle_poll: 200,
+            call_glue: 43,
+            contended_retry: 200,
         }
     }
 
@@ -129,6 +140,8 @@ impl CostModel {
             resume_base: 450,
             try_join: 10,
             idle_poll: 80,
+            call_glue: 43,
+            contended_retry: 200,
         }
     }
 
@@ -179,7 +192,7 @@ impl CostModel {
     /// save context, push the parent entry, call, pop the entry back.
     #[inline]
     pub fn spawn_cost(&self) -> Cycles {
-        Cycles(self.ctx_save + self.deque_push + self.deque_pop + 43)
+        Cycles(self.ctx_save + self.deque_push + self.deque_pop + self.call_glue)
     }
 
     /// Cost of suspending a thread whose live frames total `stack_bytes`

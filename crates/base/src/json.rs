@@ -131,6 +131,46 @@ impl Json {
         }
     }
 
+    /// Pretty serialization: two-space indent, one member per line,
+    /// trailing newline. For artifacts committed to the repository
+    /// (benchmark baselines), where line-oriented diffs matter; the
+    /// compact `Display` form is for wire/JSONL output.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    out.push_str("  ");
+                    item.write_pretty(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    write!(out, "{pad}  {}: ", Json::str(k.as_str())).unwrap();
+                    v.write_pretty(out, indent + 1);
+                    out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+            other => write!(out, "{other}").unwrap(),
+        }
+    }
+
     /// Parse a complete JSON document (trailing whitespace allowed,
     /// trailing garbage rejected).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
@@ -571,6 +611,27 @@ mod tests {
         assert_eq!(Json::parse(&text).unwrap(), doc);
         assert_eq!(doc.field("workers").unwrap().as_u64().unwrap(), 32);
         assert!(doc.field("missing").is_err());
+    }
+
+    #[test]
+    fn pretty_round_trips_and_is_line_oriented() {
+        let doc = Json::obj([
+            ("schema", Json::str("uat-bench/engine/v1")),
+            (
+                "entries",
+                Json::Arr(vec![Json::obj([
+                    ("label", Json::str("seed")),
+                    ("events_per_sec", Json::Num(2.5e6)),
+                    ("empty", Json::Arr(vec![])),
+                ])]),
+            ),
+        ]);
+        let text = doc.pretty();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        assert!(text.ends_with('\n'));
+        // One member per line: appending an entry touches few lines.
+        assert!(text.lines().any(|l| l.trim() == "\"label\": \"seed\","));
+        assert_eq!(text.lines().count(), 10, "{text}");
     }
 
     #[test]

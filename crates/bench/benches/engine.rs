@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
-use uat_cluster::{Engine, SimConfig};
+use uat_cluster::{Engine, EventHeap, SimConfig};
 use uat_workloads::{Btc, Uts};
 
 fn bench_engine(c: &mut Criterion) {
@@ -27,5 +27,29 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// The scheduler in isolation: pop-then-reschedule cycles on a full
+/// W-slot heap, the exact steady-state pattern of the engine loop.
+fn bench_event_heap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_heap");
+    const CYCLES: u64 = 10_000;
+    g.throughput(Throughput::Elements(CYCLES));
+    for workers in [16u32, 120, 480] {
+        let mut h = EventHeap::new(workers as usize);
+        // Stagger initial deadlines so sift paths vary.
+        for w in 0..workers {
+            h.push(w, (w as u64 * 37) % 1024);
+        }
+        g.bench_function(format!("pop_reschedule_{workers}w"), |b| {
+            b.iter(|| {
+                for _ in 0..CYCLES {
+                    let (t, w) = h.pop().unwrap();
+                    h.push(w, black_box(t + 211));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_event_heap);
 criterion_main!(benches);

@@ -1,0 +1,297 @@
+//! Benchmark-trajectory report: pinned engine micro-benchmarks plus the
+//! Figure 11 mini-sweep, appended to committed baseline files.
+//!
+//! Usage: `bench_report [--quick] [--label <name>] [--check <baseline>]
+//! [--out-dir <dir>]`
+//!
+//! Two artifacts, each a stable append-only schema (one labelled entry
+//! per invocation, newest last), so the repository accumulates a
+//! measured performance trajectory across PRs instead of anecdotes in
+//! commit messages:
+//!
+//! - `BENCH_engine.json` (`uat-bench/engine/v1`): events/sec of the
+//!   simulation engine on pinned `(config, workload)` cases — best of N
+//!   runs, so the number is a property of the code, not of scheduler
+//!   noise.
+//! - `BENCH_fig11.json` (`uat-bench/fig11/v1`): wall-clock of the
+//!   Figure 11 mini-sweep run serially and on the parallel harness,
+//!   with the two results verified **bit-identical** before anything is
+//!   written (the speedup must come from the harness, never from
+//!   changing the simulation).
+//!
+//! `--quick` runs one iteration per case and a smaller sweep — the CI
+//! smoke shape. `--check <baseline>` compares events/sec against the
+//! matching cases of the baseline's last entry and exits non-zero on a
+//! >20% regression.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use uat_base::json::{Json, ToJson};
+use uat_bench::compact_config;
+use uat_cluster::{sweep_threads, sweep_with_threads, Engine, SimConfig, Workload};
+use uat_workloads::{Btc, Uts};
+
+/// Fraction of the baseline events/sec below which `--check` fails.
+const REGRESSION_FLOOR: f64 = 0.8;
+
+struct CaseResult {
+    name: &'static str,
+    events: u64,
+    best_wall_s: f64,
+}
+
+impl CaseResult {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.best_wall_s
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(self.name)),
+            ("events", Json::UInt(self.events)),
+            ("best_wall_s", Json::Num(self.best_wall_s)),
+            ("events_per_sec", Json::Num(self.events_per_sec())),
+        ])
+    }
+}
+
+fn time_case<W: Workload>(
+    name: &'static str,
+    iters: u32,
+    mk: impl Fn() -> (SimConfig, W),
+) -> CaseResult {
+    let mut best = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..iters {
+        let (cfg, w) = mk();
+        let t0 = Instant::now();
+        let stats = Engine::new(cfg, w).run();
+        best = best.min(t0.elapsed().as_secs_f64());
+        events = stats.events;
+    }
+    CaseResult {
+        name,
+        events,
+        best_wall_s: best,
+    }
+}
+
+/// Load an artifact, returning its entries (empty on first run).
+fn load_entries(path: &Path, schema: &str) -> Vec<Json> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let doc = match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: {} is not valid JSON: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    match (doc.field("schema"), doc.field("entries")) {
+        (Ok(s), Ok(Json::Arr(entries))) if s.as_str() == Ok(schema) => entries.clone(),
+        _ => {
+            eprintln!("error: {} does not have schema {schema}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn write_artifact(path: &Path, schema: &str, mut entries: Vec<Json>, entry: Json) {
+    entries.push(entry);
+    let doc = Json::obj([
+        ("schema", Json::str(schema)),
+        ("entries", Json::Arr(entries)),
+    ]);
+    if let Err(e) = std::fs::write(path, doc.pretty()) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", path.display());
+}
+
+/// Compare measured cases against the last entry of `baseline`; report
+/// and return how many regressed past [`REGRESSION_FLOOR`].
+fn check_regressions(baseline: &Path, cases: &[CaseResult]) -> usize {
+    let entries = load_entries(baseline, "uat-bench/engine/v1");
+    let Some(last) = entries.last() else {
+        eprintln!(
+            "check: {} has no entries; nothing to compare",
+            baseline.display()
+        );
+        return 0;
+    };
+    let label = last
+        .field("label")
+        .and_then(|l| l.as_str().map(str::to_string))
+        .unwrap_or_else(|_| "?".into());
+    let mut regressed = 0;
+    for case in cases {
+        let base_rate = last.field("cases").and_then(|cs| {
+            cs.as_arr()?
+                .iter()
+                .find(|c| c.field("name").and_then(|n| n.as_str()) == Ok(case.name))
+                .ok_or_else(|| uat_base::json::JsonError {
+                    msg: format!("case {} not in baseline", case.name),
+                })?
+                .field("events_per_sec")?
+                .as_f64()
+        });
+        match base_rate {
+            Ok(base) => {
+                let ratio = case.events_per_sec() / base;
+                let verdict = if ratio < REGRESSION_FLOOR {
+                    regressed += 1;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "check {:<12} {:>12.0} ev/s vs {:>12.0} ({label}) = {:>5.2}x  {verdict}",
+                    case.name,
+                    case.events_per_sec(),
+                    base,
+                    ratio,
+                );
+            }
+            Err(e) => println!("check {:<12} skipped: {e}", case.name),
+        }
+    }
+    regressed
+}
+
+fn main() {
+    let mut quick = false;
+    let mut label = String::from("dev");
+    let mut check: Option<PathBuf> = None;
+    let mut out_dir = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} requires an argument");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--label" => label = value("--label"),
+            "--check" => check = Some(PathBuf::from(value("--check"))),
+            "--out-dir" => out_dir = PathBuf::from(value("--out-dir")),
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Short cases are exposed to host scheduling noise; more iterations
+    // make best-of robust without hurting the long cases much.
+    let iters = if quick { 1 } else { 5 };
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // --- engine micro-benchmarks (pinned cases) ---
+    println!("# engine events/sec (best of {iters})");
+    let cases = vec![
+        time_case("btc16_120w", iters, || {
+            (SimConfig::fx10(8), Btc::new(16, 1))
+        }),
+        time_case("uts11_60w", iters, || {
+            (SimConfig::fx10(4), Uts::geometric(11))
+        }),
+    ];
+    for c in &cases {
+        println!(
+            "{:<12} events={:>9} best_wall_s={:.4} events_per_sec={:.0}",
+            c.name,
+            c.events,
+            c.best_wall_s,
+            c.events_per_sec()
+        );
+    }
+
+    // --- Figure 11 mini-sweep: serial vs parallel harness ---
+    let depth = if quick { 14 } else { 16 };
+    let nodes = [2u32, 4, 8, 16];
+    let base = compact_config(2);
+    let threads = sweep_threads();
+    // Warm up allocator + page cache once so the serial-vs-parallel
+    // comparison measures the harness, not which run went first.
+    let _ = sweep_with_threads(&base, &nodes[..1], 1, || Btc::new(depth, 1));
+    let t0 = Instant::now();
+    let serial = sweep_with_threads(&base, &nodes, 1, || Btc::new(depth, 1));
+    let serial_wall = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel = sweep_with_threads(&base, &nodes, threads, || Btc::new(depth, 1));
+    let parallel_wall = t0.elapsed().as_secs_f64();
+    // The harness must never change the simulation: compare the full
+    // serialized stats of every point before writing anything.
+    let bit_identical = serial.len() == parallel.len()
+        && serial
+            .iter()
+            .zip(&parallel)
+            .all(|(a, b)| a.stats.to_json().to_string() == b.stats.to_json().to_string());
+    assert!(
+        bit_identical,
+        "parallel sweep diverged from the serial baseline"
+    );
+    let makespan_sum: u64 = serial.iter().map(|p| p.stats.makespan.get()).sum();
+    println!("\n# fig11 mini-sweep (Btc depth={depth}, nodes {nodes:?})");
+    println!(
+        "serial_wall_s={serial_wall:.4} parallel_wall_s={parallel_wall:.4} \
+         threads={threads} speedup={:.2}x makespan_sum={makespan_sum} bit_identical={bit_identical}",
+        serial_wall / parallel_wall
+    );
+
+    // --- artifacts ---
+    let engine_path = out_dir.join("BENCH_engine.json");
+    let engine_entry = Json::obj([
+        ("label", Json::str(label.as_str())),
+        ("quick", Json::Bool(quick)),
+        ("host_threads", Json::UInt(host_threads as u64)),
+        (
+            "cases",
+            Json::Arr(cases.iter().map(CaseResult::to_json).collect()),
+        ),
+    ]);
+    let fig11_path = out_dir.join("BENCH_fig11.json");
+    let fig11_entry = Json::obj([
+        ("label", Json::str(label.as_str())),
+        ("quick", Json::Bool(quick)),
+        ("depth", Json::UInt(depth as u64)),
+        (
+            "nodes",
+            Json::Arr(nodes.iter().map(|&n| Json::UInt(n as u64)).collect()),
+        ),
+        ("threads", Json::UInt(threads as u64)),
+        ("serial_wall_s", Json::Num(serial_wall)),
+        ("parallel_wall_s", Json::Num(parallel_wall)),
+        ("speedup", Json::Num(serial_wall / parallel_wall)),
+        ("makespan_sum", Json::UInt(makespan_sum)),
+        ("bit_identical", Json::Bool(bit_identical)),
+    ]);
+
+    // Regression check runs against the baseline as committed, before
+    // this invocation's entry is appended.
+    let regressed = check
+        .as_deref()
+        .map_or(0, |path| check_regressions(path, &cases));
+
+    write_artifact(
+        &engine_path,
+        "uat-bench/engine/v1",
+        load_entries(&engine_path, "uat-bench/engine/v1"),
+        engine_entry,
+    );
+    write_artifact(
+        &fig11_path,
+        "uat-bench/fig11/v1",
+        load_entries(&fig11_path, "uat-bench/fig11/v1"),
+        fig11_entry,
+    );
+
+    if regressed > 0 {
+        eprintln!("error: {regressed} case(s) regressed >20% vs baseline");
+        std::process::exit(1);
+    }
+}

@@ -27,7 +27,7 @@ use uat_cluster::sweep::{render, sweep};
 use uat_cluster::Workload;
 use uat_workloads::{Btc, NQueens, Uts};
 
-fn run_pair<W: Workload, F: Fn(u32) -> W>(
+fn run_pair<W: Workload + Send, F: Fn(u32) -> W + Sync>(
     title: &str,
     unit: &str,
     nodes: &[u32],

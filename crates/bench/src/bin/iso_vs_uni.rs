@@ -13,9 +13,11 @@
 
 use uat_base::{Cycles, Topology};
 use uat_bench::{deviation, kcycles, paper};
-use uat_cluster::{Engine, SimConfig};
+use uat_cluster::{run_indexed, sweep_threads, Engine, SimConfig};
 use uat_core::{CoreConfig, SchemeKind, StealPhase};
 use uat_workloads::{Btc, Chain};
+
+const SCHEMES: [SchemeKind; 2] = [SchemeKind::Uni, SchemeKind::Iso];
 
 fn main() {
     part1_virtual_memory();
@@ -59,13 +61,17 @@ fn part1_virtual_memory() {
 
 fn part2_steal_time() {
     println!("# Part 2 — steal time, uni vs iso (Figure 10 ping-pong, §6.3)\n");
-    let mut results = Vec::new();
-    for scheme in [SchemeKind::Uni, SchemeKind::Iso] {
+    // Both schemes are independent runs: simulate concurrently, report in
+    // order.
+    let runs = run_indexed(SCHEMES.len(), sweep_threads(), |i| {
         let mut cfg = SimConfig::fx10(2);
         cfg.topo = Topology::new(2, 1);
-        cfg.scheme = scheme;
+        cfg.scheme = SCHEMES[i];
         cfg.core.iso_stacks_per_worker = 64;
-        let stats = Engine::new(cfg, Chain::fig10(1_000)).run();
+        Engine::new(cfg, Chain::fig10(1_000)).run()
+    });
+    let mut results = Vec::new();
+    for (scheme, stats) in SCHEMES.iter().zip(&runs) {
         let total = stats.breakdown.total_mean();
         println!(
             "{:?}: steal total {:>8} cycles | stack transfer {:>8} | faults/steal {:.2}",
@@ -98,14 +104,16 @@ fn part2_steal_time() {
 
 fn part3_physical_growth() {
     println!("# Part 3 — physical memory committed after a stealing-heavy run\n");
-    for scheme in [SchemeKind::Uni, SchemeKind::Iso] {
+    let runs = run_indexed(SCHEMES.len(), sweep_threads(), |i| {
         let mut cfg = SimConfig::fx10(4); // 60 workers
-        cfg.scheme = scheme;
+        cfg.scheme = SCHEMES[i];
         cfg.core.uni_region_size = 192 << 10;
         cfg.core.rdma_heap_size = 512 << 10;
         cfg.core.deque_capacity = 1024;
         cfg.core.iso_stacks_per_worker = 128;
-        let stats = Engine::new(cfg, Btc::new(18, 1)).run();
+        Engine::new(cfg, Btc::new(18, 1)).run()
+    });
+    for (scheme, stats) in SCHEMES.iter().zip(&runs) {
         println!(
             "{:?}: committed {:>8} KiB total | stack peak {:>6} B/worker | faults {:>6} | fault cycles {}",
             scheme,

@@ -9,15 +9,18 @@
 //! benchmark the harness also projects the stack usage at the paper's
 //! depth from the measured per-level growth.
 
+use std::sync::Mutex;
 use uat_base::json::{Json, ToJson};
 use uat_bench::{compact_config, paper, require_trace_feature, write_output, OutFlags};
-use uat_cluster::{Engine, RunStats, SimConfig, Workload};
+use uat_cluster::{run_indexed, sweep_threads, Engine, RunStats, SimConfig, Workload};
 use uat_trace::TraceData;
 use uat_workloads::{btc::BTC_FRAME, nqueens, uts, Btc, NQueens, Uts};
 
 /// Run one row; when a capture slot is passed (the first row, under
-/// `--trace`), keep the trace for export.
-fn run<W: Workload>(cfg: SimConfig, w: W, capture: Option<&mut Option<TraceData>>) -> RunStats {
+/// `--trace`), keep the trace for export. The slot is a `Mutex` only
+/// because rows run concurrently on the harness pool; exactly one row
+/// ever writes it.
+fn run<W: Workload>(cfg: SimConfig, w: W, capture: Option<&Mutex<Option<TraceData>>>) -> RunStats {
     match capture {
         #[cfg(feature = "trace")]
         Some(slot) => {
@@ -26,7 +29,7 @@ fn run<W: Workload>(cfg: SimConfig, w: W, capture: Option<&mut Option<TraceData>
             // drops oldest first) rather than an export too large to
             // open in Perfetto.
             let (stats, trace) = Engine::new(cfg, w).with_tracing(1 << 14).run_traced();
-            *slot = Some(trace);
+            *slot.lock().expect("trace slot poisoned") = Some(trace);
             stats
         }
         // `require_trace_feature` already rejected `--trace` without the
@@ -66,16 +69,25 @@ fn main() {
         paper_bytes: u64,
     }
 
-    // Under `--trace` the first row (BTC iter=1) is the traced run.
-    let mut captured: Option<TraceData> = None;
+    // Under `--trace` the first row (BTC iter=1) is the traced run. All
+    // four rows are independent simulations, so they run concurrently on
+    // the harness pool; each row's stats are a pure function of its own
+    // config, so the table is identical at any thread count.
+    let captured: Mutex<Option<TraceData>> = Mutex::new(None);
+    let capture = flags.trace.is_some().then_some(&captured);
+    let mut row_stats = run_indexed(4, sweep_threads(), |i| match i {
+        0 => run(cfg.clone(), Btc::new(22, 1), capture),
+        1 => run(cfg.clone(), Btc::new(11, 2), None),
+        2 => run(cfg.clone(), Uts::geometric(12), None),
+        3 => run(cfg.clone(), NQueens::new(12), None),
+        _ => unreachable!(),
+    })
+    .into_iter();
+    let mut next_stats = || row_stats.next().expect("one result per row");
     let rows = vec![
         Row {
             label: "BTC iter=1 depth=22",
-            stats: run(
-                cfg.clone(),
-                Btc::new(22, 1),
-                flags.trace.is_some().then_some(&mut captured),
-            ),
+            stats: next_stats(),
             levels: 23,
             paper_levels: 39,
             per_level: BTC_FRAME,
@@ -83,7 +95,7 @@ fn main() {
         },
         Row {
             label: "BTC iter=2 depth=11",
-            stats: run(cfg.clone(), Btc::new(11, 2), None),
+            stats: next_stats(),
             levels: 12,
             paper_levels: 20,
             per_level: BTC_FRAME,
@@ -91,7 +103,7 @@ fn main() {
         },
         Row {
             label: "UTS geo depth=12",
-            stats: run(cfg.clone(), Uts::geometric(12), None),
+            stats: next_stats(),
             levels: 13,
             paper_levels: 18,
             per_level: uts::UTS_NODE_FRAME + 2 * uts::UTS_SPLIT_FRAME,
@@ -99,13 +111,14 @@ fn main() {
         },
         Row {
             label: "NQueens N=12",
-            stats: run(cfg.clone(), NQueens::new(12), None),
+            stats: next_stats(),
             levels: 13,
             paper_levels: 18,
             per_level: nqueens::NQ_NODE_FRAME + 3 * nqueens::NQ_SPLIT_FRAME,
             paper_bytes: paper::STACK_USAGE[7].2,
         },
     ];
+    let captured = captured.into_inner().expect("trace slot poisoned");
 
     for r in &rows {
         let projected = r.per_level * r.paper_levels;

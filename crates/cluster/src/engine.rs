@@ -30,13 +30,12 @@
 //!   keeps the victim out of the frames), resume.
 
 use crate::config::SimConfig;
+use crate::event_heap::EventHeap;
 use crate::metrics::RunStats;
 use crate::task::{TaskId64, TaskTable, TaskWhere};
 use crate::tracing::TraceCtl;
 use crate::workload::{Action, Workload};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use uat_base::{Cycles, SplitMix64, WorkerId};
+use uat_base::{CostModel, Cycles, SplitMix64, WorkerId};
 use uat_core::{transfer_stolen, StackMgr, StealBreakdown, StealPhase};
 use uat_deque::{PopOutcome, StealOutcome, TaskqEntry};
 use uat_rdma::Fabric;
@@ -78,6 +77,44 @@ enum Pending {
     },
 }
 
+/// The scalar cycle costs the event loop touches on *every* event,
+/// copied out of the [`CostModel`] once at [`Engine::new`]. The hot
+/// handlers used to `clone()` the whole ~200-byte cost model (floats,
+/// fabric parameters, ablation flags and all) per event just to read a
+/// handful of `u64`s; this is the same data, one cache line, no copy.
+#[derive(Clone, Copy)]
+struct HotCosts {
+    ctx_save: u64,
+    deque_push: u64,
+    deque_pop: u64,
+    ctx_restore: u64,
+    try_join: u64,
+    idle_poll: u64,
+    resume_base: u64,
+    page_fault: u64,
+    /// Call glue of the Figure 4 fast path (see [`CostModel::spawn_cost`]).
+    call_glue: u64,
+    /// Retry delay after losing a deque race to a mid-steal thief.
+    contended_retry: u64,
+}
+
+impl HotCosts {
+    fn new(cost: &CostModel) -> Self {
+        HotCosts {
+            ctx_save: cost.ctx_save,
+            deque_push: cost.deque_push,
+            deque_pop: cost.deque_pop,
+            ctx_restore: cost.ctx_restore,
+            try_join: cost.try_join,
+            idle_poll: cost.idle_poll,
+            resume_base: cost.resume_base,
+            page_fault: cost.page_fault,
+            call_glue: cost.call_glue,
+            contended_retry: cost.contended_retry,
+        }
+    }
+}
+
 struct WorkerCtl {
     rng: SplitMix64,
     pending: Pending,
@@ -103,8 +140,11 @@ pub struct Engine<W: Workload> {
     mgrs: Vec<StackMgr>,
     tasks: TaskTable<W::Desc>,
     workers: Vec<WorkerCtl>,
-    queue: BinaryHeap<Reverse<(u64, u64, u32)>>,
-    seq: u64,
+    queue: EventHeap,
+    hot: HotCosts,
+    /// Recycled `program` vectors from completed tasks: a spawn reuses a
+    /// freed allocation instead of hitting the allocator per task.
+    program_pool: Vec<Vec<Action<W::Desc>>>,
     events: u64,
     finished_at: Option<Cycles>,
     root: Option<TaskId64>,
@@ -143,6 +183,7 @@ impl<W: Workload> Engine<W> {
                 tasks_run: 0,
             })
             .collect();
+        let hot = HotCosts::new(&cfg.cost);
         Engine {
             cfg,
             workload,
@@ -150,8 +191,9 @@ impl<W: Workload> Engine<W> {
             mgrs,
             tasks: TaskTable::new(),
             workers,
-            queue: BinaryHeap::new(),
-            seq: 0,
+            queue: EventHeap::new(total as usize),
+            hot,
+            program_pool: Vec::new(),
             events: 0,
             finished_at: None,
             root: None,
@@ -190,7 +232,7 @@ impl<W: Workload> Engine<W> {
             self.schedule(w, Cycles::ZERO);
         }
 
-        while let Some(Reverse((t, _, w))) = self.queue.pop() {
+        while let Some((t, w)) = self.queue.pop() {
             if self.finished_at.is_some() {
                 break;
             }
@@ -216,8 +258,7 @@ impl<W: Workload> Engine<W> {
     // ------------------------------------------------------------------
 
     fn schedule(&mut self, w: WorkerId, t: Cycles) {
-        self.seq += 1;
-        self.queue.push(Reverse((t.get(), self.seq, w.0)));
+        self.queue.push(w.0, t.get());
     }
 
     fn fire(&mut self, w: WorkerId, t: Cycles) {
@@ -257,7 +298,7 @@ impl<W: Workload> Engine<W> {
     /// Returns the id. (Page-fault cost, nonzero only under iso, is
     /// returned through `self.page_faults` and the spawn path's timing.)
     fn spawn_task(&mut self, w: WorkerId, desc: W::Desc, parent: Option<TaskId64>) -> TaskId64 {
-        let mut program = Vec::new();
+        let mut program = self.program_pool.pop().unwrap_or_default();
         self.workload.program(&desc, &mut program);
         self.total_units += self.workload.units(&desc);
         let frame = self.workload.frame_size(&desc).max(16);
@@ -273,7 +314,7 @@ impl<W: Workload> Engine<W> {
     /// zero-event costs, until exactly one timed operation is scheduled.
     fn advance_task(&mut self, w: WorkerId, task: TaskId64, t: Cycles) {
         let mut t = t;
-        let cost = self.cfg.cost.clone();
+        let cost = self.hot;
         loop {
             let (pc, len) = {
                 let rec = self.tasks.get(task);
@@ -344,8 +385,8 @@ impl<W: Workload> Engine<W> {
                         // parent out now and back in when the child
                         // returns — two copies of the parent's frames
                         // plus the suspend/resume bookkeeping.
-                        create += cost.suspend_cost(frame_size as usize)
-                            + cost.resume_cost(frame_size as usize);
+                        create += self.cfg.cost.suspend_cost(frame_size as usize)
+                            + self.cfg.cost.resume_cost(frame_size as usize);
                     }
                     self.set(
                         w,
@@ -380,11 +421,14 @@ impl<W: Workload> Engine<W> {
     /// The running task's program ended (thread exit).
     fn complete_task(&mut self, w: WorkerId, task: TaskId64, t: Cycles) {
         self.trace.task_end(w, task, t);
-        let rec = self.tasks.free(task);
+        let mut rec = self.tasks.free(task);
         debug_assert!(
             rec.outstanding == 0,
             "a task cannot exit with live children"
         );
+        let mut program = std::mem::take(&mut rec.program);
+        program.clear();
+        self.program_pool.push(program);
         if let Some((owner, slot)) = self.mgrs[w.index()].complete(task, &self.cfg.core) {
             self.mgrs[owner.index()].reclaim_slot(slot);
         }
@@ -405,7 +449,7 @@ impl<W: Workload> Engine<W> {
     /// Figure 4 lines 13-15: pop the own queue; resume the parent in
     /// place, or conclude it was stolen.
     fn post_complete(&mut self, w: WorkerId, t: Cycles) {
-        let cost = self.cfg.cost.clone();
+        let cost = self.hot;
         let deque = self.mgrs[w.index()].deque();
         match deque.pop(&mut self.fabric).expect("own deque") {
             PopOutcome::Entry(e) => {
@@ -421,7 +465,7 @@ impl<W: Workload> Engine<W> {
                 self.set(
                     w,
                     Pending::TaskStep(e.task),
-                    t + Cycles(cost.deque_pop + 43),
+                    t + Cycles(cost.deque_pop + cost.call_glue),
                     Bucket::Spawn,
                 );
             }
@@ -436,7 +480,7 @@ impl<W: Workload> Engine<W> {
                 self.set(
                     w,
                     Pending::PostComplete,
-                    t + Cycles(cost.deque_pop + 200),
+                    t + Cycles(cost.deque_pop + cost.contended_retry),
                     Bucket::Idle,
                 );
             }
@@ -473,7 +517,7 @@ impl<W: Workload> Engine<W> {
     /// Step 1 of Figure 7: poll try_join for the blocked thread, then try
     /// the local queue, else start a steal.
     fn sched_step(&mut self, w: WorkerId, t: Cycles) {
-        let cost = self.cfg.cost.clone();
+        let cost = self.hot;
         let t0 = t;
         // `while (!try_join)`: the blocked thread resumes in place — the
         // paper's "typical case" where join only confirms termination.
@@ -524,7 +568,7 @@ impl<W: Workload> Engine<W> {
                 self.set(
                     w,
                     Pending::Sched,
-                    t + Cycles(cost.deque_pop + 200),
+                    t + Cycles(cost.deque_pop + cost.contended_retry),
                     Bucket::Idle,
                 );
                 return;
@@ -574,7 +618,6 @@ impl<W: Workload> Engine<W> {
 
     /// Step 3: wait-queue resume, else idle poll with backoff.
     fn sched_wait_step(&mut self, w: WorkerId, t: Cycles) {
-        let cost = self.cfg.cost.clone();
         // Resuming a waiter installs its frames at their original
         // address, which needs an empty region: park whatever is blocked
         // here first, then drain. The waiter's join may still be
@@ -582,6 +625,7 @@ impl<W: Workload> Engine<W> {
         // loop polls on (the paper's runtime pays the same copy to find
         // out; Figure 7 lines 28-30).
         if self.mgrs[w.index()].wait_len() > 0 {
+            let cost = self.cfg.cost.clone();
             let parked = self.park_blocked(w, false, t);
             self.mgrs[w.index()].on_pop_empty();
             let h = self.mgrs[w.index()]
@@ -626,7 +670,7 @@ impl<W: Workload> Engine<W> {
         self.set(
             w,
             Pending::Sched,
-            t + Cycles(cost.idle_poll + backoff),
+            t + Cycles(self.hot.idle_poll + backoff),
             Bucket::Idle,
         );
     }
@@ -808,7 +852,7 @@ impl<W: Workload> Engine<W> {
     }
 
     fn steal_after_unlock(&mut self, w: WorkerId, victim: WorkerId, entry: TaskqEntry, t: Cycles) {
-        let cost = self.cfg.cost.clone();
+        let cost = self.hot;
         let phase_start = self.workers[w.index()].phase_start;
         let elapsed = t.since(phase_start);
         self.breakdown.record(StealPhase::Unlock, elapsed);

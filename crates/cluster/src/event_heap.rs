@@ -1,0 +1,233 @@
+//! Indexed per-worker event heap.
+//!
+//! The engine's scheduling invariant — each worker has **exactly one
+//! outstanding event** (see the module docs of [`crate::engine`]) — means
+//! the event queue never holds more than W entries for a W-worker
+//! machine. A global `BinaryHeap` is the wrong shape for that: every
+//! (re)schedule allocates amortized heap growth, retires a tombstone-free
+//! but ever-growing `(time, seq, worker)` tuple, and pays comparison
+//! traffic against entries that are all, structurally, "the next event of
+//! some worker".
+//!
+//! [`EventHeap`] exploits the invariant directly:
+//!
+//! - one **slot per worker** holding its `(time, seq)` key, updated in
+//!   place on reschedule — no stale entries can exist, ever;
+//! - a W-element binary heap of worker ids with a position index, so
+//!   push/pop are O(log W) with **zero allocation** in the steady state
+//!   (all three vectors are sized once at construction);
+//! - a monotone `seq` tie-breaker assigned at push, preserving the exact
+//!   deterministic FIFO order of the previous global-heap scheduler:
+//!   events at the same instant fire in the order they were scheduled.
+//!
+//! Determinism note: the ordering is a pure function of the push/pop
+//! sequence, so swapping this in for the global `BinaryHeap` is
+//! bit-identical (same fire order ⇒ same simulation trajectory); the
+//! golden-snapshot tests in `tests/determinism.rs` pin that.
+
+/// Sentinel for "worker not queued".
+const NOT_QUEUED: u32 = u32::MAX;
+
+/// Fixed-capacity indexed min-heap keyed by `(time, seq)`, one slot per
+/// worker.
+#[derive(Clone, Debug)]
+pub struct EventHeap {
+    /// Worker ids in binary-heap order (min at index 0).
+    heap: Vec<u32>,
+    /// `pos[w]` = index of worker `w` in `heap`, or [`NOT_QUEUED`].
+    pos: Vec<u32>,
+    /// `key[w]` = `(fire_time, schedule_seq)`; valid while queued.
+    key: Vec<(u64, u64)>,
+    /// Monotone schedule counter (FIFO tie-break at equal fire times).
+    seq: u64,
+}
+
+impl EventHeap {
+    /// An empty heap for a machine of `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        EventHeap {
+            heap: Vec::with_capacity(workers),
+            pos: vec![NOT_QUEUED; workers],
+            key: vec![(0, 0); workers],
+            seq: 0,
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no event is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule worker `w`'s next event at time `t`.
+    ///
+    /// Panics (debug) if `w` already has an outstanding event — the
+    /// engine's one-event-per-worker invariant makes that a scheduler
+    /// bug, not a case to handle.
+    #[inline]
+    pub fn push(&mut self, w: u32, t: u64) {
+        debug_assert_eq!(
+            self.pos[w as usize], NOT_QUEUED,
+            "worker {w} already has an outstanding event"
+        );
+        self.seq += 1;
+        self.key[w as usize] = (t, self.seq);
+        let i = self.heap.len();
+        self.heap.push(w);
+        self.pos[w as usize] = i as u32;
+        self.sift_up(i);
+    }
+
+    /// Remove and return the earliest event as `(time, worker)`; FIFO
+    /// among events at the same instant.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(u64, u32)> {
+        let w = *self.heap.first()?;
+        let t = self.key[w as usize].0;
+        self.pos[w as usize] = NOT_QUEUED;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0);
+        }
+        Some((t, w))
+    }
+
+    #[inline]
+    fn less(&self, a: u32, b: u32) -> bool {
+        self.key[a as usize] < self.key[b as usize]
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if !self.less(self.heap[i], self.heap[parent]) {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.heap.len() {
+                break;
+            }
+            let r = l + 1;
+            let mut m = l;
+            if r < self.heap.len() && self.less(self.heap[r], self.heap[l]) {
+                m = r;
+            }
+            if !self.less(self.heap[m], self.heap[i]) {
+                break;
+            }
+            self.swap(i, m);
+            i = m;
+        }
+    }
+
+    #[inline]
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i as u32;
+        self.pos[self.heap[j] as usize] = j as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    use uat_base::SplitMix64;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut h = EventHeap::new(4);
+        h.push(0, 30);
+        h.push(1, 10);
+        h.push(2, 20);
+        h.push(3, 40);
+        let order: Vec<_> = std::iter::from_fn(|| h.pop()).collect();
+        assert_eq!(order, vec![(10, 1), (20, 2), (30, 0), (40, 3)]);
+    }
+
+    #[test]
+    fn equal_times_fire_in_schedule_order() {
+        // FIFO tie-break: the order pushed, NOT worker-id order.
+        let mut h = EventHeap::new(5);
+        for &w in &[3u32, 0, 4, 1, 2] {
+            h.push(w, 100);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| h.pop()).map(|(_, w)| w).collect();
+        assert_eq!(order, vec![3, 0, 4, 1, 2]);
+    }
+
+    #[test]
+    fn slot_reuse_keeps_capacity_fixed() {
+        let mut h = EventHeap::new(3);
+        h.push(0, 0);
+        h.push(1, 0);
+        h.push(2, 0);
+        let cap = h.heap.capacity();
+        // A long run of pop-then-reschedule cycles must never grow the
+        // backing storage (zero allocation in the steady state).
+        for _ in 0..10_000 {
+            let (now, w) = h.pop().unwrap();
+            h.push(w, now + 7);
+        }
+        assert_eq!(h.heap.capacity(), cap);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "already has an outstanding event")]
+    fn double_schedule_is_a_bug() {
+        let mut h = EventHeap::new(2);
+        h.push(0, 1);
+        h.push(0, 2);
+    }
+
+    /// Model check against the scheduler the engine used before: a global
+    /// `BinaryHeap<Reverse<(time, seq, worker)>>`. The pop sequences must
+    /// be identical, including ties.
+    #[test]
+    fn matches_global_binary_heap_model() {
+        let workers = 9u32;
+        let mut rng = SplitMix64::new(0xE7E47);
+        let mut indexed = EventHeap::new(workers as usize);
+        let mut model: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        // Seed every worker at t=0 like the engine does.
+        for w in 0..workers {
+            indexed.push(w, 0);
+            seq += 1;
+            model.push(Reverse((0, seq, w)));
+        }
+        for step in 0..50_000 {
+            let (t_i, w_i) = indexed.pop().unwrap();
+            let Reverse((t_m, _, w_m)) = model.pop().unwrap();
+            assert_eq!((t_i, w_i), (t_m, w_m), "diverged at step {step}");
+            // Reschedule the fired worker at a later (sometimes equal)
+            // instant, mimicking the engine's fire→set cycle.
+            let dt = rng.next_u64() % 5; // 20% exact ties
+            indexed.push(w_i, t_i + dt);
+            seq += 1;
+            model.push(Reverse((t_i + dt, seq, w_i)));
+        }
+        // Drain: both end identically.
+        while let Some(got) = indexed.pop() {
+            let Reverse((t, _, w)) = model.pop().unwrap();
+            assert_eq!(got, (t, w));
+        }
+        assert!(model.pop().is_none());
+    }
+}

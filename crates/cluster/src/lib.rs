@@ -24,7 +24,9 @@
 
 pub mod config;
 pub mod engine;
+pub mod event_heap;
 pub mod metrics;
+pub mod parallel;
 pub mod sweep;
 pub mod task;
 mod tracing;
@@ -32,7 +34,9 @@ pub mod workload;
 
 pub use config::SimConfig;
 pub use engine::Engine;
+pub use event_heap::EventHeap;
 pub use metrics::{RunStats, WorkerSummary};
-pub use sweep::{sweep, ScalePoint};
+pub use parallel::{run_indexed, sweep_threads};
+pub use sweep::{sweep, sweep_with_threads, ScalePoint};
 pub use task::{TaskId64, TaskTable};
 pub use workload::{Action, Workload};

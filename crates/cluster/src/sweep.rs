@@ -20,16 +20,45 @@ pub struct ScalePoint {
 
 /// Run `workload` at each node count (FX10 shape: 15 workers/node) and
 /// report throughput + efficiency relative to the first point.
+///
+/// Points run concurrently on the harness pool sized by
+/// [`sweep_threads`](crate::parallel::sweep_threads) (`UAT_SWEEP_THREADS`
+/// overrides). Each run is an independent simulation seeded from its own
+/// config, so the returned points are bit-identical at any thread count;
+/// see [`crate::parallel`] for the argument and `tests/determinism.rs`
+/// for the proof.
 pub fn sweep<W, F>(base: &SimConfig, node_counts: &[u32], make_workload: F) -> Vec<ScalePoint>
 where
-    W: Workload,
-    F: Fn() -> W,
+    W: Workload + Send,
+    F: Fn() -> W + Sync,
 {
-    let mut points: Vec<ScalePoint> = Vec::new();
-    for &nodes in node_counts {
+    sweep_with_threads(
+        base,
+        node_counts,
+        crate::parallel::sweep_threads(),
+        make_workload,
+    )
+}
+
+/// [`sweep`] with an explicit harness thread count (1 = serial on the
+/// calling thread).
+pub fn sweep_with_threads<W, F>(
+    base: &SimConfig,
+    node_counts: &[u32],
+    threads: usize,
+    make_workload: F,
+) -> Vec<ScalePoint>
+where
+    W: Workload + Send,
+    F: Fn() -> W + Sync,
+{
+    let runs = crate::parallel::run_indexed(node_counts.len(), threads, |i| {
         let mut cfg = base.clone();
-        cfg.topo = Topology::new(nodes, base.topo.workers_per_node);
-        let stats = Engine::new(cfg, make_workload()).run();
+        cfg.topo = Topology::new(node_counts[i], base.topo.workers_per_node);
+        Engine::new(cfg, make_workload()).run()
+    });
+    let mut points: Vec<ScalePoint> = Vec::with_capacity(runs.len());
+    for stats in runs {
         let efficiency = match points.first() {
             Some(first) => stats.efficiency_vs(&first.stats),
             None => 1.0,

@@ -26,6 +26,8 @@ pub struct UniMgr {
     /// Wait queue of suspended threads (Figure 7), FIFO.
     wait_queue: VecDeque<SavedHandle>,
     verify: bool,
+    /// Reusable buffer for frame byte patterns (spawn is the hot path).
+    scratch: Vec<u8>,
 }
 
 impl UniMgr {
@@ -68,6 +70,7 @@ impl UniMgr {
             deque,
             wait_queue: VecDeque::new(),
             verify: cfg.verify_stack_bytes,
+            scratch: Vec::new(),
         }
     }
 
@@ -85,11 +88,13 @@ impl UniMgr {
             .unwrap_or_else(|e| panic!("worker {}: {e}", self.id));
         // The frames are real bytes in registered memory; write the
         // task's pattern so copies are checkable end to end.
-        let bytes = pattern(task, size as usize);
+        let mut bytes = std::mem::take(&mut self.scratch);
+        pattern_into(task, size as usize, &mut bytes);
         fabric
             .mem_mut(self.id)
             .write_local(base, &bytes)
             .expect("uni region registered");
+        self.scratch = bytes;
         base
     }
 
@@ -224,13 +229,21 @@ impl UniMgr {
 /// The deterministic byte pattern of a task's frames. Copies of frames
 /// across suspend/resume/steal must preserve it bit for bit.
 pub fn pattern(task: u64, size: usize) -> Vec<u8> {
-    let mut r = SplitMix64::new(task ^ 0xF0A7_5EED);
-    let mut v = Vec::with_capacity(size);
-    while v.len() < size {
-        v.extend_from_slice(&r.next_u64().to_le_bytes());
-    }
-    v.truncate(size);
+    let mut v = Vec::new();
+    pattern_into(task, size, &mut v);
     v
+}
+
+/// [`pattern`] into a caller-provided buffer, so hot paths can reuse one
+/// allocation across tasks.
+pub fn pattern_into(task: u64, size: usize, out: &mut Vec<u8>) {
+    let mut r = SplitMix64::new(task ^ 0xF0A7_5EED);
+    out.clear();
+    out.reserve(size);
+    while out.len() < size {
+        out.extend_from_slice(&r.next_u64().to_le_bytes());
+    }
+    out.truncate(size);
 }
 
 #[cfg(test)]

@@ -1,7 +1,6 @@
 //! The fabric: registered memory + one-sided operations.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 use uat_base::json::{FromJson, Json, JsonError, ToJson};
 use uat_base::{CostModel, Cycles, Topology, WorkerId};
@@ -67,41 +66,85 @@ impl std::error::Error for RdmaError {}
 /// [`uat_vmem::AddressSpace`] in sync.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct ProcMem {
-    regions: BTreeMap<u64, Vec<u8>>,
+    /// Registered regions, sorted by base address. A process registers a
+    /// handful of fixed regions at startup (uni-address region, RDMA
+    /// heap, deque block), so a sorted `Vec` beats a tree: `locate`
+    /// resolves to an *index*, letting the byte access reuse it instead
+    /// of paying a second map lookup.
+    regions: Vec<(u64, Vec<u8>)>,
+    /// Index of the region `locate` last hit. Deque pointer traffic
+    /// revisits the same region almost every access; the hit is
+    /// re-validated against the region's bounds, and `register` resets
+    /// it, so it can never serve a stale answer.
+    last_hit: std::cell::Cell<usize>,
 }
 
 impl ProcMem {
-    fn locate(&self, addr: u64, len: usize) -> Option<(u64, usize)> {
-        let (&base, bytes) = self.regions.range(..=addr).next_back()?;
+    fn locate(&self, addr: u64, len: usize) -> Option<(usize, usize)> {
+        let hit = self.last_hit.get();
+        if let Some((base, bytes)) = self.regions.get(hit) {
+            let off = addr.wrapping_sub(*base) as usize;
+            if addr >= *base && off + len <= bytes.len() {
+                return Some((hit, off));
+            }
+        }
+        let i = match self.regions.binary_search_by(|(base, _)| base.cmp(&addr)) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let (base, bytes) = &self.regions[i];
         let off = (addr - base) as usize;
         if off + len <= bytes.len() {
-            Some((base, off))
+            self.last_hit.set(i);
+            Some((i, off))
         } else {
             None
         }
     }
 
+    fn register(&mut self, addr: u64, len: usize) -> Result<(), RdmaError> {
+        // Insertion point: first region with base >= addr.
+        let idx = self.regions.partition_point(|(base, _)| *base < addr);
+        let end = addr + len as u64;
+        let overlaps_prev = idx > 0 && {
+            let (base, bytes) = &self.regions[idx - 1];
+            base + bytes.len() as u64 > addr
+        };
+        let overlaps_next = self.regions.get(idx).is_some_and(|(base, _)| *base < end);
+        if overlaps_prev || overlaps_next {
+            return Err(RdmaError::OverlappingRegistration {
+                proc: WorkerId(u32::MAX),
+                addr,
+            });
+        }
+        self.regions.insert(idx, (addr, vec![0; len]));
+        // Insertion shifts indices; drop the (now possibly wrong) hit.
+        self.last_hit.set(usize::MAX);
+        Ok(())
+    }
+
     /// Read `buf.len()` bytes starting at `addr` (owner-side, zero cost).
     pub fn read_local(&self, addr: u64, buf: &mut [u8]) -> Result<(), RdmaError> {
-        let (base, off) = self
+        let (i, off) = self
             .locate(addr, buf.len())
             .ok_or(RdmaError::NotRegistered {
                 proc: WorkerId(u32::MAX),
                 addr,
             })?;
-        buf.copy_from_slice(&self.regions[&base][off..off + buf.len()]);
+        buf.copy_from_slice(&self.regions[i].1[off..off + buf.len()]);
         Ok(())
     }
 
     /// Write `data` starting at `addr` (owner-side, zero cost).
     pub fn write_local(&mut self, addr: u64, data: &[u8]) -> Result<(), RdmaError> {
-        let (base, off) = self
+        let (i, off) = self
             .locate(addr, data.len())
             .ok_or(RdmaError::NotRegistered {
                 proc: WorkerId(u32::MAX),
                 addr,
             })?;
-        self.regions.get_mut(&base).expect("located")[off..off + data.len()].copy_from_slice(data);
+        self.regions[i].1[off..off + data.len()].copy_from_slice(data);
         Ok(())
     }
 
@@ -119,7 +162,7 @@ impl ProcMem {
 
     /// Total registered bytes.
     pub fn registered_bytes(&self) -> u64 {
-        self.regions.values().map(|v| v.len() as u64).sum()
+        self.regions.iter().map(|(_, v)| v.len() as u64).sum()
     }
 }
 
@@ -167,11 +210,73 @@ impl FromJson for FabricStats {
     }
 }
 
+/// Memoized distinct payload sizes before the cache falls back to direct
+/// computation. The protocol moves a small closed set of sizes (8-byte
+/// control words, taskq entries, stack frames), so this is generous.
+const MAX_MEMO_SIZES: usize = 32;
+
+/// Precomputed READ/WRITE latency tables.
+///
+/// `CostModel::rdma_read`/`rdma_write` price every op as
+/// `discounted_base + payload(bytes)`, each involving float math. Both
+/// factors are fixed for the life of a fabric: the base depends only on
+/// the op and locality class (4 combinations), and the payload only on
+/// the byte count, which the protocol draws from a handful of fixed
+/// sizes. This cache computes the four bases once at construction and
+/// memoizes payload cycles per distinct size, so the per-op hot path is
+/// integer adds plus a short linear scan — bit-identical to the direct
+/// computation by construction (same float expressions, evaluated once).
+#[derive(Clone, Debug)]
+struct LatencyCache {
+    /// Discounted READ base, indexed by `intra_node as usize`.
+    read_base: [u64; 2],
+    /// Discounted WRITE base, indexed by `intra_node as usize`.
+    write_base: [u64; 2],
+    bytes_per_cycle: f64,
+    /// `(bytes, payload_cycles)` pairs, insertion order.
+    sizes: Vec<(usize, u64)>,
+}
+
+impl LatencyCache {
+    fn new(cost: &CostModel) -> Self {
+        let discount = |base: u64| (base as f64 * cost.intra_node_discount) as u64;
+        LatencyCache {
+            read_base: [cost.rdma_read_base, discount(cost.rdma_read_base)],
+            write_base: [cost.rdma_write_base, discount(cost.rdma_write_base)],
+            bytes_per_cycle: cost.rdma_bytes_per_cycle,
+            sizes: Vec::with_capacity(MAX_MEMO_SIZES),
+        }
+    }
+
+    #[inline]
+    fn payload(&mut self, bytes: usize) -> u64 {
+        if let Some(&(_, cycles)) = self.sizes.iter().find(|&&(s, _)| s == bytes) {
+            return cycles;
+        }
+        let cycles = (bytes as f64 / self.bytes_per_cycle) as u64;
+        if self.sizes.len() < MAX_MEMO_SIZES {
+            self.sizes.push((bytes, cycles));
+        }
+        cycles
+    }
+
+    #[inline]
+    fn read(&mut self, bytes: usize, intra_node: bool) -> Cycles {
+        Cycles(self.read_base[intra_node as usize] + self.payload(bytes))
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: usize, intra_node: bool) -> Cycles {
+        Cycles(self.write_base[intra_node as usize] + self.payload(bytes))
+    }
+}
+
 /// The simulated interconnect plus every process's registered memory.
 #[derive(Clone, Debug)]
 pub struct Fabric {
     topo: Topology,
     cost: CostModel,
+    lat: LatencyCache,
     procs: Vec<ProcMem>,
     /// Per-node comm-server busy-until instant (software FAA).
     server_busy: Vec<Cycles>,
@@ -189,6 +294,7 @@ impl Fabric {
             procs: vec![ProcMem::default(); n],
             server_busy: vec![Cycles::ZERO; topo.nodes as usize],
             topo,
+            lat: LatencyCache::new(&cost),
             cost,
             stats: FabricStats::default(),
             #[cfg(feature = "trace")]
@@ -249,18 +355,9 @@ impl Fabric {
         if len == 0 {
             return Err(RdmaError::ZeroLength);
         }
-        let mem = &mut self.procs[proc.index()];
-        let end = addr + len as u64;
-        let overlaps = mem
-            .regions
-            .range(..end)
-            .next_back()
-            .is_some_and(|(&b, v)| b + v.len() as u64 > addr);
-        if overlaps {
-            return Err(RdmaError::OverlappingRegistration { proc, addr });
-        }
-        mem.regions.insert(addr, vec![0; len]);
-        Ok(())
+        self.procs[proc.index()]
+            .register(addr, len)
+            .map_err(|_| RdmaError::OverlappingRegistration { proc, addr })
     }
 
     /// Owner-side view of a process's memory.
@@ -295,7 +392,7 @@ impl Fabric {
         self.stats.reads += 1;
         self.stats.read_bytes += buf.len() as u64;
         let intra = self.topo.same_node(initiator, target);
-        let done = now + self.cost.rdma_read(buf.len(), intra);
+        let done = now + self.lat.read(buf.len(), intra);
         #[cfg(feature = "trace")]
         self.trace_op(
             now,
@@ -330,7 +427,7 @@ impl Fabric {
         self.stats.writes += 1;
         self.stats.write_bytes += data.len() as u64;
         let intra = self.topo.same_node(initiator, target);
-        let done = now + self.cost.rdma_write(data.len(), intra);
+        let done = now + self.lat.write(data.len(), intra);
         #[cfg(feature = "trace")]
         self.trace_op(
             now,
@@ -633,6 +730,35 @@ mod tests {
         // Tracing is one-shot: taking it disables further recording.
         f.read(Cycles(0), W0, W2, 0x1000, &mut buf).unwrap();
         assert!(f.take_trace().is_empty());
+    }
+
+    #[test]
+    fn latency_cache_matches_cost_model() {
+        // The cached fabric latencies must equal CostModel's direct
+        // computation for every (op, locality, size) combination —
+        // including sizes past the memoization cap, which fall back to
+        // direct computation. Exercise well over MAX_MEMO_SIZES distinct
+        // sizes, revisiting early (memoized) ones along the way.
+        let cost = CostModel::fx10();
+        let mut lat = LatencyCache::new(&cost);
+        let sizes: Vec<usize> = (0..2 * MAX_MEMO_SIZES).map(|i| 8 + 13 * i).collect();
+        for pass in 0..2 {
+            for &sz in &sizes {
+                for intra in [false, true] {
+                    assert_eq!(
+                        lat.read(sz, intra),
+                        cost.rdma_read(sz, intra),
+                        "read sz={sz} intra={intra} pass={pass}"
+                    );
+                    assert_eq!(
+                        lat.write(sz, intra),
+                        cost.rdma_write(sz, intra),
+                        "write sz={sz} intra={intra} pass={pass}"
+                    );
+                }
+            }
+        }
+        assert_eq!(lat.sizes.len(), MAX_MEMO_SIZES, "memo table is capped");
     }
 
     #[test]
