@@ -1,0 +1,168 @@
+//! CLI for the THE-protocol interleaving checker.
+//!
+//! ```text
+//! uat_check                      # clean suite: must find zero violations
+//! uat_check --mutate <name>      # seeded regression: must find a
+//!                                #   counterexample and print its trace
+//! uat_check --list-mutations
+//! uat_check --replay-cap 500     # bound differential-replay schedules
+//! ```
+//!
+//! Exit code 0 means "the checker did its job": zero violations for the
+//! clean suite, a counterexample trace for a seeded mutation. Anything
+//! else exits 1, so both modes can gate CI directly.
+
+use std::process::ExitCode;
+use uat_check::model::{Family, Mutation};
+use uat_check::scenarios::{mutation_demos, sleep_set_scenarios, standard_suite};
+use uat_check::{replay, Explorer};
+
+const MUTATIONS: [Mutation; 3] = [
+    Mutation::SkipOwnerTopRecheck,
+    Mutation::SkipUnlockOnRacedEmpty,
+    Mutation::LastEntryFastPath,
+];
+
+fn main() -> ExitCode {
+    let mut mutate: Option<Mutation> = None;
+    let mut replay_cap: usize = 2000;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--mutate" => {
+                let name = args.next().unwrap_or_default();
+                match MUTATIONS.iter().find(|m| m.name() == name) {
+                    Some(&m) => mutate = Some(m),
+                    None => {
+                        eprintln!("unknown mutation `{name}`; try --list-mutations");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--list-mutations" => {
+                for m in MUTATIONS {
+                    println!("{}", m.name());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--replay-cap" => {
+                replay_cap = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(replay_cap);
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match mutate {
+        None => run_clean_suite(replay_cap),
+        Some(m) => run_mutation_demo(m),
+    }
+}
+
+fn run_clean_suite(replay_cap: usize) -> ExitCode {
+    let suite = standard_suite();
+    let mut total_interleavings: u128 = 0;
+    let mut total_states: u64 = 0;
+    let mut failed = false;
+    println!("uat-check: THE-protocol steal path, exhaustive exploration");
+    println!(
+        "{:<22} {:>10} {:>12} {:>16} {:>8}",
+        "scenario", "states", "transitions", "interleavings", "finals"
+    );
+    for sc in &suite {
+        let report = Explorer::new(sc, 0).run_exhaustive();
+        println!(
+            "{:<22} {:>10} {:>12} {:>16} {:>8}",
+            report.scenario,
+            report.states,
+            report.transitions,
+            report.interleavings,
+            report.final_states.len()
+        );
+        total_interleavings += report.interleavings;
+        total_states += report.states;
+        if let Some(v) = &report.violation {
+            println!("{}", v.render(sc.name));
+            failed = true;
+        }
+    }
+
+    // Sleep-set cross-check + differential replay on the scenarios whose
+    // path space is small enough to walk path-by-path.
+    for sc in &suite {
+        if !sleep_set_scenarios().contains(&sc.name) {
+            continue;
+        }
+        let exhaustive = Explorer::new(sc, 0).run_exhaustive();
+        let sleepy = Explorer::new(sc, replay_cap).run_sleep_sets();
+        if let Some(v) = &sleepy.violation {
+            println!("{}", v.render(sc.name));
+            failed = true;
+            continue;
+        }
+        let agree = sleepy.final_states == exhaustive.final_states;
+        if !agree {
+            println!(
+                "{}: sleep-set exploration reached {} quiescent states, exhaustive {} — pruning is unsound",
+                sc.name,
+                sleepy.final_states.len(),
+                exhaustive.final_states.len()
+            );
+            failed = true;
+        }
+        assert_eq!(sc.family, Family::SimPhase);
+        match replay::replay_schedules(sc, &sleepy.schedules) {
+            Ok(n) => println!(
+                "{:<22} sleep-sets: {} executions ({} pruned), replayed {} against SimDeque: conform",
+                sc.name, sleepy.interleavings, sleepy.sleep_pruned, n
+            ),
+            Err(e) => {
+                println!("{}: replay divergence: {e}", sc.name);
+                failed = true;
+            }
+        }
+    }
+
+    println!(
+        "total: {total_states} states verified, {total_interleavings} distinct interleavings across {} scenarios",
+        suite.len()
+    );
+    if failed {
+        println!("RESULT: VIOLATIONS FOUND");
+        ExitCode::FAILURE
+    } else {
+        println!("RESULT: no invariant violations");
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_mutation_demo(m: Mutation) -> ExitCode {
+    let demos = mutation_demos(m);
+    let mut bit = false;
+    println!("uat-check: seeded mutation `{}`", m.name());
+    for sc in &demos {
+        let report = Explorer::new(sc, 0).run_exhaustive();
+        match &report.violation {
+            Some(v) => {
+                println!("{}", v.render(sc.name));
+                bit = true;
+            }
+            None => println!(
+                "{}: no violation found ({} interleavings) — mutation not observable here",
+                sc.name, report.interleavings
+            ),
+        }
+    }
+    if bit {
+        println!("RESULT: checker caught the mutation (exit 0)");
+        ExitCode::SUCCESS
+    } else {
+        println!("RESULT: checker FAILED to catch the mutation (exit 1)");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,422 @@
+//! DFS exploration of a [`Scenario`]'s interleaving space.
+//!
+//! Two strategies share the same step semantics and invariant checks:
+//!
+//! - [`Explorer::run_exhaustive`] — DFS memoized on the full system
+//!   state. The reachable state graph is finite and acyclic (every step
+//!   advances some thread's pc, and pcs are monotone within an op), so
+//!   memoization visits **every reachable state and transition exactly
+//!   once** while the number of *distinct interleavings* (root-to-leaf
+//!   paths) is counted exactly by dynamic programming — no path
+//!   enumeration needed. This is the verification mode: per-state and
+//!   per-transition invariants get full coverage.
+//! - [`Explorer::run_sleep_sets`] — stateless DFS with sleep sets
+//!   (Godefroid) over the read/write footprints in [`Access`], plus the
+//!   stutter pruning built into [`Sys::enabled`] (spin/retry steps are
+//!   disabled until they can make progress). This mode walks concrete
+//!   complete executions, which is what the differential replay consumes;
+//!   the test suite cross-checks that it reaches exactly the same set of
+//!   quiescent states as the exhaustive mode.
+//!
+//! Invariants checked on every reachable state/transition:
+//!
+//! 1. **No double claim** — a value is kept at most once (owner pop and
+//!    thief steal never both win an entry; two thieves never both win).
+//! 2. **Slack bound** — `top <= bottom + 1` (the transient `bottom =
+//!    top - 1` dip inside a pop is the only allowed overshoot).
+//! 3. **Capacity bound** — `bottom - top <= capacity`.
+//! 4. **Lock discipline** — at quiescence the lock word is 0; a wedged
+//!    system (some thread not done, none enabled) is reported as stuck,
+//!    which is how a leaked lock manifests mid-run.
+//! 5. **Conservation** — at quiescence every pushed value was either
+//!    kept exactly once or still sits in `[top, bottom)`.
+
+use crate::model::{Access, OwnerOp, Scenario, StepOut, Sys};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// A violated invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A value was kept twice (pop/steal or steal/steal double claim).
+    DoubleClaim {
+        /// The twice-claimed value.
+        value: u64,
+    },
+    /// A pushed value was neither kept nor left in the deque.
+    LostValue {
+        /// The missing value.
+        value: u64,
+    },
+    /// All threads finished but the lock word is nonzero.
+    LockLeak {
+        /// Final lock word.
+        lock: u64,
+    },
+    /// `top > bottom + 1`.
+    SlackExceeded {
+        /// Observed top.
+        top: u64,
+        /// Observed bottom.
+        bottom: u64,
+    },
+    /// `bottom - top > capacity`.
+    OverCapacity {
+        /// Observed live count.
+        live: u64,
+        /// Scenario capacity.
+        capacity: u64,
+    },
+    /// Some thread still has work but no thread can step (e.g. the owner
+    /// spinning on a lock nobody will ever release).
+    Stuck,
+}
+
+impl ViolationKind {
+    /// One-line description.
+    pub fn describe(&self) -> String {
+        match self {
+            ViolationKind::DoubleClaim { value } => {
+                format!("double claim: value v{value} was kept by two consumers")
+            }
+            ViolationKind::LostValue { value } => {
+                format!("lost task: value v{value} was pushed but never delivered")
+            }
+            ViolationKind::LockLeak { lock } => {
+                format!("lock leak: all threads done but lock word = {lock}")
+            }
+            ViolationKind::SlackExceeded { top, bottom } => {
+                format!("index slack violated: top={top}, bottom={bottom} exceed the family's transient bound")
+            }
+            ViolationKind::OverCapacity { live, capacity } => {
+                format!("capacity violated: {live} live entries in a {capacity}-slot deque")
+            }
+            ViolationKind::Stuck => {
+                "stuck: unfinished threads but no enabled step (wedged on the lock)".to_string()
+            }
+        }
+    }
+}
+
+/// One step of a counterexample trace.
+#[derive(Clone, Debug)]
+pub struct StepRecord {
+    /// Thread index (0 = owner).
+    pub thread: usize,
+    /// What the step did.
+    pub label: String,
+    /// Shared words after the step.
+    pub lock: u64,
+    /// Top after the step.
+    pub top: u64,
+    /// Bottom after the step.
+    pub bottom: u64,
+}
+
+/// A counterexample: the violated invariant plus the exact interleaving
+/// that reached it from the initial state.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub kind: ViolationKind,
+    /// The interleaving, oldest step first.
+    pub trace: Vec<StepRecord>,
+}
+
+impl Violation {
+    /// Render the counterexample as a numbered human-readable
+    /// interleaving.
+    pub fn render(&self, scenario: &str) -> String {
+        let mut s = format!(
+            "counterexample in scenario `{scenario}`\n  VIOLATION: {}\n  interleaving ({} steps):\n",
+            self.kind.describe(),
+            self.trace.len()
+        );
+        for (i, r) in self.trace.iter().enumerate() {
+            s.push_str(&format!(
+                "    {:>3}. {:<58} [lock={} top={} bottom={}]\n",
+                i + 1,
+                r.label,
+                r.lock,
+                r.top,
+                r.bottom
+            ));
+        }
+        s
+    }
+}
+
+/// Exploration statistics and outcome for one scenario.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Scenario name.
+    pub scenario: String,
+    /// Distinct reachable states (exhaustive mode).
+    pub states: u64,
+    /// Transitions executed.
+    pub transitions: u64,
+    /// Distinct complete interleavings. Exact path count via DP in
+    /// exhaustive mode; number of executions actually walked in
+    /// sleep-set mode.
+    pub interleavings: u128,
+    /// Prefixes cut by sleep-set pruning (sleep-set mode only).
+    pub sleep_pruned: u64,
+    /// Longest interleaving seen.
+    pub max_depth: usize,
+    /// Hashes of the distinct quiescent states reached.
+    pub final_states: HashSet<u64>,
+    /// First invariant violation, if any.
+    pub violation: Option<Violation>,
+    /// Complete schedules (thread-choice sequences) collected for
+    /// differential replay (sleep-set mode, capped).
+    pub schedules: Vec<Vec<usize>>,
+}
+
+/// DFS driver over one scenario.
+pub struct Explorer<'a> {
+    sc: &'a Scenario,
+    report: Report,
+    path: Vec<StepRecord>,
+    sched: Vec<usize>,
+    schedule_cap: usize,
+    memo: HashMap<Sys, u128>,
+}
+
+fn hash_sys(sys: &Sys) -> u64 {
+    let mut h = DefaultHasher::new();
+    sys.hash(&mut h);
+    h.finish()
+}
+
+impl<'a> Explorer<'a> {
+    /// A fresh explorer for `sc`. `schedule_cap` bounds how many complete
+    /// schedules the sleep-set mode records for replay (0 = none).
+    pub fn new(sc: &'a Scenario, schedule_cap: usize) -> Self {
+        Explorer {
+            sc,
+            report: Report {
+                scenario: sc.name.to_string(),
+                ..Report::default()
+            },
+            path: Vec::new(),
+            sched: Vec::new(),
+            schedule_cap,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Exhaustive memoized DFS (see module docs). Returns the report.
+    pub fn run_exhaustive(mut self) -> Report {
+        let init = Sys::initial(self.sc);
+        let n = self.dfs_exhaustive(&init);
+        if self.report.violation.is_none() {
+            self.report.interleavings = n;
+        }
+        self.report
+    }
+
+    /// Stateless DFS with sleep sets. Returns the report.
+    pub fn run_sleep_sets(mut self) -> Report {
+        let init = Sys::initial(self.sc);
+        self.dfs_sleep(&init, &[]);
+        self.report
+    }
+
+    fn pushed_values(&self) -> Vec<u64> {
+        self.sc
+            .owner
+            .iter()
+            .filter_map(|op| match op {
+                OwnerOp::Push(v) => Some(*v),
+                OwnerOp::Pop => None,
+            })
+            .collect()
+    }
+
+    fn violate(&mut self, kind: ViolationKind) {
+        if self.report.violation.is_none() {
+            self.report.violation = Some(Violation {
+                kind,
+                trace: self.path.clone(),
+            });
+        }
+    }
+
+    /// Per-transition checks, run after every executed step.
+    fn check_step(&mut self, sys: &Sys, out: &StepOut) {
+        if out.dup {
+            if let Some(v) = out.kept {
+                self.violate(ViolationKind::DoubleClaim { value: v });
+            }
+        }
+        // Tight per-family slack bounds, proved by the exploration
+        // itself: at phase atomicity indices never cross (`top <=
+        // bottom`); at per-access granularity a thief's claim published
+        // against a pre-dip `bottom` can overlap the victim's
+        // speculative bottom dip (-1, always restored), so `top <=
+        // bottom + 1` transiently and anything beyond is a bug.
+        let slack = match self.sc.family {
+            crate::model::Family::SimPhase => 0,
+            crate::model::Family::NativeOp => 1,
+        };
+        if sys.top > sys.bottom + slack {
+            self.violate(ViolationKind::SlackExceeded {
+                top: sys.top,
+                bottom: sys.bottom,
+            });
+        }
+        if sys.bottom > sys.top && sys.bottom - sys.top > self.sc.capacity {
+            self.violate(ViolationKind::OverCapacity {
+                live: sys.bottom - sys.top,
+                capacity: self.sc.capacity,
+            });
+        }
+    }
+
+    /// Quiescence checks, run when every thread is done.
+    fn check_quiescent(&mut self, sys: &Sys) {
+        if sys.lock != 0 {
+            self.violate(ViolationKind::LockLeak { lock: sys.lock });
+        }
+        // Transient overshoot must be rolled back by quiescence.
+        if sys.top > sys.bottom {
+            self.violate(ViolationKind::SlackExceeded {
+                top: sys.top,
+                bottom: sys.bottom,
+            });
+        }
+        let mut remaining: Vec<u64> = (sys.top..sys.bottom)
+            .map(|p| sys.slots[(p % sys.slots.len() as u64) as usize])
+            .collect();
+        remaining.sort_unstable();
+        for v in self.pushed_values() {
+            let delivered = sys.consumed.binary_search(&v).is_ok();
+            let in_deque = remaining.binary_search(&v).is_ok();
+            if !delivered && !in_deque {
+                self.violate(ViolationKind::LostValue { value: v });
+            }
+        }
+        self.report.final_states.insert(hash_sys(sys));
+        self.report.max_depth = self.report.max_depth.max(self.path.len());
+    }
+
+    fn enabled_threads(&self, sys: &Sys) -> Vec<usize> {
+        (0..sys.threads.len())
+            .filter(|&t| sys.enabled(t, self.sc))
+            .collect()
+    }
+
+    fn all_done(&self, sys: &Sys) -> bool {
+        (0..sys.threads.len()).all(|t| sys.done(t, self.sc))
+    }
+
+    fn dfs_exhaustive(&mut self, sys: &Sys) -> u128 {
+        if self.report.violation.is_some() {
+            return 0;
+        }
+        if let Some(&n) = self.memo.get(sys) {
+            return n;
+        }
+        self.report.states += 1;
+        let enabled = self.enabled_threads(sys);
+        let count = if enabled.is_empty() {
+            if self.all_done(sys) {
+                self.check_quiescent(sys);
+            } else {
+                self.violate(ViolationKind::Stuck);
+            }
+            1u128
+        } else {
+            let mut n = 0u128;
+            for t in enabled {
+                if self.report.violation.is_some() {
+                    break;
+                }
+                let mut next = sys.clone();
+                let out = next.step(t, self.sc);
+                self.report.transitions += 1;
+                self.path.push(StepRecord {
+                    thread: t,
+                    label: out.label.clone(),
+                    lock: next.lock,
+                    top: next.top,
+                    bottom: next.bottom,
+                });
+                self.check_step(&next, &out);
+                if self.report.violation.is_none() {
+                    n += self.dfs_exhaustive(&next);
+                }
+                self.path.pop();
+            }
+            n
+        };
+        if self.report.violation.is_none() {
+            self.memo.insert(sys.clone(), count);
+        }
+        count
+    }
+
+    fn dfs_sleep(&mut self, sys: &Sys, sleep: &[(usize, Access)]) {
+        if self.report.violation.is_some() {
+            return;
+        }
+        let enabled = self.enabled_threads(sys);
+        if enabled.is_empty() {
+            if self.all_done(sys) {
+                self.report.interleavings += 1;
+                self.check_quiescent(sys);
+                if self.report.schedules.len() < self.schedule_cap {
+                    self.report.schedules.push(self.sched.clone());
+                }
+            } else {
+                self.violate(ViolationKind::Stuck);
+            }
+            return;
+        }
+        let explore: Vec<usize> = enabled
+            .iter()
+            .copied()
+            .filter(|t| !sleep.iter().any(|(u, _)| u == t))
+            .collect();
+        if explore.is_empty() {
+            // Every enabled step is asleep: all continuations from here
+            // are commutations of interleavings explored elsewhere.
+            self.report.sleep_pruned += 1;
+            return;
+        }
+        let mut done_here: Vec<(usize, Access)> = Vec::new();
+        for t in explore {
+            if self.report.violation.is_some() {
+                break;
+            }
+            let mut next = sys.clone();
+            let out = next.step(t, self.sc);
+            self.report.transitions += 1;
+            self.path.push(StepRecord {
+                thread: t,
+                label: out.label.clone(),
+                lock: next.lock,
+                top: next.top,
+                bottom: next.bottom,
+            });
+            self.sched.push(t);
+            self.check_step(&next, &out);
+            if self.report.violation.is_none() {
+                // A sleeping thread stays asleep only across steps that
+                // are independent of it; its own footprint is unchanged
+                // by such steps, so the recorded Access stays valid.
+                let new_sleep: Vec<(usize, Access)> = sleep
+                    .iter()
+                    .chain(done_here.iter())
+                    .filter(|(u, acc)| *u != t && acc.independent(out.acc))
+                    .cloned()
+                    .collect();
+                self.dfs_sleep(&next, &new_sleep);
+            }
+            self.path.pop();
+            self.sched.pop();
+            done_here.push((t, out.acc));
+        }
+    }
+}

@@ -1,0 +1,872 @@
+//! Small-step state machines for the THE-protocol steal path.
+//!
+//! The shared state is the deque's four memory regions — the lock word,
+//! `top`, `bottom`, and the entry slots — exactly the words `SimDeque`
+//! lays out at `base+0/8/16/24` and `NativeDeque` keeps in atomics. Two
+//! thread kinds step over it:
+//!
+//! - the **owner**, running a fixed script of `push`/`pop` ops, and
+//! - **thieves**, each running a fixed number of steal attempts
+//!   (empty-check → lock → steal → unlock).
+//!
+//! Each model family fixes the *atomicity granularity*:
+//!
+//! - [`Family::SimPhase`] — one step per simulator event, mirroring how
+//!   the discrete-event engine executes the protocol: owner `push`/`pop`
+//!   are single atomic steps (they are plain local memory ops inside one
+//!   engine event) and each thief RDMA phase (Figure 6 / Table 3) is a
+//!   single atomic step, because `Fabric` linearizes every one-sided op
+//!   at its issue instant.
+//! - [`Family::NativeOp`] — one step per *shared memory access*,
+//!   mirroring `NativeDeque`'s individual atomic loads/stores/RMWs under
+//!   sequential consistency (every access there is `SeqCst` at the
+//!   protocol-relevant points). This is the granularity at which the
+//!   last-entry arbitration can actually go wrong — an owner's pop and
+//!   a locked thief's critical section overlap access-by-access — which
+//!   phase-atomic models cannot see.
+//!
+//! [`Mutation`]s re-introduce specific protocol regressions so the
+//! checker can demonstrate a counterexample trace for each (and so a
+//! future refactor that reintroduces one is caught by the suite).
+
+/// Shared-memory location classes, used for the independence relation
+/// behind sleep-set pruning. Slot indices are per-capacity (`pos % cap`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Bitmask of locations read (bit 0 = lock, 1 = top, 2 = bottom,
+    /// 3+i = slot i).
+    pub reads: u32,
+    /// Bitmask of locations written.
+    pub writes: u32,
+}
+
+const LOC_LOCK: u32 = 1 << 0;
+const LOC_TOP: u32 = 1 << 1;
+const LOC_BOTTOM: u32 = 1 << 2;
+
+fn loc_slot(slot: u64) -> u32 {
+    assert!(slot < 16, "model supports capacities up to 16");
+    1 << (3 + slot as u32)
+}
+
+impl Access {
+    fn r(mask: u32) -> Access {
+        Access {
+            reads: mask,
+            writes: 0,
+        }
+    }
+
+    fn rw(reads: u32, writes: u32) -> Access {
+        Access { reads, writes }
+    }
+
+    /// Two steps are independent iff neither writes a location the other
+    /// touches — disjoint read/write footprints commute and preserve each
+    /// other's enabledness (enabledness conditions are included in the
+    /// read sets).
+    pub fn independent(self, other: Access) -> bool {
+        self.writes & (other.reads | other.writes) == 0
+            && other.writes & (self.reads | self.writes) == 0
+    }
+}
+
+/// Atomicity granularity of a scenario (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Simulator-faithful: owner ops and thief RDMA phases are atomic.
+    SimPhase,
+    /// `NativeDeque`-faithful: one step per shared atomic access.
+    NativeOp,
+}
+
+/// A seeded protocol regression for mutation smoke-checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Unmodified protocol — the checker must find zero violations.
+    None,
+    /// Delete the owner's top re-check after decrementing `bottom`: the
+    /// pop always takes the fast path, so it can keep an entry a thief
+    /// already stole (double claim).
+    SkipOwnerTopRecheck,
+    /// Drop phase 4 when phase 3 finds the deque drained: the lock word
+    /// is never rewritten to 0 (lock leak, and the owner's contended pop
+    /// wedges forever).
+    SkipUnlockOnRacedEmpty,
+    /// `NativeOp` only: the owner's original fast-path bound — take the
+    /// last entry (`top == bottom - 1` after the decrement) lock-free
+    /// whenever the top re-read shows no *published* claim, instead of
+    /// arbitrating it under the lock. A thief already inside its locked
+    /// critical section has loaded `top` and `bottom` but not yet
+    /// advanced `top`, so the owner's re-read looks clean while both
+    /// sides go on to keep the same entry. This is the latent bug
+    /// `uat-check` found in the shipped `NativeDeque::pop`.
+    LastEntryFastPath,
+}
+
+impl Mutation {
+    /// Stable CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::SkipOwnerTopRecheck => "owner-top-recheck",
+            Mutation::SkipUnlockOnRacedEmpty => "unlock-drop",
+            Mutation::LastEntryFastPath => "last-entry-fast-path",
+        }
+    }
+}
+
+/// One owner-script operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OwnerOp {
+    /// Push the value (values are unique per scenario; conservation is
+    /// checked per value).
+    Push(u64),
+    /// Pop the youngest entry.
+    Pop,
+}
+
+/// A closed system to check: owner script, thief attempt counts, deque
+/// capacity, granularity, and an optional seeded mutation.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Report name.
+    pub name: &'static str,
+    /// Atomicity granularity.
+    pub family: Family,
+    /// Deque capacity (slots).
+    pub capacity: u64,
+    /// Owner ops executed serially (at `SimPhase` atomicity) before the
+    /// interleaved part, to advance positions past slot wraparound. Must
+    /// leave the deque empty.
+    pub prologue: Vec<OwnerOp>,
+    /// Owner ops explored under full interleaving.
+    pub owner: Vec<OwnerOp>,
+    /// Steal attempts per thief (one entry per thief).
+    pub thieves: Vec<u32>,
+    /// Seeded regression, or `Mutation::None`.
+    pub mutation: Mutation,
+}
+
+/// Program counter of the owner thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OwnerPc {
+    /// Between ops (next script op not started).
+    Ready,
+    /// `NativeOp` push: indices read, capacity checked; next write slot.
+    PushIdx { b: u64 },
+    /// `NativeOp` push: slot written; next publish `bottom = b + 1`.
+    PushWrote { b: u64 },
+    /// `NativeOp` pop: `b, t` read, non-empty; next store `bottom = b-1`.
+    PopDec { b: u64 },
+    /// `NativeOp` pop: bottom stored; next the top re-check.
+    PopRecheck { b: u64 },
+    /// `NativeOp` pop conflict: next restore `bottom = b`.
+    PopRestore { b: u64 },
+    /// `NativeOp` pop conflict: bottom restored; next TAS the lock
+    /// (enabled only while the lock is free — the TATAS spin is a
+    /// stutter step the explorer elides).
+    PopLock { b: u64 },
+    /// `NativeOp` pop conflict: lock held; next locked top re-read.
+    PopLocked { b: u64 },
+    /// `NativeOp` pop conflict: thief lost; next take entry `b - 1`.
+    PopTake { b: u64 },
+    /// `NativeOp` pop: release the lock, completing the op.
+    PopUnlock { took: bool },
+}
+
+/// Program counter of a thief thread, across one steal attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ThiefPc {
+    /// Between attempts.
+    Idle,
+    /// `SimPhase`: empty check passed; next phase 2 (FAA).
+    SimChecked,
+    /// `SimPhase`: lock acquired; next phase 3.
+    SimLocked,
+    /// `SimPhase`: phase 3 done; next phase 4 (unlock). `stole` is the
+    /// kept value, if any.
+    SimUnlockPending { stole: bool },
+    /// `NativeOp`: pre-check read `top`; next read `bottom`.
+    NatPre { t: u64 },
+    /// `NativeOp`: pre-check passed; next CAS the lock.
+    NatCas,
+    /// `NativeOp`: lock held; next locked read of `top`.
+    NatL1,
+    /// `NativeOp`: locked `top` read; next locked read of `bottom`.
+    NatL2 { t: u64 },
+    /// `NativeOp`: next the locked slot read. The value is *kept* at
+    /// that read: the lock pins `top` at `t`, and the owner's strict
+    /// fast-path bound (`top < bottom - 1`) keeps it away from position
+    /// `t`, so the entry is exclusively ours before we publish anything.
+    NatReadSlot { t: u64 },
+    /// `NativeOp`: value kept; next publish the claim `top = t + 1`.
+    NatClaim { t: u64 },
+    /// `NativeOp`: next release the lock, ending the attempt.
+    NatUnlock { stole: bool },
+}
+
+/// One thread's control state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ThreadState {
+    /// The owner: index of the next script op plus an intra-op pc.
+    Owner {
+        /// Next op index in `Scenario::owner`.
+        next: usize,
+        /// Intra-op program counter.
+        pc: OwnerPc,
+    },
+    /// A thief: remaining attempts plus an intra-attempt pc.
+    Thief {
+        /// Attempts not yet started.
+        attempts_left: u32,
+        /// Intra-attempt program counter.
+        pc: ThiefPc,
+    },
+}
+
+/// Full system state: the shared deque words plus every thread's control
+/// state and the (sorted) multiset of values kept so far. `consumed` is
+/// part of the state key so the memoized explorer distinguishes runs
+/// that delivered different values.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Sys {
+    /// Lock word (0 = free; failed FAA increments accumulate until the
+    /// holder's unlock WRITE of 0 erases them, as in `SimDeque`).
+    pub lock: u64,
+    /// Steal end (H). Monotonically nondecreasing: claims are only ever
+    /// published for entries the claimant keeps.
+    pub top: u64,
+    /// Owner end (T).
+    pub bottom: u64,
+    /// Slot contents by slot index (`pos % capacity`); stale values
+    /// remain after consumption, as in real memory.
+    pub slots: Vec<u64>,
+    /// All thread control states (owner first, then thieves).
+    pub threads: Vec<ThreadState>,
+    /// Values kept so far, sorted (for canonical hashing).
+    pub consumed: Vec<u64>,
+}
+
+/// What a step did, for replay, tracing, and invariant checks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpEvent {
+    /// Internal micro-step; nothing protocol-visible completed.
+    Micro,
+    /// Owner push completed.
+    PushDone(u64),
+    /// Owner pop completed (`None` = empty).
+    PopDone(Option<u64>),
+    /// Thief phase 1 completed.
+    EmptyCheck {
+        /// Whether the check aborted the attempt.
+        empty: bool,
+    },
+    /// Thief phase 2 completed.
+    LockTry {
+        /// Whether the FAA observed 0 (lock acquired).
+        acquired: bool,
+    },
+    /// Thief phase 3 completed (`None` = raced empty; unlock still due).
+    StealPhase(Option<u64>),
+    /// Thief phase 4 completed.
+    Unlock,
+}
+
+/// The result of executing one step.
+#[derive(Clone, Debug)]
+pub struct StepOut {
+    /// Human-readable description ("thief 1: claim top=3").
+    pub label: String,
+    /// Read/write footprint (drives sleep-set independence).
+    pub acc: Access,
+    /// Value kept by this step, if any.
+    pub kept: Option<u64>,
+    /// True if `kept` was already consumed — a double claim.
+    pub dup: bool,
+    /// Protocol-visible completion, for differential replay.
+    pub event: OpEvent,
+}
+
+impl Sys {
+    /// Initial state for a scenario, with the prologue already applied.
+    pub fn initial(sc: &Scenario) -> Sys {
+        assert!(
+            sc.capacity >= 1 && sc.capacity <= 13,
+            "capacity must fit the Access bitmask"
+        );
+        let mut threads = vec![ThreadState::Owner {
+            next: 0,
+            pc: OwnerPc::Ready,
+        }];
+        for &a in &sc.thieves {
+            threads.push(ThreadState::Thief {
+                attempts_left: a,
+                pc: ThiefPc::Idle,
+            });
+        }
+        let mut sys = Sys {
+            lock: 0,
+            top: 0,
+            bottom: 0,
+            slots: vec![0; sc.capacity as usize],
+            threads,
+            consumed: Vec::new(),
+        };
+        for (i, &op) in sc.prologue.iter().enumerate() {
+            match op {
+                OwnerOp::Push(v) => {
+                    assert!(
+                        sys.bottom - sys.top < sc.capacity,
+                        "prologue overflow at op {i}"
+                    );
+                    let slot = (sys.bottom % sc.capacity) as usize;
+                    sys.slots[slot] = v;
+                    sys.bottom += 1;
+                }
+                OwnerOp::Pop => {
+                    assert!(
+                        sys.bottom > sys.top,
+                        "prologue pop on empty deque at op {i}"
+                    );
+                    sys.bottom -= 1;
+                }
+            }
+        }
+        assert_eq!(sys.top, sys.bottom, "prologue must leave the deque empty");
+        sys
+    }
+
+    fn slot_of(&self, pos: u64) -> usize {
+        (pos % self.slots.len() as u64) as usize
+    }
+
+    /// Whether thread `ti` has finished all its work.
+    pub fn done(&self, ti: usize, sc: &Scenario) -> bool {
+        match &self.threads[ti] {
+            ThreadState::Owner { next, pc } => *pc == OwnerPc::Ready && *next >= sc.owner.len(),
+            ThreadState::Thief { attempts_left, pc } => *pc == ThiefPc::Idle && *attempts_left == 0,
+        }
+    }
+
+    /// Whether thread `ti` can take a step. Spin/retry situations — the
+    /// simulator owner's `Contended` pop and the native owner's TATAS
+    /// lock wait — are modeled as *disabled until the lock frees*, which
+    /// is the stutter pruning: executing the retry would not change the
+    /// state, so the explorer skips straight to the wake-up.
+    pub fn enabled(&self, ti: usize, sc: &Scenario) -> bool {
+        if self.done(ti, sc) {
+            return false;
+        }
+        match &self.threads[ti] {
+            ThreadState::Owner { next, pc } => match (pc, sc.family) {
+                (OwnerPc::Ready, Family::SimPhase) => {
+                    // Stutter: Contended pop (empty deque, lock held)
+                    // would re-schedule without effect.
+                    !(matches!(sc.owner[*next], OwnerOp::Pop)
+                        && self.bottom == self.top
+                        && self.lock != 0)
+                }
+                (OwnerPc::Ready, Family::NativeOp) => {
+                    // Only reachable under a seeded mutation: a correct
+                    // run never lets the owner start a push while
+                    // `top > bottom` (a mutated double claim can leave
+                    // the indices crossed for good). Real code would
+                    // trip the capacity assertion; model it as blocked
+                    // so such runs surface as `Stuck` instead of
+                    // panicking the explorer.
+                    !(matches!(sc.owner[*next], OwnerOp::Push(_)) && self.top > self.bottom)
+                }
+                (OwnerPc::PopLock { .. }, _) => self.lock == 0,
+                _ => true,
+            },
+            ThreadState::Thief { .. } => true,
+        }
+    }
+
+    /// Execute thread `ti`'s next step. Panics on model-internal
+    /// impossibilities (overflow under a well-sized scenario).
+    pub fn step(&mut self, ti: usize, sc: &Scenario) -> StepOut {
+        debug_assert!(self.enabled(ti, sc));
+        match self.threads[ti].clone() {
+            ThreadState::Owner { next, pc } => self.owner_step(ti, next, pc, sc),
+            ThreadState::Thief { attempts_left, pc } => self.thief_step(ti, attempts_left, pc, sc),
+        }
+    }
+
+    fn keep(&mut self, v: u64) -> (Option<u64>, bool) {
+        match self.consumed.binary_search(&v) {
+            Ok(_) => (Some(v), true),
+            Err(i) => {
+                self.consumed.insert(i, v);
+                (Some(v), false)
+            }
+        }
+    }
+
+    fn out(label: String, acc: Access, event: OpEvent) -> StepOut {
+        StepOut {
+            label,
+            acc,
+            kept: None,
+            dup: false,
+            event,
+        }
+    }
+
+    fn owner_step(&mut self, ti: usize, next: usize, pc: OwnerPc, sc: &Scenario) -> StepOut {
+        let set = |s: &mut Sys, next, pc| s.threads[ti] = ThreadState::Owner { next, pc };
+        match (pc, sc.family) {
+            (OwnerPc::Ready, Family::SimPhase) => match sc.owner[next] {
+                OwnerOp::Push(v) => {
+                    assert!(self.bottom - self.top < sc.capacity, "owner push overflow");
+                    let slot = self.slot_of(self.bottom);
+                    self.slots[slot] = v;
+                    let b = self.bottom;
+                    self.bottom = b + 1;
+                    set(self, next + 1, OwnerPc::Ready);
+                    Self::out(
+                        format!("owner: push v{v} at pos {b} (slot {slot})"),
+                        Access::rw(LOC_TOP | LOC_BOTTOM, LOC_BOTTOM | loc_slot(slot as u64)),
+                        OpEvent::PushDone(v),
+                    )
+                }
+                OwnerOp::Pop => {
+                    // Mirrors SimDeque::pop at event atomicity. The
+                    // enabledness check already excluded Contended.
+                    let (b, t) = (self.bottom, self.top);
+                    if b == t {
+                        assert_eq!(self.lock, 0);
+                        set(self, next + 1, OwnerPc::Ready);
+                        return Self::out(
+                            "owner: pop -> empty".to_string(),
+                            Access::r(LOC_TOP | LOC_BOTTOM | LOC_LOCK),
+                            OpEvent::PopDone(None),
+                        );
+                    }
+                    let nb = b - 1;
+                    let conflict = t > nb && sc.mutation != Mutation::SkipOwnerTopRecheck;
+                    assert!(
+                        !conflict,
+                        "SimDeque pop conflict path is unreachable at event atomicity \
+                         (top cannot move inside an atomic pop)"
+                    );
+                    self.bottom = nb;
+                    let slot = self.slot_of(nb);
+                    let v = self.slots[slot];
+                    let (kept, dup) = self.keep(v);
+                    set(self, next + 1, OwnerPc::Ready);
+                    StepOut {
+                        label: format!("owner: pop -> keeps v{v} from pos {nb}"),
+                        acc: Access::rw(
+                            LOC_TOP | LOC_BOTTOM | LOC_LOCK | loc_slot(slot as u64),
+                            LOC_BOTTOM,
+                        ),
+                        kept,
+                        dup,
+                        event: OpEvent::PopDone(Some(v)),
+                    }
+                }
+            },
+            (OwnerPc::Ready, Family::NativeOp) => match sc.owner[next] {
+                OwnerOp::Push(_) => {
+                    // Read indices + capacity check. `bottom` is
+                    // owner-owned, so folding its read in costs nothing.
+                    // `t <= b` here is a protocol theorem the checker
+                    // itself establishes (the enabledness guard blocks
+                    // the mutated counterexamples that break it).
+                    let (b, t) = (self.bottom, self.top);
+                    assert!(t <= b && b - t < sc.capacity, "owner push overflow");
+                    set(self, next, OwnerPc::PushIdx { b });
+                    Self::out(
+                        format!("owner: push reads top={t}, bottom={b} (capacity ok)"),
+                        Access::r(LOC_TOP | LOC_BOTTOM),
+                        OpEvent::Micro,
+                    )
+                }
+                OwnerOp::Pop => {
+                    let (b, t) = (self.bottom, self.top);
+                    if t >= b {
+                        set(self, next + 1, OwnerPc::Ready);
+                        return Self::out(
+                            format!("owner: pop reads top={t} >= bottom={b} -> empty"),
+                            Access::r(LOC_TOP | LOC_BOTTOM),
+                            OpEvent::PopDone(None),
+                        );
+                    }
+                    set(self, next, OwnerPc::PopDec { b });
+                    Self::out(
+                        format!("owner: pop reads top={t}, bottom={b}"),
+                        Access::r(LOC_TOP | LOC_BOTTOM),
+                        OpEvent::Micro,
+                    )
+                }
+            },
+            (OwnerPc::PushIdx { b }, _) => {
+                let OwnerOp::Push(v) = sc.owner[next] else {
+                    unreachable!()
+                };
+                let slot = self.slot_of(b);
+                self.slots[slot] = v;
+                set(self, next, OwnerPc::PushWrote { b });
+                Self::out(
+                    format!("owner: push writes v{v} to slot {slot}"),
+                    Access::rw(0, loc_slot(slot as u64)),
+                    OpEvent::Micro,
+                )
+            }
+            (OwnerPc::PushWrote { b }, _) => {
+                let OwnerOp::Push(v) = sc.owner[next] else {
+                    unreachable!()
+                };
+                self.bottom = b + 1;
+                set(self, next + 1, OwnerPc::Ready);
+                Self::out(
+                    format!("owner: push publishes bottom={}", b + 1),
+                    Access::rw(0, LOC_BOTTOM),
+                    OpEvent::PushDone(v),
+                )
+            }
+            (OwnerPc::PopDec { b }, _) => {
+                self.bottom = b - 1;
+                set(self, next, OwnerPc::PopRecheck { b });
+                Self::out(
+                    format!("owner: pop stores bottom={}", b - 1),
+                    Access::rw(0, LOC_BOTTOM),
+                    OpEvent::Micro,
+                )
+            }
+            (OwnerPc::PopRecheck { b }, _) => {
+                let nb = b - 1;
+                if sc.mutation == Mutation::SkipOwnerTopRecheck {
+                    // Mutation: the fast path no longer consults `top`.
+                    let slot = self.slot_of(nb);
+                    let v = self.slots[slot];
+                    let (kept, dup) = self.keep(v);
+                    set(self, next + 1, OwnerPc::Ready);
+                    return StepOut {
+                        label: format!(
+                            "owner: pop [MUTATED: no top re-check] keeps v{v} from pos {nb}"
+                        ),
+                        acc: Access::r(loc_slot(slot as u64)),
+                        kept,
+                        dup,
+                        event: OpEvent::PopDone(Some(v)),
+                    };
+                }
+                let t = self.top;
+                // The sound bound is strict: position nb is taken
+                // lock-free only when it provably is no thief's target.
+                // `LastEntryFastPath` restores the original `t <= nb`,
+                // which also takes the last entry while a locked thief
+                // may already be committed to it.
+                let fast = t < nb || (sc.mutation == Mutation::LastEntryFastPath && t == nb);
+                if fast {
+                    let slot = self.slot_of(nb);
+                    let v = self.slots[slot];
+                    let (kept, dup) = self.keep(v);
+                    let mutated = if t == nb {
+                        " [MUTATED: lock-free last entry]"
+                    } else {
+                        ""
+                    };
+                    set(self, next + 1, OwnerPc::Ready);
+                    StepOut {
+                        label: format!(
+                            "owner: pop re-reads top={t} <= {nb} -> keeps v{v}{mutated}"
+                        ),
+                        acc: Access::r(LOC_TOP | loc_slot(slot as u64)),
+                        kept,
+                        dup,
+                        event: OpEvent::PopDone(Some(v)),
+                    }
+                } else {
+                    set(self, next, OwnerPc::PopRestore { b });
+                    Self::out(
+                        format!("owner: pop re-reads top={t} >= {nb} -> lock arbitration"),
+                        Access::r(LOC_TOP),
+                        OpEvent::Micro,
+                    )
+                }
+            }
+            (OwnerPc::PopRestore { b }, _) => {
+                self.bottom = b;
+                set(self, next, OwnerPc::PopLock { b });
+                Self::out(
+                    format!("owner: pop restores bottom={b}"),
+                    Access::rw(0, LOC_BOTTOM),
+                    OpEvent::Micro,
+                )
+            }
+            (OwnerPc::PopLock { b }, _) => {
+                assert_eq!(
+                    self.lock, 0,
+                    "PopLock is enabled only while the lock is free"
+                );
+                self.lock = 1;
+                set(self, next, OwnerPc::PopLocked { b });
+                Self::out(
+                    "owner: pop TAS acquires lock".to_string(),
+                    Access::rw(LOC_LOCK, LOC_LOCK),
+                    OpEvent::Micro,
+                )
+            }
+            (OwnerPc::PopLocked { b }, _) => {
+                let t = self.top;
+                if t >= b {
+                    set(self, next, OwnerPc::PopUnlock { took: false });
+                    Self::out(
+                        format!("owner: pop locked re-read top={t} >= {b} -> thief won"),
+                        Access::r(LOC_TOP),
+                        OpEvent::Micro,
+                    )
+                } else {
+                    set(self, next, OwnerPc::PopTake { b });
+                    Self::out(
+                        format!("owner: pop locked re-read top={t} < {b} -> take"),
+                        Access::r(LOC_TOP),
+                        OpEvent::Micro,
+                    )
+                }
+            }
+            (OwnerPc::PopTake { b }, _) => {
+                self.bottom = b - 1;
+                let slot = self.slot_of(b - 1);
+                let v = self.slots[slot];
+                let (kept, dup) = self.keep(v);
+                set(self, next, OwnerPc::PopUnlock { took: true });
+                StepOut {
+                    label: format!("owner: pop keeps v{v} under lock"),
+                    acc: Access::rw(loc_slot(slot as u64), LOC_BOTTOM),
+                    kept,
+                    dup,
+                    event: OpEvent::PopDone(Some(v)),
+                }
+            }
+            (OwnerPc::PopUnlock { took }, _) => {
+                self.lock = 0;
+                set(self, next + 1, OwnerPc::Ready);
+                let event = if took {
+                    OpEvent::Micro
+                } else {
+                    OpEvent::PopDone(None)
+                };
+                Self::out(
+                    "owner: pop releases lock".to_string(),
+                    Access::rw(0, LOC_LOCK),
+                    event,
+                )
+            }
+        }
+    }
+
+    fn thief_step(&mut self, ti: usize, attempts: u32, pc: ThiefPc, sc: &Scenario) -> StepOut {
+        let name = format!("thief {ti}");
+        let set = |s: &mut Sys, attempts_left, pc| {
+            s.threads[ti] = ThreadState::Thief { attempts_left, pc };
+        };
+        match (pc, sc.family) {
+            // ---- SimPhase: one step per RDMA phase --------------------
+            (ThiefPc::Idle, Family::SimPhase) => {
+                let empty = self.top >= self.bottom;
+                if empty {
+                    set(self, attempts - 1, ThiefPc::Idle);
+                } else {
+                    set(self, attempts, ThiefPc::SimChecked);
+                }
+                Self::out(
+                    format!(
+                        "{name}: phase1 empty-check READ top={}, bottom={} -> {}",
+                        self.top,
+                        self.bottom,
+                        if empty { "empty, abort" } else { "continue" }
+                    ),
+                    Access::r(LOC_TOP | LOC_BOTTOM),
+                    OpEvent::EmptyCheck { empty },
+                )
+            }
+            (ThiefPc::SimChecked, Family::SimPhase) => {
+                let old = self.lock;
+                self.lock += 1;
+                let acquired = old == 0;
+                if acquired {
+                    set(self, attempts, ThiefPc::SimLocked);
+                } else {
+                    set(self, attempts - 1, ThiefPc::Idle);
+                }
+                Self::out(
+                    format!(
+                        "{name}: phase2 FAA(lock,+1) old={old} -> {}",
+                        if acquired { "acquired" } else { "busy, abort" }
+                    ),
+                    Access::rw(LOC_LOCK, LOC_LOCK),
+                    OpEvent::LockTry { acquired },
+                )
+            }
+            (ThiefPc::SimLocked, Family::SimPhase) => {
+                let (t, b) = (self.top, self.bottom);
+                if t >= b {
+                    if sc.mutation == Mutation::SkipUnlockOnRacedEmpty {
+                        // Mutation: the thief forgets its unlock duty.
+                        set(self, attempts - 1, ThiefPc::Idle);
+                        return Self::out(
+                            format!("{name}: phase3 raced empty [MUTATED: unlock dropped]"),
+                            Access::r(LOC_TOP | LOC_BOTTOM),
+                            OpEvent::StealPhase(None),
+                        );
+                    }
+                    set(self, attempts, ThiefPc::SimUnlockPending { stole: false });
+                    return Self::out(
+                        format!("{name}: phase3 READ top={t} >= bottom={b} -> raced empty"),
+                        Access::r(LOC_TOP | LOC_BOTTOM),
+                        OpEvent::StealPhase(None),
+                    );
+                }
+                let slot = self.slot_of(t);
+                let v = self.slots[slot];
+                self.top = t + 1;
+                let (kept, dup) = self.keep(v);
+                set(self, attempts, ThiefPc::SimUnlockPending { stole: true });
+                StepOut {
+                    label: format!(
+                        "{name}: phase3 READ entry v{v} at pos {t}, WRITE top={}",
+                        t + 1
+                    ),
+                    acc: Access::rw(LOC_TOP | LOC_BOTTOM | loc_slot(slot as u64), LOC_TOP),
+                    kept,
+                    dup,
+                    event: OpEvent::StealPhase(Some(v)),
+                }
+            }
+            (ThiefPc::SimUnlockPending { .. }, Family::SimPhase) => {
+                self.lock = 0;
+                set(self, attempts - 1, ThiefPc::Idle);
+                Self::out(
+                    format!("{name}: phase4 WRITE lock=0"),
+                    Access::rw(0, LOC_LOCK),
+                    OpEvent::Unlock,
+                )
+            }
+            // ---- NativeOp: one step per atomic access -----------------
+            (ThiefPc::Idle, Family::NativeOp) => {
+                let t = self.top;
+                set(self, attempts, ThiefPc::NatPre { t });
+                Self::out(
+                    format!("{name}: pre-check loads top={t}"),
+                    Access::r(LOC_TOP),
+                    OpEvent::Micro,
+                )
+            }
+            (ThiefPc::NatPre { t }, _) => {
+                let b = self.bottom;
+                if t >= b {
+                    set(self, attempts - 1, ThiefPc::Idle);
+                    Self::out(
+                        format!("{name}: pre-check loads bottom={b} <= top -> abort"),
+                        Access::r(LOC_BOTTOM),
+                        OpEvent::StealPhase(None),
+                    )
+                } else {
+                    set(self, attempts, ThiefPc::NatCas);
+                    Self::out(
+                        format!("{name}: pre-check loads bottom={b} -> continue"),
+                        Access::r(LOC_BOTTOM),
+                        OpEvent::Micro,
+                    )
+                }
+            }
+            (ThiefPc::NatCas, _) => {
+                if self.lock == 0 {
+                    self.lock = 1;
+                    set(self, attempts, ThiefPc::NatL1);
+                    Self::out(
+                        format!("{name}: CAS(lock 0->1) acquired"),
+                        Access::rw(LOC_LOCK, LOC_LOCK),
+                        OpEvent::LockTry { acquired: true },
+                    )
+                } else {
+                    set(self, attempts - 1, ThiefPc::Idle);
+                    Self::out(
+                        format!("{name}: CAS(lock) failed -> abort"),
+                        Access::rw(LOC_LOCK, 0),
+                        OpEvent::LockTry { acquired: false },
+                    )
+                }
+            }
+            (ThiefPc::NatL1, _) => {
+                let t = self.top;
+                set(self, attempts, ThiefPc::NatL2 { t });
+                Self::out(
+                    format!("{name}: locked load top={t}"),
+                    Access::r(LOC_TOP),
+                    OpEvent::Micro,
+                )
+            }
+            (ThiefPc::NatL2 { t }, _) => {
+                let b = self.bottom;
+                if t >= b {
+                    if sc.mutation == Mutation::SkipUnlockOnRacedEmpty {
+                        set(self, attempts - 1, ThiefPc::Idle);
+                        return Self::out(
+                            format!("{name}: locked empty [MUTATED: unlock dropped]"),
+                            Access::r(LOC_BOTTOM),
+                            OpEvent::StealPhase(None),
+                        );
+                    }
+                    set(self, attempts, ThiefPc::NatUnlock { stole: false });
+                    Self::out(
+                        format!("{name}: locked load bottom={b} <= top={t} -> empty"),
+                        Access::r(LOC_BOTTOM),
+                        OpEvent::Micro,
+                    )
+                } else {
+                    set(self, attempts, ThiefPc::NatReadSlot { t });
+                    Self::out(
+                        format!("{name}: locked load bottom={b} -> entry at pos {t}"),
+                        Access::r(LOC_BOTTOM),
+                        OpEvent::Micro,
+                    )
+                }
+            }
+            (ThiefPc::NatReadSlot { t }, _) => {
+                let slot = self.slot_of(t);
+                let v = self.slots[slot];
+                // The value is kept at the read: the lock pins `top`,
+                // and the owner's strict fast-path bound means no other
+                // party can take position t (the checker verifies that
+                // claim via the double-claim invariant).
+                let (kept, dup) = self.keep(v);
+                set(self, attempts, ThiefPc::NatClaim { t });
+                StepOut {
+                    label: format!("{name}: locked read slot {slot} -> keeps v{v}"),
+                    acc: Access::r(loc_slot(slot as u64)),
+                    kept,
+                    dup,
+                    event: OpEvent::Micro,
+                }
+            }
+            (ThiefPc::NatClaim { t }, _) => {
+                self.top = t + 1;
+                set(self, attempts, ThiefPc::NatUnlock { stole: true });
+                Self::out(
+                    format!("{name}: publishes claim top={}", t + 1),
+                    Access::rw(0, LOC_TOP),
+                    OpEvent::Micro,
+                )
+            }
+            (ThiefPc::NatUnlock { stole }, _) => {
+                self.lock = 0;
+                set(self, attempts - 1, ThiefPc::Idle);
+                Self::out(
+                    format!(
+                        "{name}: releases lock (attempt {})",
+                        if stole { "stole" } else { "failed" }
+                    ),
+                    Access::rw(0, LOC_LOCK),
+                    OpEvent::Unlock,
+                )
+            }
+            (pc, fam) => unreachable!("thief pc {pc:?} invalid in family {fam:?}"),
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Differential replay: drive the real `SimDeque` over a real `Fabric`
+//! with schedules the explorer proved reachable, in lockstep with the
+//! model, and fail on any divergence in outcome or final shared state.
+//!
+//! This closes the model-fidelity gap: the [`crate::model`] machines
+//! claim to mirror `SimDeque`'s phase semantics; replay makes the
+//! simulator itself vouch for that claim on every explored interleaving
+//! (up to the schedule cap). Only [`Family::SimPhase`] scenarios replay —
+//! a schedule at phase atomicity maps 1:1 onto real `SimDeque` calls.
+
+use crate::model::{Family, OpEvent, OwnerOp, Scenario, Sys};
+use uat_base::{CostModel, Cycles, Topology, WorkerId};
+use uat_deque::{PopOutcome, SimDeque, StealOutcome, TaskqEntry};
+use uat_rdma::Fabric;
+
+const BASE: u64 = 0x10_000;
+const OWNER: WorkerId = WorkerId(0);
+
+fn entry_for(v: u64) -> TaskqEntry {
+    TaskqEntry {
+        task: v,
+        ctx: v,
+        frame_base: 0x9_0000 + v * 64,
+        frame_size: 64,
+    }
+}
+
+/// Replay `schedules` against a fresh fabric-resident deque each, in
+/// lockstep with the model. Returns the number of schedules replayed, or
+/// a description of the first divergence.
+pub fn replay_schedules(sc: &Scenario, schedules: &[Vec<usize>]) -> Result<u64, String> {
+    assert_eq!(
+        sc.family,
+        Family::SimPhase,
+        "only phase-granularity schedules map onto SimDeque calls"
+    );
+    for (si, sched) in schedules.iter().enumerate() {
+        replay_one(sc, sched).map_err(|e| format!("schedule {si}: {e}"))?;
+    }
+    Ok(schedules.len() as u64)
+}
+
+fn replay_one(sc: &Scenario, sched: &[usize]) -> Result<(), String> {
+    let workers = 1 + sc.thieves.len();
+    let mut fabric = Fabric::new(Topology::new(workers as u32, 1), CostModel::fx10());
+    fabric
+        .register(OWNER, BASE, SimDeque::footprint(sc.capacity) as usize)
+        .map_err(|e| format!("register: {e:?}"))?;
+    let deque = SimDeque::init(&mut fabric, OWNER, BASE, sc.capacity)
+        .map_err(|e| format!("init: {e:?}"))?;
+
+    // Prologue: the model applied it serially; do the same for real.
+    for &op in &sc.prologue {
+        match op {
+            OwnerOp::Push(v) => deque
+                .push(&mut fabric, entry_for(v))
+                .map_err(|e| format!("prologue push: {e:?}"))?,
+            OwnerOp::Pop => {
+                let r = deque
+                    .pop(&mut fabric)
+                    .map_err(|e| format!("prologue pop: {e:?}"))?;
+                if !matches!(r, PopOutcome::Entry(_)) {
+                    return Err(format!("prologue pop expected an entry, got {r:?}"));
+                }
+            }
+        }
+    }
+
+    let mut sys = Sys::initial(sc);
+    // Any monotone clock works: the fabric linearizes each one-sided op
+    // at its issue instant, so widely spaced instants keep phases from
+    // overlapping in the cost model without affecting semantics.
+    let mut now = Cycles(0);
+    for (i, &t) in sched.iter().enumerate() {
+        if !sys.enabled(t, sc) {
+            return Err(format!("step {i}: schedule picks disabled thread {t}"));
+        }
+        let out = sys.step(t, sc);
+        let thief = WorkerId(t as u32);
+        let divergence = |got: &str| {
+            Err(format!(
+                "step {i} ({}): model did `{}` but SimDeque returned {got}",
+                t, out.label
+            ))
+        };
+        match &out.event {
+            OpEvent::Micro => {
+                return Err(format!(
+                    "step {i}: micro-step in a phase-granularity schedule"
+                ))
+            }
+            OpEvent::PushDone(v) => deque
+                .push(&mut fabric, entry_for(*v))
+                .map_err(|e| format!("push: {e:?}"))?,
+            OpEvent::PopDone(expect) => {
+                let r = deque.pop(&mut fabric).map_err(|e| format!("pop: {e:?}"))?;
+                match (expect, r) {
+                    (Some(v), PopOutcome::Entry(e)) if e.task == *v => {}
+                    (None, PopOutcome::Empty) => {}
+                    (_, got) => return divergence(&format!("{got:?}")),
+                }
+            }
+            OpEvent::EmptyCheck { empty } => {
+                let r = deque
+                    .remote_empty_check(&mut fabric, now, thief)
+                    .map_err(|e| format!("empty-check: {e:?}"))?;
+                match (empty, &r) {
+                    (true, StealOutcome::Empty(t)) | (false, StealOutcome::Ok(t)) => now = *t,
+                    (_, got) => return divergence(&format!("{got:?}")),
+                }
+            }
+            OpEvent::LockTry { acquired } => {
+                let r = deque
+                    .remote_try_lock(&mut fabric, now, thief)
+                    .map_err(|e| format!("try-lock: {e:?}"))?;
+                match (acquired, &r) {
+                    (true, StealOutcome::Ok(t)) | (false, StealOutcome::LockBusy(t)) => now = *t,
+                    (_, got) => return divergence(&format!("{got:?}")),
+                }
+            }
+            OpEvent::StealPhase(expect) => {
+                let r = deque
+                    .remote_steal_entry(&mut fabric, now, thief)
+                    .map_err(|e| format!("steal-entry: {e:?}"))?;
+                match (expect, &r) {
+                    (Some(v), StealOutcome::Ok((e, t))) if e.task == *v => now = *t,
+                    (None, StealOutcome::Empty(t)) => now = *t,
+                    (_, got) => return divergence(&format!("{got:?}")),
+                }
+            }
+            OpEvent::Unlock => {
+                now = deque
+                    .remote_unlock(&mut fabric, now, thief)
+                    .map_err(|e| format!("unlock: {e:?}"))?;
+            }
+        }
+    }
+
+    // Final shared state must agree word for word.
+    let snap = deque
+        .snapshot(&fabric)
+        .map_err(|e| format!("snapshot: {e:?}"))?;
+    if (snap.lock, snap.top, snap.bottom) != (sys.lock, sys.top, sys.bottom) {
+        return Err(format!(
+            "final state diverged: SimDeque (lock={} top={} bottom={}) vs model (lock={} top={} bottom={})",
+            snap.lock, snap.top, snap.bottom, sys.lock, sys.top, sys.bottom
+        ));
+    }
+    let real: Vec<u64> = snap.entries.iter().map(|e| e.task).collect();
+    let model: Vec<u64> = (sys.top..sys.bottom)
+        .map(|p| sys.slots[(p % sc.capacity) as usize])
+        .collect();
+    if real != model {
+        return Err(format!(
+            "final entries diverged: SimDeque {real:?} vs model {model:?}"
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,149 @@
+//! The standard scenario suite and the seeded-mutation demos.
+
+use crate::model::{Family, Mutation, OwnerOp, Scenario};
+
+use OwnerOp::{Pop, Push};
+
+fn sim(name: &'static str, capacity: u64, owner: Vec<OwnerOp>, thieves: Vec<u32>) -> Scenario {
+    Scenario {
+        name,
+        family: Family::SimPhase,
+        capacity,
+        prologue: Vec::new(),
+        owner,
+        thieves,
+        mutation: Mutation::None,
+    }
+}
+
+fn native(name: &'static str, capacity: u64, owner: Vec<OwnerOp>, thieves: Vec<u32>) -> Scenario {
+    Scenario {
+        family: Family::NativeOp,
+        ..sim(name, capacity, owner, thieves)
+    }
+}
+
+/// Prologue that advances positions past `rounds` slots so the
+/// interleaved part runs on wrapped slot indices. Leaves the deque empty.
+fn wrap_prologue(rounds: u64) -> Vec<OwnerOp> {
+    (0..rounds).flat_map(|i| [Push(900 + i), Pop]).collect()
+}
+
+/// The clean suite: every scenario must report zero violations. Sized so
+/// exhaustive exploration verifies every reachable state in well under a
+/// second each while the combined interleaving count runs to millions.
+pub fn standard_suite() -> Vec<Scenario> {
+    vec![
+        // Owner pushes/pops interleaved with one remote thief's phases.
+        sim(
+            "sim/1v1-interleave",
+            4,
+            vec![Push(1), Push(2), Pop, Push(3), Pop, Pop],
+            vec![2],
+        ),
+        // The last-entry race at phase granularity: Contended pops,
+        // raced-empty phase 3, owner fast-path wins.
+        sim("sim/last-entry", 2, vec![Push(1), Pop], vec![2]),
+        // Two thieves contend on the FAA lock while the owner drains.
+        sim(
+            "sim/two-thieves",
+            4,
+            vec![Push(1), Push(2), Pop, Pop],
+            vec![2, 2],
+        ),
+        // Same protocol but with slot indices already wrapped.
+        Scenario {
+            prologue: wrap_prologue(3),
+            ..sim(
+                "sim/wraparound",
+                2,
+                vec![Push(1), Push(2), Pop, Pop],
+                vec![2],
+            )
+        },
+        // Deep drain: three entries, three pops, a three-attempt thief.
+        sim(
+            "sim/drain-race",
+            4,
+            vec![Push(1), Push(2), Push(3), Pop, Pop, Pop],
+            vec![3],
+        ),
+        // NativeDeque at per-atomic-access granularity: the Dekker
+        // store-load handshake for the last entry is visible here.
+        native("native/1v1", 2, vec![Push(1), Push(2), Pop, Pop], vec![2]),
+        native("native/last-entry", 1, vec![Push(1), Pop], vec![2]),
+        native(
+            "native/two-thieves",
+            2,
+            vec![Push(1), Push(2), Pop],
+            vec![1, 1],
+        ),
+        // Push immediately after a last-entry pop race: the fresh entry
+        // reuses the slot a locked thief may be examining, and its
+        // published bottom could resurrect a stale read — safe only
+        // because the owner's strict fast-path bound keeps the whole
+        // last-entry arbitration under the lock. (The scenario that
+        // exposed the ABA hole in a bottom-validation variant of the
+        // thief during development.)
+        native(
+            "native/push-race",
+            2,
+            vec![Push(1), Pop, Push(2), Pop],
+            vec![2],
+        ),
+        // Wraparound safety: the locked slot read happens while
+        // `top == t` still blocks slot reuse by the capacity check.
+        Scenario {
+            prologue: wrap_prologue(3),
+            ..native(
+                "native/wraparound",
+                2,
+                vec![Push(1), Push(2), Pop, Pop],
+                vec![2],
+            )
+        },
+    ]
+}
+
+/// Scenario names whose full interleaving space is small enough to also
+/// walk path-by-path (sleep-set mode + differential replay).
+pub fn sleep_set_scenarios() -> &'static [&'static str] {
+    &[
+        "sim/1v1-interleave",
+        "sim/last-entry",
+        "sim/wraparound",
+        "sim/drain-race",
+    ]
+}
+
+/// Demo scenarios for one seeded mutation: small systems where the
+/// checker must produce a counterexample trace.
+pub fn mutation_demos(m: Mutation) -> Vec<Scenario> {
+    assert_ne!(m, Mutation::None);
+    let mut demos = match m {
+        // Deleting the owner's top re-check is only observable at atomic
+        // granularity (at phase atomicity the conflict path is dead code,
+        // which the SimPhase model asserts).
+        Mutation::SkipOwnerTopRecheck => vec![
+            native("native/last-entry", 1, vec![Push(1), Pop], vec![2]),
+            native("native/1v1", 2, vec![Push(1), Push(2), Pop, Pop], vec![2]),
+        ],
+        Mutation::SkipUnlockOnRacedEmpty => vec![
+            sim("sim/last-entry", 2, vec![Push(1), Pop], vec![2]),
+            native("native/last-entry", 1, vec![Push(1), Pop], vec![2]),
+        ],
+        // The latent bug found in the shipped `NativeDeque::pop`: the
+        // owner takes the last entry lock-free whenever its top re-read
+        // shows no published claim, racing a thief that is already
+        // committed inside its locked critical section.
+        Mutation::LastEntryFastPath => vec![
+            native("native/last-entry", 1, vec![Push(1), Pop], vec![2]),
+            native("native/1v1", 2, vec![Push(1), Push(2), Pop, Pop], vec![2]),
+        ],
+        Mutation::None => unreachable!(),
+    };
+    for d in &mut demos {
+        d.mutation = m;
+    }
+    demos
+}

@@ -218,7 +218,7 @@ impl<W: Workload> Engine<W> {
     fn run_loop(&mut self) -> Cycles {
         // Materialize and start the root on worker 0.
         let w0 = WorkerId(0);
-        let root = self.spawn_task(w0, self.workload.root(), None);
+        let root = self.spawn_task(w0, &self.workload.root(), None);
         self.root = Some(root);
         self.trace.task_begin(w0, root, Cycles::ZERO, None);
         self.workers[0].current = Some(root);
@@ -244,6 +244,13 @@ impl<W: Workload> Engine<W> {
                 );
             }
             self.fire(WorkerId(w), Cycles(t));
+            // Under the audit feature, re-validate every global invariant
+            // after every event (skipped once the root has completed:
+            // in-flight state is abandoned wherever it stands).
+            #[cfg(feature = "audit")]
+            if self.finished_at.is_none() {
+                self.audit_invariants();
+            }
         }
 
         let makespan = self
@@ -297,11 +304,11 @@ impl<W: Workload> Engine<W> {
     /// Create a task record + stack frames for `desc` on worker `w`.
     /// Returns the id. (Page-fault cost, nonzero only under iso, is
     /// returned through `self.page_faults` and the spawn path's timing.)
-    fn spawn_task(&mut self, w: WorkerId, desc: W::Desc, parent: Option<TaskId64>) -> TaskId64 {
+    fn spawn_task(&mut self, w: WorkerId, desc: &W::Desc, parent: Option<TaskId64>) -> TaskId64 {
         let mut program = self.program_pool.pop().unwrap_or_default();
-        self.workload.program(&desc, &mut program);
-        self.total_units += self.workload.units(&desc);
-        let frame = self.workload.frame_size(&desc).max(16);
+        self.workload.program(desc, &mut program);
+        self.total_units += self.workload.units(desc);
+        let frame = self.workload.frame_size(desc).max(16);
         let id = self
             .tasks
             .spawn(program, parent, TaskWhere::Running(w), frame);
@@ -370,7 +377,7 @@ impl<W: Workload> Engine<W> {
                         .push(&mut self.fabric, entry)
                         .expect("deque push");
                     let faults_before = self.page_faults;
-                    let child = self.spawn_task(w, desc, Some(task));
+                    let child = self.spawn_task(w, &desc, Some(task));
                     self.trace.task_begin(w, child, t, Some(task));
                     let fault_cost = Cycles((self.page_faults - faults_before) * cost.page_fault);
                     self.workers[w.index()].current = Some(child);
@@ -937,6 +944,144 @@ impl<W: Workload> Engine<W> {
     }
 }
 
+#[cfg(feature = "audit")]
+impl<W: Workload> Engine<W> {
+    /// Re-validate the global invariants after one event (see the
+    /// `audit` feature's description in Cargo.toml and DESIGN.md §7).
+    ///
+    /// Panics on the first violation. The per-worker structural checks
+    /// (region packing, RDMA-region bounds, deque index sanity) run
+    /// inside [`StackMgr::audit`]; this method adds the facts only the
+    /// engine can see:
+    ///
+    /// - **Lock holders**: a thief holds a victim's steal lock exactly
+    ///   while its pending event is inside the locked critical section
+    ///   (`StealLock{ok}`/`StealEntry`/`StealTransfer` — one-sided ops
+    ///   linearize at issue, so the unlock preceding `StealUnlock` and
+    ///   `StealAbortUnlock` has already landed). At most one holder per
+    ///   deque, and the lock word is nonzero iff a holder exists.
+    /// - **Task locations**: every task reachable from a structure has
+    ///   the matching [`TaskWhere`] — worker `current`/`blocked` ⇒
+    ///   `Running`, deque entries ⇒ `InDeque`, wait queues ⇒ `Waiting`,
+    ///   mid-steal pendings ⇒ `InFlight` — and a worker running a task
+    ///   has no blocked joiner (the joiner is parked before any switch).
+    /// - **Conservation**: spawned = completed + queued + in-flight +
+    ///   suspended, checked as: the tasks found above are pairwise
+    ///   distinct and count exactly `tasks.live()`.
+    fn audit_invariants(&self) {
+        use std::collections::HashSet;
+        let n = self.mgrs.len();
+        let mut holder: Vec<Option<WorkerId>> = vec![None; n];
+        let mut found: HashSet<TaskId64> = HashSet::new();
+        let claim = |found: &mut HashSet<TaskId64>, task: TaskId64, what: &str, w: usize| {
+            assert!(
+                found.insert(task),
+                "audit: task {task:#x} found in two places (second: {what} on worker {w})"
+            );
+        };
+        for (wi, ctl) in self.workers.iter().enumerate() {
+            let w = WorkerId(wi as u32);
+            match ctl.pending {
+                Pending::StealLock { victim, ok: true }
+                | Pending::StealEntry { victim, .. }
+                | Pending::StealTransfer { victim, .. } => {
+                    assert!(
+                        holder[victim.index()].replace(w).is_none(),
+                        "audit: two thieves inside worker {victim}'s locked critical section"
+                    );
+                }
+                _ => {}
+            }
+            let in_flight = match ctl.pending {
+                Pending::StealEntry { entry: Some(e), .. }
+                | Pending::StealTransfer { entry: e, .. }
+                | Pending::StealUnlock { entry: e, .. } => Some(e.task),
+                _ => None,
+            };
+            if let Some(task) = in_flight {
+                claim(&mut found, task, "mid-steal pending", wi);
+                assert_eq!(
+                    self.tasks.get(task).at,
+                    TaskWhere::InFlight,
+                    "audit: task {task:#x} is mid-steal to worker {w} but not marked InFlight"
+                );
+            }
+            if let Some(task) = ctl.current {
+                assert!(
+                    ctl.blocked.is_none(),
+                    "audit: worker {w} runs task {task:#x} with a blocked joiner in the region"
+                );
+                claim(&mut found, task, "current", wi);
+                assert_eq!(
+                    self.tasks.get(task).at,
+                    TaskWhere::Running(w),
+                    "audit: worker {w}'s current task {task:#x} not marked Running here"
+                );
+            }
+            if let Some(task) = ctl.blocked {
+                claim(&mut found, task, "blocked joiner", wi);
+                assert_eq!(
+                    self.tasks.get(task).at,
+                    TaskWhere::Running(w),
+                    "audit: worker {w}'s blocked joiner {task:#x} not marked Running here"
+                );
+            }
+        }
+        for (wi, mgr) in self.mgrs.iter().enumerate() {
+            let w = WorkerId(wi as u32);
+            let facts = mgr.audit(&self.fabric);
+            match holder[wi] {
+                Some(thief) => assert!(
+                    facts.lock != 0,
+                    "audit: thief {thief} is inside worker {w}'s locked critical section but the lock word is 0"
+                ),
+                None => assert_eq!(
+                    facts.lock, 0,
+                    "audit: worker {w}'s lock word is {} with no thief inside a critical section",
+                    facts.lock
+                ),
+            }
+            for task in facts.deque_tasks {
+                claim(&mut found, task, "deque entry", wi);
+                assert_eq!(
+                    self.tasks.get(task).at,
+                    TaskWhere::InDeque(w),
+                    "audit: task {task:#x} sits in worker {w}'s deque but is not marked InDeque there"
+                );
+            }
+            for task in facts.wait_tasks {
+                claim(&mut found, task, "wait queue", wi);
+                assert_eq!(
+                    self.tasks.get(task).at,
+                    TaskWhere::Waiting(w),
+                    "audit: task {task:#x} sits on worker {w}'s wait queue but is not marked Waiting there"
+                );
+            }
+            // Uni: the region's bottom segment is the running thread's
+            // (Section 5.2). The bottom may be a stale stolen segment
+            // while the worker is between tasks, so compare only when a
+            // task is actually in place.
+            if mgr.kind() == uat_core::SchemeKind::Uni {
+                let ctl = &self.workers[wi];
+                if let Some(task) = ctl.current.or(ctl.blocked) {
+                    assert_eq!(
+                        facts.bottom_task,
+                        Some(task),
+                        "audit: worker {w} runs task {task:#x} but it does not own the bottom segment"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            found.len() as u64,
+            self.tasks.live(),
+            "audit: task conservation broken — {} tasks found in structures, {} live",
+            found.len(),
+            self.tasks.live()
+        );
+    }
+}
+
 #[cfg(feature = "trace")]
 impl<W: Workload> Engine<W> {
     /// Default per-worker ring capacity for [`Engine::run_traced`].
@@ -1086,6 +1231,37 @@ mod tests {
             cpt > 300.0 && cpt < 1_500.0,
             "cycles per task {cpt} should be near the 413-cycle spawn cost"
         );
+    }
+
+    /// The auditor re-validates every invariant after every event; these
+    /// runs exist to exercise it on contended schedules in-crate even
+    /// though the whole suite runs under it with `--features audit`.
+    #[cfg(feature = "audit")]
+    mod audit_checks {
+        use super::*;
+
+        #[test]
+        fn auditor_passes_heavy_stealing_uni() {
+            let s = run(8, SchemeKind::Uni, 10, 50, 21);
+            assert!(
+                s.steals_completed > 0,
+                "need steals to exercise the auditor"
+            );
+        }
+
+        #[test]
+        fn auditor_passes_join_heavy_uni() {
+            // Deep tree with enough work per task that joiners suspend to
+            // the wait queue (exercises Waiting/heap checks).
+            let s = run(4, SchemeKind::Uni, 9, 3_000, 22);
+            assert!(s.steals_completed > 0);
+        }
+
+        #[test]
+        fn auditor_passes_iso() {
+            let s = run(4, SchemeKind::Iso, 8, 500, 23);
+            assert!(s.steals_completed > 0);
+        }
     }
 
     /// Cross-checks between the tracing layer and the engine's own

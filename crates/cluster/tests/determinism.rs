@@ -55,6 +55,23 @@ macro_rules! pin {
             assert_eq!(golden(&s), $want, "golden snapshot drifted");
         }
     };
+    // Variant for cases too big to audit: a full-machine audit after
+    // every event is O(workers x events), so multi-million-event goldens
+    // are intractable in a debug build with `--features audit`. The
+    // auditor's protocol coverage comes from the contended small-machine
+    // suites; goldens only pin determinism, which audit cannot affect
+    // (it is read-only).
+    ($name:ident, skip_audit, $run:expr, $want:expr) => {
+        #[test]
+        #[cfg_attr(
+            feature = "audit",
+            ignore = "too many events for the per-event full-machine auditor"
+        )]
+        fn $name() {
+            let s: RunStats = $run;
+            assert_eq!(golden(&s), $want, "golden snapshot drifted");
+        }
+    };
 }
 
 pin!(
@@ -75,6 +92,7 @@ pin!(
 
 pin!(
     golden_btc10_iso_8w,
+    skip_audit,
     Engine::new(
         SimConfig::tiny(8).with_scheme(SchemeKind::Iso).with_seed(4),
         Btc::new(10, 2),
@@ -111,6 +129,7 @@ pin!(
 
 pin!(
     golden_uts9_fx10_2n,
+    skip_audit,
     Engine::new(SimConfig::fx10(2), Uts::geometric(9)).run(),
     Golden {
         makespan: 12_928_036,
@@ -175,6 +194,10 @@ fn rerun_in_same_process_is_identical() {
 /// loop (compared via full serialized stats, not just the headline
 /// numbers).
 #[test]
+#[cfg_attr(
+    feature = "audit",
+    ignore = "sweeps up to 120 workers; too many worker-audits per event"
+)]
 fn sweep_is_bit_identical_at_any_thread_count() {
     let mut base = SimConfig::fx10(2);
     base.core.uni_region_size = 192 << 10;

@@ -1,0 +1,33 @@
+//! Worker-level invariant auditing (the default-off `audit` feature).
+//!
+//! [`UniMgr::audit`](crate::UniMgr::audit) and
+//! [`IsoMgr::audit`](crate::IsoMgr::audit) hard-re-check the structural
+//! invariants their modules normally only `debug_assert` — uni-address
+//! packing contiguous from the region's high end, RDMA-region blocks
+//! disjoint and in-bounds, wait-queue handles resolving to live saved
+//! contexts — and then report a [`WorkerAudit`]: the set of tasks each
+//! structure is holding. The engine in `uat-cluster` (built with its own
+//! `audit` feature) cross-references those facts against its task table
+//! after every event, closing the loop on per-worker task conservation:
+//! every live task must be found in exactly one place.
+//!
+//! See DESIGN.md §7 for the invariant catalogue this implements.
+
+/// Facts one worker's structures report to the engine-level auditor,
+/// produced after the worker's own internal hard-checks pass.
+#[derive(Clone, Debug)]
+pub struct WorkerAudit {
+    /// Deque lock word (0 = free; nonzero while a thief is inside its
+    /// locked critical section, counting unreaped failed-FAA residue).
+    pub lock: u64,
+    /// Tasks with live entries in this worker's deque, oldest first.
+    pub deque_tasks: Vec<u64>,
+    /// Tasks parked on this worker's wait queue, FIFO order.
+    pub wait_tasks: Vec<u64>,
+    /// The task owning the region's bottom (running-position) segment.
+    /// Uni only — `None` for iso or for an empty region. May name a
+    /// *stale* segment (stolen, not yet drained) when the worker is
+    /// between tasks; the engine compares it only against a live
+    /// current/blocked task.
+    pub bottom_task: Option<u64>,
+}

@@ -141,6 +141,56 @@ impl RdmaHeap {
     }
 }
 
+#[cfg(feature = "audit")]
+impl RdmaHeap {
+    /// Hard-check the saved-context table (`audit` feature): allocator
+    /// blocks disjoint and in-bounds, every parked stack buffer inside
+    /// the heap region and backed by a live allocation of sufficient
+    /// size, and every saved stack's home address inside the caller's
+    /// uni-address region `[stack_lo, stack_hi)`.
+    pub fn audit(&self, stack_lo: u64, stack_hi: u64) {
+        self.alloc.check_invariants();
+        let base = self.alloc.base();
+        let end = base + self.alloc.capacity();
+        let mut parked_sum = 0u64;
+        for sctx in self.saved.iter().flatten() {
+            assert!(
+                sctx.stack_buf >= base && sctx.stack_buf + sctx.stack_size <= end,
+                "worker {}: task {}'s parked frames [{:#x}, +{:#x}) escape the RDMA region [{base:#x}, {end:#x})",
+                self.owner,
+                sctx.task,
+                sctx.stack_buf,
+                sctx.stack_size
+            );
+            assert!(
+                self.alloc
+                    .size_of(sctx.stack_buf)
+                    .is_some_and(|sz| sz >= sctx.stack_size),
+                "worker {}: task {}'s parked frames at {:#x} have no backing allocation",
+                self.owner,
+                sctx.task,
+                sctx.stack_buf
+            );
+            assert!(
+                sctx.stack_top >= stack_lo && sctx.stack_top + sctx.stack_size <= stack_hi,
+                "worker {}: task {}'s home address [{:#x}, +{:#x}) escapes the uni-address region",
+                self.owner,
+                sctx.task,
+                sctx.stack_top,
+                sctx.stack_size
+            );
+            parked_sum += sctx.stack_size;
+        }
+        assert!(
+            self.alloc.used() >= parked_sum,
+            "worker {}: allocator accounts {} bytes used but {} bytes are parked",
+            self.owner,
+            self.alloc.used(),
+            parked_sum
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -293,6 +293,105 @@ impl IsoMgr {
     }
 }
 
+#[cfg(feature = "audit")]
+impl IsoMgr {
+    /// Re-validate this worker's structural invariants and report the
+    /// facts the engine-level auditor cross-references (`audit` feature;
+    /// DESIGN.md §7). Panics on the first violation.
+    pub fn audit(&self, fabric: &Fabric) -> crate::audit::WorkerAudit {
+        // Resident stacks: globally-unique addresses (pairwise distinct,
+        // at or above the global base), each within its slot's size, and
+        // the live-byte accounting exact.
+        let mut bases = std::collections::HashSet::new();
+        let mut live = 0u64;
+        for (task, st) in &self.stacks {
+            assert!(
+                st.base >= ISO_BASE,
+                "worker {}: task {task}'s stack at {:#x} below the global range",
+                self.id,
+                st.base
+            );
+            assert!(
+                st.bytes.len() as u64 <= self.stack_size,
+                "worker {}: task {task}'s stack outgrew its iso slot",
+                self.id
+            );
+            assert!(
+                bases.insert(st.base),
+                "worker {}: two resident stacks share address {:#x}",
+                self.id,
+                st.base
+            );
+            live += st.bytes.len() as u64;
+        }
+        assert_eq!(
+            live, self.live_bytes,
+            "worker {}: live-byte accounting drifted",
+            self.id
+        );
+        assert!(self.peak_live_bytes >= self.live_bytes);
+        assert!(self.next_slot >= self.slab_base && self.next_slot <= self.slab_end);
+        for &s in &self.free_slots {
+            assert!(
+                s >= self.slab_base && s < self.slab_end,
+                "worker {}: foreign slot {s:#x} on the local free list",
+                self.id
+            );
+        }
+
+        // Wait queue: every handle resolves, and a suspended iso thread
+        // keeps its stack resident (suspend copies nothing out).
+        let mut wait_tasks = Vec::with_capacity(self.wait_queue.len());
+        for &h in &self.wait_queue {
+            let rec = self
+                .saved
+                .get(h.0 as usize)
+                .and_then(|s| *s)
+                .unwrap_or_else(|| panic!("worker {}: wait-queue handle {h:?} dangles", self.id));
+            assert!(
+                self.stacks.contains_key(&rec.task),
+                "worker {}: suspended task {} lost its resident stack",
+                self.id,
+                rec.task
+            );
+            wait_tasks.push(rec.task);
+        }
+
+        // Deque shared words; every live entry's task has a resident stack.
+        let snap = self.deque.snapshot(fabric).expect("own deque snapshot");
+        assert!(
+            snap.top <= snap.bottom,
+            "worker {}: deque indices inverted (top {} > bottom {})",
+            self.id,
+            snap.top,
+            snap.bottom
+        );
+        assert!(
+            snap.bottom - snap.top <= self.deque.capacity(),
+            "worker {}: deque holds {} entries over capacity {}",
+            self.id,
+            snap.bottom - snap.top,
+            self.deque.capacity()
+        );
+        let mut deque_tasks = Vec::with_capacity(snap.entries.len());
+        for e in &snap.entries {
+            assert!(
+                self.stacks.contains_key(&e.task),
+                "worker {}: deque entry for task {} has no resident stack",
+                self.id,
+                e.task
+            );
+            deque_tasks.push(e.task);
+        }
+        crate::audit::WorkerAudit {
+            lock: snap.lock,
+            deque_tasks,
+            wait_tasks,
+            bottom_task: None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

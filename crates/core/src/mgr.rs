@@ -219,6 +219,16 @@ impl StackMgr {
             StackMgr::Iso(m) => m.mem_stats(),
         }
     }
+
+    /// Re-validate this worker's structural invariants and report the
+    /// engine-facing audit facts (`audit` feature).
+    #[cfg(feature = "audit")]
+    pub fn audit(&self, fabric: &Fabric) -> crate::audit::WorkerAudit {
+        match self {
+            StackMgr::Uni(m) => m.audit(fabric),
+            StackMgr::Iso(m) => m.audit(fabric),
+        }
+    }
 }
 
 /// Migrate a stolen continuation's stack from `victim` to `thief`.

@@ -226,6 +226,139 @@ impl UniMgr {
     }
 }
 
+#[cfg(feature = "audit")]
+impl UniMgr {
+    /// Re-validate this worker's structural invariants and report the
+    /// facts the engine-level auditor cross-references (`audit` feature;
+    /// DESIGN.md §7). Panics on the first violation.
+    pub fn audit(&self, fabric: &Fabric) -> crate::audit::WorkerAudit {
+        let r = &self.region;
+        // Uni-address packing (Figure 3), as hard checks: `p` inside the
+        // region, segments contiguous top-down, the bottom segment's base
+        // at `p`, and an empty region fully reclaimed.
+        assert!(
+            r.p() >= r.start() && r.p() <= r.end(),
+            "worker {}: p {:#x} outside the region [{:#x}, {:#x})",
+            self.id,
+            r.p(),
+            r.start(),
+            r.end()
+        );
+        let segs = r.segments();
+        for s in segs {
+            assert!(
+                s.size > 0,
+                "worker {}: empty segment for task {}",
+                self.id,
+                s.task
+            );
+        }
+        for pair in segs.windows(2) {
+            assert_eq!(
+                pair[1].end(),
+                pair[0].base,
+                "worker {}: segments of tasks {} and {} are not contiguous",
+                self.id,
+                pair[0].task,
+                pair[1].task
+            );
+        }
+        match (segs.first(), segs.last()) {
+            (Some(top), Some(bottom)) => {
+                assert!(
+                    top.end() <= r.end() && bottom.base >= r.start(),
+                    "worker {}: segments escape the region",
+                    self.id
+                );
+                assert_eq!(
+                    bottom.base,
+                    r.p(),
+                    "worker {}: p {:#x} does not sit at the bottom segment (task {})",
+                    self.id,
+                    r.p(),
+                    bottom.task
+                );
+            }
+            _ => assert_eq!(
+                r.p(),
+                r.end(),
+                "worker {}: empty region left p at {:#x}",
+                self.id,
+                r.p()
+            ),
+        }
+        assert!(
+            r.peak_usage() >= r.usage(),
+            "worker {}: peak below current usage",
+            self.id
+        );
+
+        // RDMA-region handles disjoint and in-bounds; every wait-queue
+        // handle resolves to a live parked context, and nothing is parked
+        // that is not on the wait queue (the engine always pairs
+        // suspend with wait_push).
+        self.heap.audit(r.start(), r.end());
+        assert_eq!(
+            self.heap.parked_count(),
+            self.wait_queue.len(),
+            "worker {}: {} parked contexts but {} wait-queue entries",
+            self.id,
+            self.heap.parked_count(),
+            self.wait_queue.len()
+        );
+        let mut wait_tasks = Vec::with_capacity(self.wait_queue.len());
+        for &h in &self.wait_queue {
+            let sctx = self
+                .heap
+                .get(h)
+                .unwrap_or_else(|| panic!("worker {}: wait-queue handle {h:?} dangles", self.id));
+            wait_tasks.push(sctx.task);
+        }
+
+        // Deque shared words, and every live entry's frames present as a
+        // matching region segment (the reverse need not hold: the running
+        // task and stale stolen frames have no entry).
+        let snap = self.deque.snapshot(fabric).expect("own deque snapshot");
+        assert!(
+            snap.top <= snap.bottom,
+            "worker {}: deque indices inverted (top {} > bottom {})",
+            self.id,
+            snap.top,
+            snap.bottom
+        );
+        assert!(
+            snap.bottom - snap.top <= self.deque.capacity(),
+            "worker {}: deque holds {} entries over capacity {}",
+            self.id,
+            snap.bottom - snap.top,
+            self.deque.capacity()
+        );
+        let mut deque_tasks = Vec::with_capacity(snap.entries.len());
+        for e in &snap.entries {
+            let seg = r.segment_of(e.task).unwrap_or_else(|| {
+                panic!(
+                    "worker {}: deque entry for task {} has no region segment",
+                    self.id, e.task
+                )
+            });
+            assert_eq!(
+                (seg.base, seg.size),
+                (e.frame_base, e.frame_size),
+                "worker {}: deque entry for task {} disagrees with its segment",
+                self.id,
+                e.task
+            );
+            deque_tasks.push(e.task);
+        }
+        crate::audit::WorkerAudit {
+            lock: snap.lock,
+            deque_tasks,
+            wait_tasks,
+            bottom_task: r.bottom().map(|s| s.task),
+        }
+    }
+}
+
 /// The deterministic byte pattern of a task's frames. Copies of frames
 /// across suspend/resume/steal must preserve it bit for bit.
 pub fn pattern(task: u64, size: usize) -> Vec<u8> {

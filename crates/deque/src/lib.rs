@@ -29,4 +29,4 @@ pub mod sim;
 
 pub use entry::TaskqEntry;
 pub use native::NativeDeque;
-pub use sim::{PopOutcome, SimDeque, StealOutcome};
+pub use sim::{DequeSnapshot, PopOutcome, SimDeque, StealOutcome};

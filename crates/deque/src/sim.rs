@@ -271,6 +271,51 @@ impl SimDeque {
             .map(|v| v != 0)
             .unwrap_or(false)
     }
+
+    /// Maximum simultaneous entries.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Diagnostic snapshot of the full shared state: lock word, indices,
+    /// and the live entries in `[top, bottom)` oldest-first. Reads
+    /// owner-side without cost accounting; used by the engine's `audit`
+    /// feature and by `uat-check`'s differential replay.
+    pub fn snapshot(&self, fabric: &Fabric) -> Result<DequeSnapshot, RdmaError> {
+        let mem = fabric.mem(self.owner);
+        let lock = mem.read_u64_local(self.base + OFF_LOCK)?;
+        let top = mem.read_u64_local(self.base + OFF_TOP)?;
+        let bottom = mem.read_u64_local(self.base + OFF_BOTTOM)?;
+        let mut entries = Vec::new();
+        if top < bottom {
+            for pos in top..bottom {
+                let mut eb = [0u8; ENTRY_BYTES];
+                mem.read_local(self.entry_addr(pos), &mut eb)?;
+                entries.push(TaskqEntry::from_bytes(&eb));
+            }
+        }
+        Ok(DequeSnapshot {
+            lock,
+            top,
+            bottom,
+            entries,
+        })
+    }
+}
+
+/// Point-in-time view of a [`SimDeque`]'s shared words, for invariant
+/// auditing and model-checker replay (see [`SimDeque::snapshot`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DequeSnapshot {
+    /// Lock word (0 = free; >0 while a thief holds it, counting any
+    /// failed fetch-and-add increments not yet erased by the unlock).
+    pub lock: u64,
+    /// Steal end (H): position of the oldest live entry.
+    pub top: u64,
+    /// Owner end (T): one past the youngest live entry.
+    pub bottom: u64,
+    /// Live entries in `[top, bottom)`, oldest first.
+    pub entries: Vec<TaskqEntry>,
 }
 
 #[cfg(test)]
@@ -492,6 +537,107 @@ mod tests {
         for i in 0..3 {
             d.push(&mut f, entry(i)).unwrap();
         }
+    }
+
+    #[test]
+    fn thief_wins_last_entry_owner_sees_contended_then_empty() {
+        // The complement of `owner_wins_last_entry_race_on_fast_path`,
+        // found by enumerating one-entry interleavings in `uat-check`:
+        // the thief completes phase 3 first, so the owner's pop lands on
+        // an empty deque while the lock is still held and must observe
+        // `Contended` (not `Empty`) — concluding "stolen" before the
+        // unlock would let the owner reuse region bytes the thief is
+        // still transferring.
+        let (mut f, d) = setup(8);
+        d.push(&mut f, entry(7)).unwrap();
+        let t = match d.remote_try_lock(&mut f, Cycles(0), THIEF).unwrap() {
+            StealOutcome::Ok(t) => t,
+            other => panic!("{other:?}"),
+        };
+        let (e, t2) = match d.remote_steal_entry(&mut f, t, THIEF).unwrap() {
+            StealOutcome::Ok(v) => v,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(e, entry(7));
+        // Owner pops while the thief is between phase 3 and phase 4.
+        assert_eq!(d.pop(&mut f).unwrap(), PopOutcome::Contended);
+        d.remote_unlock(&mut f, t2, THIEF).unwrap();
+        assert_eq!(d.pop(&mut f).unwrap(), PopOutcome::Empty);
+    }
+
+    #[test]
+    fn steal_from_full_deque_across_wraparound() {
+        // Fill to capacity with positions already past the wrap point, so
+        // every slot is live and `position % capacity` has wrapped; the
+        // thief must still drain in exact FIFO order.
+        let (mut f, d) = setup(3);
+        for i in 0..5 {
+            // Advance positions to 5 (slot index wraps at 3).
+            d.push(&mut f, entry(i)).unwrap();
+            assert!(matches!(d.pop(&mut f).unwrap(), PopOutcome::Entry(_)));
+        }
+        for i in 10..13 {
+            d.push(&mut f, entry(i)).unwrap();
+        }
+        assert_eq!(d.len(&f), 3, "deque is at capacity");
+        for i in 10..13 {
+            let e = full_steal(&mut f, &d, Cycles(i * 1_000_000)).unwrap();
+            assert_eq!(e, entry(i), "FIFO across a full wrapped buffer");
+        }
+        assert!(d.is_empty(&f));
+        assert!(!d.lock_held(&f));
+    }
+
+    #[test]
+    fn unlock_required_after_failed_steal_entry() {
+        // Phase 3 returning `Empty` does NOT release the lock — the
+        // protocol obliges the thief to run phase 4 regardless. Verify
+        // the lock stays held after the failure and that releasing it
+        // restores the deque for both sides.
+        let (mut f, d) = setup(8);
+        d.push(&mut f, entry(1)).unwrap();
+        let t = match d.remote_try_lock(&mut f, Cycles(0), THIEF).unwrap() {
+            StealOutcome::Ok(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(d.pop(&mut f).unwrap(), PopOutcome::Entry(entry(1)));
+        let t = match d.remote_steal_entry(&mut f, t, THIEF).unwrap() {
+            StealOutcome::Empty(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert!(d.lock_held(&f), "failed phase 3 must leave the lock held");
+        // While held, other thieves bounce and an empty-deque owner pop
+        // reports Contended rather than Empty.
+        assert!(matches!(
+            d.remote_try_lock(&mut f, t, THIEF).unwrap(),
+            StealOutcome::LockBusy(_)
+        ));
+        assert_eq!(d.pop(&mut f).unwrap(), PopOutcome::Contended);
+        let t = d.remote_unlock(&mut f, t, THIEF).unwrap();
+        assert!(!d.lock_held(&f));
+        assert_eq!(d.pop(&mut f).unwrap(), PopOutcome::Empty);
+        // And the full steal path works again end to end.
+        d.push(&mut f, entry(2)).unwrap();
+        assert_eq!(full_steal(&mut f, &d, t).unwrap(), entry(2));
+    }
+
+    #[test]
+    fn snapshot_reflects_shared_words() {
+        let (mut f, d) = setup(4);
+        for i in 0..3 {
+            d.push(&mut f, entry(i)).unwrap();
+        }
+        assert!(matches!(d.pop(&mut f).unwrap(), PopOutcome::Entry(_)));
+        let s = d.snapshot(&f).unwrap();
+        assert_eq!((s.lock, s.top, s.bottom), (0, 0, 2));
+        assert_eq!(s.entries, vec![entry(0), entry(1)]);
+        let t = match d.remote_try_lock(&mut f, Cycles(0), THIEF).unwrap() {
+            StealOutcome::Ok(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(d.snapshot(&f).unwrap().lock, 1);
+        d.remote_unlock(&mut f, t, THIEF).unwrap();
+        assert_eq!(d.snapshot(&f).unwrap().lock, 0);
     }
 
     #[test]

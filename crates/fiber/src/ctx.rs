@@ -158,12 +158,15 @@ mod tests {
         static HIT: AtomicU64 = AtomicU64::new(0);
         unsafe extern "C" fn f(ctx: *mut Context, arg: *mut c_void) {
             HIT.store(arg as u64, Ordering::Relaxed);
+            // SAFETY: ctx points at the record save_context_and_call just
+            // built on the caller's stack, live until f returns.
             unsafe {
                 // The context records this very stack: rsp == ctx.
                 assert_eq!((*ctx).rsp, ctx as u64);
                 assert!((*ctx).rip != 0);
             }
         }
+        // SAFETY: f returns normally, so this behaves as a plain call.
         unsafe {
             save_context_and_call(std::ptr::null_mut(), f, 42usize as *mut c_void);
         }
@@ -172,6 +175,7 @@ mod tests {
         // the test simply not crashing, but exercise some register
         // pressure to be sure).
         let vals: Vec<u64> = (0..64).collect();
+        // SAFETY: as above; f returns normally.
         unsafe {
             save_context_and_call(std::ptr::null_mut(), f, 7 as *mut c_void);
         }
@@ -186,8 +190,12 @@ mod tests {
         static STAGE: AtomicU64 = AtomicU64::new(0);
         unsafe extern "C" fn f(ctx: *mut Context, _arg: *mut c_void) {
             STAGE.store(1, Ordering::Relaxed);
+            // SAFETY: ctx is the caller's live continuation, resumed
+            // exactly once, with only Copy locals live in f.
             unsafe { resume_context(ctx) }
         }
+        // SAFETY: f diverges into the saved context; control returns
+        // here exactly once via that resume.
         unsafe {
             save_context_and_call(std::ptr::null_mut(), f, std::ptr::null_mut());
         }
@@ -202,11 +210,15 @@ mod tests {
     #[test]
     fn parent_pointer_stored() {
         unsafe extern "C" fn f(ctx: *mut Context, arg: *mut c_void) {
+            // SAFETY: ctx is the live record on the caller's stack; the
+            // parent field is only compared, never dereferenced.
             unsafe {
                 assert_eq!((*ctx).parent, arg as *mut Context);
             }
         }
         let fake_parent = 0x1234_5678usize as *mut Context;
+        // SAFETY: f returns normally; the fake parent pointer is stored
+        // in the record but never dereferenced.
         unsafe {
             save_context_and_call(fake_parent, f, fake_parent as *mut c_void);
         }
@@ -217,12 +229,18 @@ mod tests {
     fn nested_contexts() {
         static mut TRACE: Vec<u32> = Vec::new();
         unsafe extern "C" fn inner(ctx: *mut Context, _arg: *mut c_void) {
+            // SAFETY: single-threaded test, so the static TRACE has no
+            // concurrent access; ctx is outer's live continuation,
+            // resumed exactly once.
             unsafe {
                 (*std::ptr::addr_of_mut!(TRACE)).push(2);
                 resume_context(ctx);
             }
         }
         unsafe extern "C" fn outer(ctx: *mut Context, _arg: *mut c_void) {
+            // SAFETY: same single-threaded TRACE access; the nested save
+            // returns here via inner's resume, then ctx (the test body's
+            // continuation) is resumed exactly once.
             unsafe {
                 (*std::ptr::addr_of_mut!(TRACE)).push(1);
                 save_context_and_call(std::ptr::null_mut(), inner, std::ptr::null_mut());
@@ -230,6 +248,8 @@ mod tests {
                 resume_context(ctx);
             }
         }
+        // SAFETY: outer diverges into the saved context; TRACE is only
+        // touched from this one thread.
         unsafe {
             save_context_and_call(std::ptr::null_mut(), outer, std::ptr::null_mut());
             (*std::ptr::addr_of_mut!(TRACE)).push(4);

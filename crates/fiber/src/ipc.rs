@@ -104,6 +104,9 @@ pub fn expected_result() -> u64 {
 /// array + a pointer to it), publishes its continuation, and — once
 /// resumed, *in whichever process* — computes from that stack state.
 unsafe extern "C" fn migrating_thread(arg: *mut c_void) -> ! {
+    // SAFETY: arg is the VictimArgs the victim entry passed through
+    // switch_stack_and_call; the Shared block it points to is the
+    // process-shared mapping, live for the whole run.
     let shared = unsafe { &*((*(arg as *mut VictimArgs)).shared) };
 
     // Stack state the continuation will read after migration. The
@@ -117,6 +120,8 @@ unsafe extern "C" fn migrating_thread(arg: *mut c_void) -> ! {
 
     // "spawn": save the continuation and run the child part, which
     // publishes the parent for stealing (Figure 4's do_create_thread).
+    // SAFETY: we are on the uni-address region's stack; the callee
+    // either returns normally (not stolen) or never returns here.
     unsafe {
         save_context_and_call(
             std::ptr::null_mut(),
@@ -131,10 +136,15 @@ unsafe extern "C" fn migrating_thread(arg: *mut c_void) -> ! {
 
     // Hand control back to this process's scheduler context.
     let ret = RETURN_CTX.load(Ordering::Acquire) as *mut Context;
+    // SAFETY: RETURN_CTX was stored by whichever scheduler context
+    // (victim_entry or thief_tramp) resumed us, and that context's stack
+    // frame is still live — it is blocked inside save_context_and_call.
     unsafe { resume_context(ret) }
 }
 
 unsafe extern "C" fn publish_and_run_child(ctx: *mut Context, arg: *mut c_void) {
+    // SAFETY: arg is the Shared pointer migrating_thread passed in; the
+    // shared mapping outlives both processes' use of it.
     let shared = unsafe { &*(arg as *const Shared) };
     // Publish: frames = [ctx, top of region).
     let top = UNI_BASE + UNI_SIZE;
@@ -173,6 +183,9 @@ unsafe extern "C" fn publish_and_run_child(ctx: *mut Context, arg: *mut c_void) 
             while shared.done.load(Ordering::Acquire) == 0 {
                 std::hint::spin_loop();
             }
+            // SAFETY: _exit is async-signal-safe; it skips atexit
+            // handlers and destructors, which is exactly what a
+            // post-fork child that must not touch the allocator wants.
             unsafe { libc::_exit(0) }
         }
         s => unreachable!("bad entry state {s}"),
@@ -269,6 +282,8 @@ pub fn steal_between_processes() -> Result<IpcStealOutcome, String> {
         }
         // Reached only on the TAKEN_LOCAL (never-stolen) path, where the
         // thread finishes in-process and resumes our scheduler context.
+        // SAFETY: _exit is async-signal-safe and touches no allocator
+        // state — required in a post-fork child of a threaded process.
         unsafe { libc::_exit(0) }
     }
 
@@ -296,9 +311,11 @@ pub fn steal_between_processes() -> Result<IpcStealOutcome, String> {
     assert!(frame_base >= UNI_BASE && frame_base + frame_size <= UNI_BASE + UNI_SIZE);
 
     // Phase 3: one-sided stack transfer into the same virtual address.
-    // SAFETY: both iovecs cover mapped memory; the victim's code is not
-    // involved (the kernel performs the copy).
     let t_xfer = std::time::Instant::now();
+    // SAFETY: both iovecs cover mapped memory — [frame_base,
+    // frame_base+frame_size) is inside the uni region in both address
+    // spaces (asserted above) — and the victim's code is not involved
+    // (the kernel performs the copy).
     let copied = unsafe {
         let local = libc::iovec {
             iov_base: frame_base as *mut c_void,
@@ -314,6 +331,8 @@ pub fn steal_between_processes() -> Result<IpcStealOutcome, String> {
         let err = std::io::Error::last_os_error();
         // Let the victim exit, reap it, and report.
         shared.done.store(1, Ordering::Release);
+        // SAFETY: reaping our own child; a null status pointer is
+        // explicitly allowed by waitpid.
         unsafe { libc::waitpid(child, std::ptr::null_mut(), 0) };
         return Err(format!("process_vm_readv not permitted here: {err}"));
     }

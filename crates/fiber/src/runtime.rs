@@ -204,6 +204,8 @@ unsafe extern "C" fn child_main(arg: *mut c_void) -> ! {
                 wr.shared.deques[wr.id].push(prev);
             }
         }
+        // SAFETY: w points at this worker's thread-local Worker, alive
+        // for the whole worker loop.
         unsafe {
             let wr = &*w;
             wr.shared.live.fetch_sub(1, Ordering::AcqRel);
@@ -285,6 +287,8 @@ unsafe extern "C" fn join_tramp(ctx: *mut Context, arg: *mut c_void) {
             None => wr.sched_ctx,
         }
     };
+    // SAFETY: target is either a live context popped from our own deque
+    // or this worker's scheduler context, which is parked in its loop.
     unsafe { resume_context(target) }
 }
 
@@ -344,7 +348,7 @@ impl Runtime {
                 let stack_size = self.stack_size;
                 std::thread::Builder::new()
                     .name(format!("uat-worker-{id}"))
-                    .spawn(move || worker_loop(id, shared, stack_size))
+                    .spawn(move || worker_loop(id, &shared, stack_size))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -365,10 +369,10 @@ impl Runtime {
     }
 }
 
-fn worker_loop(id: usize, shared: Arc<Shared>, stack_size: usize) {
+fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
     let mut worker = Worker {
         id,
-        shared: Arc::clone(&shared),
+        shared: Arc::clone(shared),
         pool: StackPool::new(stack_size),
         rng: SplitMix64::new(0x5EED ^ id as u64),
         sched_ctx: std::ptr::null_mut(),

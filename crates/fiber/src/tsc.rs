@@ -5,6 +5,8 @@ use std::arch::x86_64::{__cpuid, __rdtscp, _rdtsc};
 /// Serialize, then read the timestamp counter (measurement start).
 #[inline]
 pub fn start() -> u64 {
+    // SAFETY: cpuid and rdtsc are unprivileged and have no memory
+    // operands; this crate only builds on x86_64.
     unsafe {
         // CPUID serializes the pipeline so earlier instructions cannot
         // leak into the measured region.
@@ -17,6 +19,8 @@ pub fn start() -> u64 {
 /// instruction waits for earlier instructions to retire.
 #[inline]
 pub fn stop() -> u64 {
+    // SAFETY: rdtscp writes only through the provided aux pointer, which
+    // points at a local; cpuid has no memory operands.
     unsafe {
         let mut aux = 0u32;
         let t = __rdtscp(&mut aux as *mut u32);
