@@ -76,6 +76,39 @@ fn time_case<W: Workload>(
     }
 }
 
+/// Critical-path profile of one pinned traced case (uts11 on the
+/// 60-worker machine), so the trajectory records *where* the makespan
+/// goes, not just how fast the simulator replays it. `Null` in
+/// hook-free (`--no-default-features`) builds.
+#[cfg(feature = "trace")]
+fn critical_path_entry() -> Json {
+    let (stats, trace) = Engine::new(SimConfig::fx10(4), Uts::geometric(11))
+        .with_tracing(1 << 20)
+        .run_traced();
+    let dag = match uat_trace::Dag::build(&trace) {
+        Ok(dag) => dag,
+        Err(e) => {
+            eprintln!("error: cannot profile the pinned case: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cp = uat_trace::critical_path(&dag);
+    assert_eq!(
+        cp.total, stats.makespan,
+        "critical path must tile the makespan"
+    );
+    Json::obj([
+        ("case", Json::str("uts11_60w")),
+        ("makespan", Json::UInt(stats.makespan.get())),
+        ("summary", cp.summary().to_json()),
+    ])
+}
+
+#[cfg(not(feature = "trace"))]
+fn critical_path_entry() -> Json {
+    Json::Null
+}
+
 /// Load an artifact, returning its entries (empty on first run).
 fn load_entries(path: &Path, schema: &str) -> Vec<Json> {
     let Ok(text) = std::fs::read_to_string(path) else {
@@ -253,6 +286,7 @@ fn main() {
             "cases",
             Json::Arr(cases.iter().map(CaseResult::to_json).collect()),
         ),
+        ("critical_path", critical_path_entry()),
     ]);
     let fig11_path = out_dir.join("BENCH_fig11.json");
     let fig11_entry = Json::obj([

@@ -156,6 +156,11 @@ pub struct Engine<W: Workload> {
     breakdown: StealBreakdown,
     page_faults: u64,
     trace: TraceCtl,
+    /// Tests only: after this many events, deliberately corrupt one
+    /// task-table record so the auditor trips (exercises the flight
+    /// recorder end to end). See [`Engine::seed_audit_violation`].
+    #[cfg(feature = "audit")]
+    sabotage_after: Option<u64>,
 }
 
 impl<W: Workload> Engine<W> {
@@ -204,6 +209,8 @@ impl<W: Workload> Engine<W> {
             breakdown: StealBreakdown::new(),
             page_faults: 0,
             trace: TraceCtl::new(topo.total_workers() as usize),
+            #[cfg(feature = "audit")]
+            sabotage_after: None,
         }
     }
 
@@ -216,6 +223,15 @@ impl<W: Workload> Engine<W> {
     /// Drive the event loop until the root completes; returns the
     /// makespan with tracing accounts finalized against it.
     fn run_loop(&mut self) -> Cycles {
+        // Flight recorder: under audit, make sure a bounded ring is
+        // recording so an invariant violation has a post-mortem to dump
+        // (runs that already installed a sink keep their capacity).
+        #[cfg(all(feature = "audit", feature = "trace"))]
+        if !self.trace.has_sink() {
+            let workers = self.cfg.topo.total_workers() as usize;
+            self.trace.install_sink(workers, Self::FLIGHT_RING_CAPACITY);
+            self.fabric.enable_trace(Self::FLIGHT_RING_CAPACITY);
+        }
         // Materialize and start the root on worker 0.
         let w0 = WorkerId(0);
         let root = self.spawn_task(w0, &self.workload.root(), None);
@@ -244,11 +260,33 @@ impl<W: Workload> Engine<W> {
                 );
             }
             self.fire(WorkerId(w), Cycles(t));
+            // Seeded corruption for flight-recorder tests: mislabel a
+            // running task's location so the next audit pass trips.
+            #[cfg(feature = "audit")]
+            if self.sabotage_after.is_some_and(|n| self.events >= n) {
+                if let Some(task) = self.workers.iter().find_map(|c| c.current) {
+                    self.sabotage_after = None;
+                    self.tasks.get_mut(task).at = TaskWhere::InFlight;
+                }
+            }
             // Under the audit feature, re-validate every global invariant
             // after every event (skipped once the root has completed:
-            // in-flight state is abandoned wherever it stands).
+            // in-flight state is abandoned wherever it stands). With
+            // tracing compiled in, a violation first dumps the flight
+            // recording, then resumes the panic.
             #[cfg(feature = "audit")]
             if self.finished_at.is_none() {
+                #[cfg(feature = "trace")]
+                {
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.audit_invariants()
+                    }));
+                    if let Err(payload) = caught {
+                        self.dump_flight_recording(Cycles(t), payload.as_ref());
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+                #[cfg(not(feature = "trace"))]
                 self.audit_invariants();
             }
         }
@@ -320,6 +358,11 @@ impl<W: Workload> Engine<W> {
     /// Interpret the current task's program from `pc`, accumulating
     /// zero-event costs, until exactly one timed operation is scheduled.
     fn advance_task(&mut self, w: WorkerId, task: TaskId64, t: Cycles) {
+        // Fire time of this event: zero-event costs accumulate into the
+        // local `t` below, but state changes (e.g. the join-counter
+        // decrement in `complete_task`) become visible to other workers
+        // from this instant on.
+        let now = t;
         let mut t = t;
         let cost = self.hot;
         loop {
@@ -328,7 +371,7 @@ impl<W: Workload> Engine<W> {
                 (rec.pc as usize, rec.program.len())
             };
             if pc >= len {
-                self.complete_task(w, task, t);
+                self.complete_task(w, task, t, now);
                 return;
             }
             // Clone the action out to keep borrows simple; actions are
@@ -376,6 +419,9 @@ impl<W: Workload> Engine<W> {
                         .deque()
                         .push(&mut self.fabric, entry)
                         .expect("deque push");
+                    // The parent's continuation is stealable from this
+                    // instant: the victim side of a potential steal edge.
+                    self.trace.deque_publish(w, task, t);
                     let faults_before = self.page_faults;
                     let child = self.spawn_task(w, &desc, Some(task));
                     self.trace.task_begin(w, child, t, Some(task));
@@ -426,7 +472,12 @@ impl<W: Workload> Engine<W> {
     }
 
     /// The running task's program ended (thread exit).
-    fn complete_task(&mut self, w: WorkerId, task: TaskId64, t: Cycles) {
+    /// `t` is the task's nominal end (fire time plus zero-event costs
+    /// accumulated by `advance_task`); `noticed` is the fire time, from
+    /// which the parent's decremented join counter is already observable
+    /// by other workers — causality instants must carry that stamp, or a
+    /// polling joiner could record its resume *before* the ready.
+    fn complete_task(&mut self, w: WorkerId, task: TaskId64, t: Cycles, noticed: Cycles) {
         self.trace.task_end(w, task, t);
         let mut rec = self.tasks.free(task);
         debug_assert!(
@@ -443,7 +494,18 @@ impl<W: Workload> Engine<W> {
             // Completion notification: the done-flag write is a posted
             // one-sided RDMA WRITE when the parent is remote; it does not
             // block the child, so the decrement is applied immediately.
-            self.tasks.get_mut(parent).outstanding -= 1;
+            let outstanding = {
+                let p = self.tasks.get_mut(parent);
+                p.outstanding -= 1;
+                p.outstanding
+            };
+            if outstanding == 0 {
+                // This completion made the parent's join ready — the
+                // child side of a potential join edge. Stamped at the
+                // fire time (`noticed`), not the nominal task end: the
+                // decrement above is observable from this event on.
+                self.trace.join_ready(w, parent, task, noticed);
+            }
         } else {
             // The root finished: the program is done.
             self.finished_at = Some(t);
@@ -536,6 +598,7 @@ impl<W: Workload> Engine<W> {
                 ctl.current = Some(task);
                 ctl.fails = 0;
                 self.trace.task_resume(w, task, t);
+                self.trace.join_resume(w, task, t);
                 self.set(w, Pending::TaskStep(task), t, Bucket::SuspendResume);
                 return;
             }
@@ -647,6 +710,11 @@ impl<W: Workload> Engine<W> {
             ctl.current = Some(info.task);
             ctl.fails = 0;
             self.trace.task_resume(w, info.task, t + parked);
+            if self.tasks.get(info.task).outstanding == 0 {
+                // The waiter's join is satisfied: it resumes past the
+                // JoinAll rather than re-parking — close the join edge.
+                self.trace.join_resume(w, info.task, t + parked);
+            }
             // The resumed thread re-runs its JoinAll check; if its child
             // is still outstanding it becomes the blocked thread here
             // (polling, as the paper's join loop does).
@@ -883,6 +951,9 @@ impl<W: Workload> Engine<W> {
         ctl.fails = 0;
         ctl.tasks_run += 1;
         self.trace.task_resume(w, entry.task, t);
+        // Thief side of the steal edge: pairs with the victim's
+        // deque-publish by sequence number.
+        self.trace.steal_commit(w, entry.task, t);
         self.set(
             w,
             Pending::TaskStep(entry.task),
@@ -940,12 +1011,46 @@ impl<W: Workload> Engine<W> {
             per_worker,
             steal_latency,
             task_run_length,
+            critical_path: None,
         }
     }
 }
 
+/// Where the flight recorder writes the post-mortem for a violation
+/// caught on a thread named `name` (tests run on a thread named after
+/// the test): `<target>/flight/<sanitized name>.trace.json`.
+#[cfg(all(feature = "audit", feature = "trace"))]
+pub fn flight_path(name: &str) -> std::path::PathBuf {
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target"));
+    let sanitized: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    target
+        .join("flight")
+        .join(format!("{sanitized}.trace.json"))
+}
+
 #[cfg(feature = "audit")]
 impl<W: Workload> Engine<W> {
+    /// Arrange for a deliberate invariant violation once `after_events`
+    /// events have fired: the first running task found after that point
+    /// gets its task-table location mislabelled as `InFlight`, which the
+    /// next audit pass reports as a location mismatch. This exists so
+    /// tests (and curious users) can watch the flight recorder produce a
+    /// post-mortem without waiting for a real scheduler bug.
+    pub fn seed_audit_violation(&mut self, after_events: u64) {
+        self.sabotage_after = Some(after_events);
+    }
+
     /// Re-validate the global invariants after one event (see the
     /// `audit` feature's description in Cargo.toml and DESIGN.md §7).
     ///
@@ -1079,6 +1184,48 @@ impl<W: Workload> Engine<W> {
             found.len(),
             self.tasks.live()
         );
+    }
+}
+
+#[cfg(all(feature = "audit", feature = "trace"))]
+impl<W: Workload> Engine<W> {
+    /// Per-worker ring capacity of the always-on flight recorder in
+    /// audit builds: big enough to reconstruct the last few protocol
+    /// rounds before a violation, small enough to cost nothing.
+    pub const FLIGHT_RING_CAPACITY: usize = 4096;
+
+    /// Write the flight recording for a violation that just unwound out
+    /// of the auditor: the last events of every worker ring plus the
+    /// fabric trace, as a Chrome trace with the violation message in
+    /// `otherData`. Best-effort — a failed write must not mask the
+    /// violation itself (the caller re-raises the panic either way).
+    fn dump_flight_recording(&mut self, now: Cycles, payload: &(dyn std::any::Any + Send)) {
+        let violation =
+            uat_core::audit::panic_message(payload).unwrap_or("non-string panic payload");
+        let data = uat_trace::TraceData {
+            clock_hz: self.cfg.cost.clock_hz,
+            workers: self.trace.take_rings(),
+            fabric: self.fabric.take_trace(),
+            makespan: now,
+        };
+        let text = uat_trace::flight_trace_json(&data, violation);
+        let name = std::thread::current()
+            .name()
+            .map(str::to_owned)
+            .unwrap_or_else(|| "run".into());
+        let path = flight_path(&name);
+        let written = path
+            .parent()
+            .map(std::fs::create_dir_all)
+            .unwrap_or(Ok(()))
+            .and_then(|()| std::fs::write(&path, text));
+        match written {
+            Ok(()) => eprintln!("audit: flight recording written to {}", path.display()),
+            Err(e) => eprintln!(
+                "audit: could not write flight recording to {}: {e}",
+                path.display()
+            ),
+        }
     }
 }
 
@@ -1262,6 +1409,42 @@ mod tests {
             let s = run(4, SchemeKind::Iso, 8, 500, 23);
             assert!(s.steals_completed > 0);
         }
+
+        /// Seed a deliberate task-table corruption mid-run and check the
+        /// flight recorder leaves a Perfetto-openable trace carrying the
+        /// violation message before the panic propagates.
+        #[cfg(feature = "trace")]
+        #[test]
+        fn seeded_violation_dumps_flight_recording() {
+            let mut cfg = SimConfig::tiny(4)
+                .with_scheme(SchemeKind::Uni)
+                .with_seed(24);
+            cfg.core.verify_stack_bytes = true;
+            cfg.max_events = 50_000_000;
+            let mut e = Engine::new(cfg, tree(10, 500));
+            e.seed_audit_violation(200);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| e.run()));
+            let payload = outcome.expect_err("sabotaged run must trip the auditor");
+            let msg = uat_core::audit::panic_message(payload.as_ref())
+                .expect("audit panics carry a string message");
+            assert!(msg.contains("audit"), "unexpected violation text: {msg}");
+
+            let path = flight_path(std::thread::current().name().unwrap_or("run"));
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("flight trace {} unreadable: {e}", path.display()));
+            let doc = uat_base::json::Json::parse(&text).expect("flight trace must be valid JSON");
+            let violation = doc
+                .field("otherData")
+                .and_then(|o| o.field("audit_violation"))
+                .and_then(|v| v.as_str())
+                .expect("flight trace must carry the violation");
+            assert!(violation.contains("audit"));
+            assert!(
+                doc.field("traceEvents").is_ok(),
+                "flight trace must carry events"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
     }
 
     /// Cross-checks between the tracing layer and the engine's own
@@ -1368,6 +1551,48 @@ mod tests {
             assert_eq!(a.makespan, b.makespan);
             assert_eq!(a.events, b.events);
             assert_eq!(a.steals_completed, b.steals_completed);
+        }
+
+        #[test]
+        fn happens_before_dag_of_a_real_run_checks_out() {
+            let (s, trace) = engine(4, 10, 2_000, 12).with_tracing(1 << 20).run_traced();
+            assert!(s.steals_completed > 0, "need steals for the edge checks");
+            let dag = uat_trace::Dag::build(&trace).expect("traced run must yield a DAG");
+            dag.check_acyclic().unwrap();
+            // Every completed steal contributes exactly one steal edge;
+            // joins that parked a parent contribute join edges.
+            assert_eq!(
+                dag.edge_count(uat_trace::profile::EdgeKind::Steal) as u64,
+                s.steals_completed
+            );
+            assert!(dag.edge_count(uat_trace::profile::EdgeKind::Join) > 0);
+            let cp = uat_trace::critical_path(&dag);
+            // The tentpole invariant: the path tiles [0, makespan], so
+            // its total and its bucket attribution equal the makespan
+            // exactly — no residue, no double counting.
+            assert_eq!(cp.total, s.makespan);
+            assert_eq!(cp.account.total(), s.makespan);
+            assert!(
+                cp.steal_edges + cp.join_edges > 0,
+                "4 workers must interact"
+            );
+            // A do-nothing what-if reproduces the schedule exactly.
+            for class in uat_trace::CostClass::ALL {
+                assert_eq!(uat_trace::profile::predict(&dag, class, 1.0), s.makespan);
+            }
+        }
+
+        #[test]
+        fn dag_refuses_a_truncated_ring() {
+            let (_, trace) = engine(4, 10, 1_000, 16).with_tracing(64).run_traced();
+            assert!(trace.dropped() > 0, "tiny ring must overflow");
+            match uat_trace::Dag::build(&trace) {
+                Err(uat_trace::ProfileError::DroppedEvents { .. }) => {}
+                other => panic!(
+                    "expected DroppedEvents refusal, got {:?}",
+                    other.map(|_| ())
+                ),
+            }
         }
     }
 }

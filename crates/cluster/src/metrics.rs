@@ -5,7 +5,7 @@ use uat_base::json::{FromJson, Json, JsonError, ToJson};
 use uat_base::{Cycles, HistSummary};
 use uat_core::{SchemeKind, StealBreakdown};
 use uat_rdma::FabricStats;
-use uat_trace::{Bucket, TimeAccount};
+use uat_trace::{Bucket, CriticalPathSummary, TimeAccount};
 
 /// One worker's slice of a run, from the tracing layer. Populated only
 /// when the `trace` feature is enabled (the default); otherwise
@@ -20,6 +20,11 @@ pub struct WorkerSummary {
     pub steal_attempts: u64,
     /// Steal attempts that completed with a stolen thread resumed.
     pub steals_completed: u64,
+    /// Events evicted from this worker's trace ring because it filled
+    /// up (0 when no event sink was installed). A nonzero count means
+    /// the exported trace is truncated — and the causal profiler will
+    /// refuse to build a DAG from it.
+    pub dropped: u64,
     /// Every simulated cycle of this worker, charged by bucket; totals
     /// the run's makespan exactly.
     pub account: TimeAccount,
@@ -36,6 +41,7 @@ impl ToJson for WorkerSummary {
             ("tasks_run", Json::UInt(self.tasks_run)),
             ("steal_attempts", Json::UInt(self.steal_attempts)),
             ("steals_completed", Json::UInt(self.steals_completed)),
+            ("dropped", Json::UInt(self.dropped)),
             ("account", self.account.to_json()),
             ("steal_latency", self.steal_latency.to_json()),
             ("run_length", self.run_length.to_json()),
@@ -50,6 +56,7 @@ impl FromJson for WorkerSummary {
             tasks_run: v.field("tasks_run")?.as_u64()?,
             steal_attempts: v.field("steal_attempts")?.as_u64()?,
             steals_completed: v.field("steals_completed")?.as_u64()?,
+            dropped: v.field("dropped")?.as_u64()?,
             account: TimeAccount::from_json(v.field("account")?)?,
             steal_latency: HistSummary::from_json(v.field("steal_latency")?)?,
             run_length: HistSummary::from_json(v.field("run_length")?)?,
@@ -106,6 +113,11 @@ pub struct RunStats {
     pub steal_latency: HistSummary,
     /// Machine-wide task run-length digest.
     pub task_run_length: HistSummary,
+    /// Critical-path digest from the causal profiler (`None` unless the
+    /// run was profiled — the engine itself never fills this in; the
+    /// `uat_profile` / bench tooling does, after building the
+    /// happens-before DAG from the run's trace).
+    pub critical_path: Option<CriticalPathSummary>,
 }
 
 impl RunStats {
@@ -172,10 +184,17 @@ impl RunStats {
         idle as f64 / total as f64
     }
 
+    /// Total events evicted from full trace rings across workers (0 when
+    /// no event sink was installed): a nonzero value flags a truncated
+    /// trace.
+    pub fn dropped_events(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.dropped).sum()
+    }
+
     /// One-line summary for harness output.
     pub fn summary_line(&self) -> String {
         format!(
-            "{:<24} {:?} w={:<5} tasks={:<12} time={:>10.4}s thr={:>12.0}/s steals={:<8} ok={:>5.1}% idle={:>5.1}% stack={}B",
+            "{:<24} {:?} w={:<5} tasks={:<12} time={:>10.4}s thr={:>12.0}/s steals={:<8} ok={:>5.1}% idle={:>5.1}% stack={}B drop={}",
             self.workload,
             self.scheme,
             self.workers,
@@ -186,13 +205,14 @@ impl RunStats {
             100.0 * self.steal_success_rate(),
             100.0 * self.idle_fraction(),
             self.peak_stack_usage,
+            self.dropped_events(),
         )
     }
 }
 
 impl ToJson for RunStats {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut doc = Json::obj([
             ("workload", Json::str(&self.workload)),
             ("scheme", self.scheme.to_json()),
             ("workers", Json::UInt(self.workers as u64)),
@@ -218,7 +238,13 @@ impl ToJson for RunStats {
             ("per_worker", self.per_worker.to_json()),
             ("steal_latency", self.steal_latency.to_json()),
             ("task_run_length", self.task_run_length.to_json()),
-        ])
+        ]);
+        // Omitted entirely for unprofiled runs, so pre-profiler
+        // artifacts and fresh ones share a schema.
+        if let (Json::Obj(members), Some(cp)) = (&mut doc, &self.critical_path) {
+            members.push(("critical_path".into(), cp.to_json()));
+        }
+        doc
     }
 }
 
@@ -247,6 +273,10 @@ impl FromJson for RunStats {
             per_worker: Vec::from_json(v.field("per_worker")?)?,
             steal_latency: HistSummary::from_json(v.field("steal_latency")?)?,
             task_run_length: HistSummary::from_json(v.field("task_run_length")?)?,
+            critical_path: v
+                .get("critical_path")
+                .map(CriticalPathSummary::from_json)
+                .transpose()?,
         })
     }
 }
@@ -279,6 +309,7 @@ mod tests {
             per_worker: Vec::new(),
             steal_latency: HistSummary::default(),
             task_run_length: HistSummary::default(),
+            critical_path: None,
         }
     }
 
@@ -322,6 +353,7 @@ mod tests {
             tasks_run: 3,
             steal_attempts: 5,
             steals_completed: 2,
+            dropped: 0,
             account,
             steal_latency: HistSummary {
                 count: 5,
@@ -352,6 +384,8 @@ mod tests {
 
     /// Pins the exact `summary_line` layout: harness output is parsed by
     /// eye and by scripts, so a format change must be deliberate.
+    /// (Deliberately re-pinned when the trailing `drop=` field was added
+    /// to surface ring truncation.)
     #[test]
     fn summary_line_format_is_pinned() {
         let mut s = stats(4, 1_000_000, 1_000_000_000);
@@ -360,8 +394,11 @@ mod tests {
         assert_eq!(
             s.summary_line(),
             "t                        Uni w=4     tasks=1000000      time=    1.0000s \
-             thr=     1000000/s steals=5        ok= 50.0% idle=  0.0% stack=0B"
+             thr=     1000000/s steals=5        ok= 50.0% idle=  0.0% stack=0B drop=0"
         );
+        s.per_worker = vec![worker_summary(0, 1, 1)];
+        s.per_worker[0].dropped = 17;
+        assert!(s.summary_line().ends_with("drop=17"));
     }
 
     #[test]
@@ -397,6 +434,24 @@ mod tests {
         assert_eq!(back.steal_latency, s.steal_latency);
         assert_eq!(back.task_run_length, s.task_run_length);
         // Byte-exact re-serialization: the schema has no lossy fields.
+        assert_eq!(back.to_json().to_string(), text);
+        assert!(back.critical_path.is_none());
+
+        // A profiled run carries its critical-path digest through JSON.
+        let mut account = TimeAccount::new();
+        account.charge(Bucket::Work, Cycles(400_000));
+        account.charge(Bucket::StealTransfer, Cycles(100_000));
+        s.critical_path = Some(CriticalPathSummary {
+            total: Cycles(500_000),
+            end_worker: 1,
+            segments: 9,
+            steal_edges: 4,
+            join_edges: 4,
+            account,
+        });
+        let text = s.to_json().to_string();
+        let back = RunStats::from_json(&uat_base::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.critical_path, s.critical_path);
         assert_eq!(back.to_json().to_string(), text);
     }
 }

@@ -42,6 +42,17 @@ pub(crate) struct TraceCtl {
     attempts: Vec<u64>,
     completed: Vec<u64>,
     born: std::collections::HashMap<TaskId64, Cycles>,
+    /// Next deque-publication sequence number (unique per run).
+    pub_next: u64,
+    /// Publication seq of each task currently sitting in a deque,
+    /// consumed by the thief-side `steal_commit`.
+    pub_seq: std::collections::HashMap<TaskId64, u64>,
+    /// For each joining parent, the child whose completion last dropped
+    /// its outstanding count to zero; consumed by `join_resume`.
+    join_enabler: std::collections::HashMap<TaskId64, TaskId64>,
+    /// Per-worker dropped-event counts snapshotted when the rings are
+    /// taken (`collect_summaries` runs after `take_rings`).
+    dropped: Vec<u64>,
 }
 
 #[cfg(feature = "trace")]
@@ -58,6 +69,10 @@ impl TraceCtl {
             attempts: vec![0; workers],
             completed: vec![0; workers],
             born: std::collections::HashMap::new(),
+            pub_next: 0,
+            pub_seq: std::collections::HashMap::new(),
+            join_enabler: std::collections::HashMap::new(),
+            dropped: vec![0; workers],
         }
     }
 
@@ -70,10 +85,26 @@ impl TraceCtl {
     }
 
     pub fn take_rings(&mut self) -> Vec<RingBuffer> {
-        self.sink
+        let rings = self
+            .sink
             .take()
             .map(RingSink::into_rings)
-            .unwrap_or_default()
+            .unwrap_or_default();
+        for (i, ring) in rings.iter().enumerate() {
+            if let Some(slot) = self.dropped.get_mut(i) {
+                *slot = ring.dropped();
+            }
+        }
+        rings
+    }
+
+    /// Events evicted from worker `i`'s ring: live from the sink while
+    /// it is installed, from the `take_rings` snapshot afterwards.
+    fn dropped_for(&self, i: usize) -> u64 {
+        match &self.sink {
+            Some(sink) => sink.rings().get(i).map_or(0, RingBuffer::dropped),
+            None => self.dropped.get(i).copied().unwrap_or(0),
+        }
     }
 
     fn emit(&mut self, ev: TraceEvent) {
@@ -183,6 +214,73 @@ impl TraceCtl {
         self.emit(TraceEvent::instant(t, w, EventKind::Resume { task }));
     }
 
+    /// A continuation entry for `task` was pushed into `w`'s own deque —
+    /// the victim side of a potential steal edge. Assigns the
+    /// publication its sequence number.
+    pub fn deque_publish(&mut self, w: WorkerId, task: TaskId64, t: Cycles) {
+        // Causality bookkeeping is only consumed through the ring events;
+        // skip the map traffic entirely when no rings are installed.
+        if self.sink.is_none() {
+            return;
+        }
+        self.pub_next += 1;
+        let seq = self.pub_next;
+        self.pub_seq.insert(task, seq);
+        self.emit(TraceEvent::instant(
+            t,
+            w,
+            EventKind::DequePublish { task, seq },
+        ));
+    }
+
+    /// A stolen continuation resumed on thief `w`; pairs with the
+    /// publication recorded by [`TraceCtl::deque_publish`]. (A task can
+    /// only be in one deque at a time, so the latest publication is the
+    /// one the thief took.)
+    pub fn steal_commit(&mut self, w: WorkerId, task: TaskId64, t: Cycles) {
+        if self.sink.is_none() {
+            return;
+        }
+        if let Some(seq) = self.pub_seq.remove(&task) {
+            self.emit(TraceEvent::instant(
+                t,
+                w,
+                EventKind::StealCommit { task, seq },
+            ));
+        }
+    }
+
+    /// The completion of `child` on `w` dropped `parent`'s outstanding
+    /// count to zero.
+    pub fn join_ready(&mut self, w: WorkerId, parent: TaskId64, child: TaskId64, t: Cycles) {
+        if self.sink.is_none() {
+            return;
+        }
+        self.join_enabler.insert(parent, child);
+        self.emit(TraceEvent::instant(
+            t,
+            w,
+            EventKind::JoinReady { parent, child },
+        ));
+    }
+
+    /// `parent` resumed past a join whose readiness was recorded by
+    /// [`TraceCtl::join_ready`]. No-op if the parent never blocked on a
+    /// recorded enabler (e.g. its children finished before it joined and
+    /// the readiness was consumed by an earlier round).
+    pub fn join_resume(&mut self, w: WorkerId, parent: TaskId64, t: Cycles) {
+        if self.sink.is_none() {
+            return;
+        }
+        if let Some(child) = self.join_enabler.remove(&parent) {
+            self.emit(TraceEvent::instant(
+                t,
+                w,
+                EventKind::JoinResume { parent, child },
+            ));
+        }
+    }
+
     pub fn steal_attempt(&mut self, w: WorkerId) {
         self.attempts[w.index()] += 1;
     }
@@ -245,6 +343,7 @@ impl TraceCtl {
                     tasks_run: tasks_run.get(i).copied().unwrap_or(0),
                     steal_attempts: self.attempts[i],
                     steals_completed: self.completed[i],
+                    dropped: self.dropped_for(i),
                     account: self.accounts[i].clone(),
                     steal_latency: self.steal_latency[i].summary(),
                     run_length: self.run_length[i].summary(),
@@ -299,6 +398,18 @@ impl TraceCtl {
 
     #[inline(always)]
     pub fn task_resume(&mut self, _w: WorkerId, _task: TaskId64, _t: Cycles) {}
+
+    #[inline(always)]
+    pub fn deque_publish(&mut self, _w: WorkerId, _task: TaskId64, _t: Cycles) {}
+
+    #[inline(always)]
+    pub fn steal_commit(&mut self, _w: WorkerId, _task: TaskId64, _t: Cycles) {}
+
+    #[inline(always)]
+    pub fn join_ready(&mut self, _w: WorkerId, _parent: TaskId64, _child: TaskId64, _t: Cycles) {}
+
+    #[inline(always)]
+    pub fn join_resume(&mut self, _w: WorkerId, _parent: TaskId64, _t: Cycles) {}
 
     #[inline(always)]
     pub fn steal_attempt(&mut self, _w: WorkerId) {}

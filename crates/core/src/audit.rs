@@ -13,6 +13,21 @@
 //!
 //! See DESIGN.md §7 for the invariant catalogue this implements.
 
+/// Best-effort extraction of the human-readable message from a caught
+/// audit panic payload.
+///
+/// Every audit check in this crate and in the engine raises violations
+/// via `assert!`-family macros, whose payloads are `String` (formatted)
+/// or `&'static str` (literal). The engine's flight recorder catches
+/// the unwind, calls this to recover the violation text for the trace
+/// file's metadata, and re-raises.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> Option<&str> {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&'static str>().copied())
+}
+
 /// Facts one worker's structures report to the engine-level auditor,
 /// produced after the worker's own internal hard-checks pass.
 #[derive(Clone, Debug)]

@@ -489,7 +489,7 @@ impl Fabric {
                         arrival,
                         wait,
                         _initiator,
-                        EventKind::FaaQueueWait { wait },
+                        EventKind::FaaQueueWait { wait, server: node },
                     ));
                 }
             }
@@ -721,12 +721,17 @@ mod tests {
         let waits: Vec<_> = events
             .iter()
             .filter_map(|e| match e.kind {
-                EventKind::FaaQueueWait { wait } => Some(wait.get()),
+                EventKind::FaaQueueWait { wait, server } => Some((wait.get(), server)),
                 _ => None,
             })
             .collect();
-        assert_eq!(waits.iter().sum::<u64>(), f.stats().faa_queue_cycles);
+        assert_eq!(
+            waits.iter().map(|(w, _)| w).sum::<u64>(),
+            f.stats().faa_queue_cycles
+        );
         assert_eq!(waits.len(), 1);
+        // The wait queued at W2's node's comm server.
+        assert_eq!(waits[0].1, f.topology().node_of(W2));
         // Tracing is one-shot: taking it disables further recording.
         f.read(Cycles(0), W0, W2, 0x1000, &mut buf).unwrap();
         assert!(f.take_trace().is_empty());

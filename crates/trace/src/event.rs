@@ -97,11 +97,50 @@ pub enum EventKind {
         /// How the attempt ended.
         outcome: StealOutcome,
     },
+    /// A continuation entry was pushed into this worker's own deque,
+    /// where a thief may take it. `seq` uniquely identifies this
+    /// publication; a later [`EventKind::StealCommit`] carrying the same
+    /// `seq` marks the thief-side resume, and the pair induces the
+    /// profiler's steal edge (and a Perfetto flow arrow).
+    DequePublish {
+        /// Packed id of the published (parent) task.
+        task: u64,
+        /// Publication sequence number, unique within a run.
+        seq: u64,
+    },
+    /// A stolen continuation resumed on this (thief) worker. `seq` names
+    /// the [`EventKind::DequePublish`] that made it stealable.
+    StealCommit {
+        /// Packed id of the stolen task.
+        task: u64,
+        /// Sequence number of the matching publication.
+        seq: u64,
+    },
+    /// The completion of `child` on this worker dropped `parent`'s
+    /// outstanding-children count to zero: the parent's join is now
+    /// ready. The matching [`EventKind::JoinResume`] on the parent's
+    /// worker closes the profiler's join edge.
+    JoinReady {
+        /// Packed id of the joining (parent) task.
+        parent: u64,
+        /// Packed id of the child whose completion enabled the join.
+        child: u64,
+    },
+    /// `parent` resumed past its join; `child` is the completion that
+    /// enabled it (recorded by the matching [`EventKind::JoinReady`]).
+    JoinResume {
+        /// Packed id of the resuming (parent) task.
+        parent: u64,
+        /// Packed id of the enabling child.
+        child: u64,
+    },
     /// Time an FAA request spent queued behind others at the victim
     /// node's software comm server.
     FaaQueueWait {
         /// Queueing delay excluded from the wire time.
         wait: Cycles,
+        /// Node whose comm server the request queued at.
+        server: NodeId,
     },
     /// An idle scheduler poll (nothing local, no steal issued).
     IdlePoll,
@@ -128,6 +167,10 @@ impl EventKind {
             EventKind::Slice { bucket } => bucket.name(),
             EventKind::StealPhase { phase, .. } => phase.name(),
             EventKind::StealResult { .. } => "steal-result",
+            EventKind::DequePublish { .. } => "deque-publish",
+            EventKind::StealCommit { .. } => "steal-commit",
+            EventKind::JoinReady { .. } => "join-ready",
+            EventKind::JoinResume { .. } => "join-resume",
             EventKind::FaaQueueWait { .. } => "faa-queue-wait",
             EventKind::IdlePoll => "idle-poll",
             EventKind::RdmaOp { op, .. } => op.name(),
@@ -144,6 +187,8 @@ impl EventKind {
             | EventKind::Resume { .. } => "task",
             EventKind::Slice { .. } => "timeline",
             EventKind::StealPhase { .. } => "steal",
+            EventKind::DequePublish { .. } | EventKind::StealCommit { .. } => "steal-flow",
+            EventKind::JoinReady { .. } | EventKind::JoinResume { .. } => "join-flow",
             EventKind::StealResult { .. } => "steal-result",
             EventKind::FaaQueueWait { .. } | EventKind::RdmaOp { .. } => "rdma",
             EventKind::IdlePoll => "sched",

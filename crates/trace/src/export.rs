@@ -108,8 +108,17 @@ fn event_args(ev: &TraceEvent) -> Vec<(String, Json)> {
             args.push(("victim".into(), Json::UInt(victim.0 as u64)));
             args.push(("outcome".into(), Json::str(outcome.name())));
         }
-        EventKind::FaaQueueWait { wait } => {
+        EventKind::DequePublish { task, seq } | EventKind::StealCommit { task, seq } => {
+            args.push(("task".into(), Json::UInt(task)));
+            args.push(("seq".into(), Json::UInt(seq)));
+        }
+        EventKind::JoinReady { parent, child } | EventKind::JoinResume { parent, child } => {
+            args.push(("parent".into(), Json::UInt(parent)));
+            args.push(("child".into(), Json::UInt(child)));
+        }
+        EventKind::FaaQueueWait { wait, server } => {
             args.push(("wait_cycles".into(), Json::UInt(wait.get())));
+            args.push(("server_node".into(), Json::UInt(server.0 as u64)));
         }
         EventKind::RdmaOp { target, bytes, .. } => {
             args.push(("target_node".into(), Json::UInt(target.0 as u64)));
@@ -139,6 +148,54 @@ fn chrome_event(ev: &TraceEvent, clock_hz: f64) -> Json {
     Json::Obj(fields)
 }
 
+/// One endpoint of a Perfetto flow arrow (`ph` is `"s"` at the start,
+/// `"f"` at the finish; the shared `id` links the pair).
+fn flow_event(ph: &str, seq: u64, worker: u64, at: Cycles, clock_hz: f64) -> Json {
+    let mut fields = vec![
+        ("name".into(), Json::str("steal")),
+        ("cat".into(), Json::str("steal-flow")),
+        ("ph".into(), Json::str(ph)),
+        ("id".into(), Json::UInt(seq)),
+        ("pid".into(), Json::UInt(0)),
+        ("tid".into(), Json::UInt(worker)),
+        ("ts".into(), micros(at, clock_hz)),
+    ];
+    if ph == "f" {
+        // Bind to the enclosing slice at the arrowhead, per the trace
+        // event format spec.
+        fields.push(("bp".into(), Json::str("e")));
+    }
+    Json::Obj(fields)
+}
+
+/// Flow-arrow pairs for every completed steal: an `"s"` event on the
+/// victim's track at the deque publish and an `"f"` event on the
+/// thief's track at the resume of the stolen thread. Perfetto renders
+/// these as arrows, making each steal's provenance visible.
+fn steal_flows(data: &TraceData, out: &mut Vec<Json>) {
+    let mut publishes: std::collections::HashMap<u64, (u64, Cycles)> =
+        std::collections::HashMap::new();
+    for ev in data.events() {
+        if let EventKind::DequePublish { seq, .. } = ev.kind {
+            publishes.insert(seq, (ev.worker.0 as u64, ev.at));
+        }
+    }
+    for ev in data.events() {
+        if let EventKind::StealCommit { seq, .. } = ev.kind {
+            if let Some(&(victim, at)) = publishes.get(&seq) {
+                out.push(flow_event("s", seq, victim, at, data.clock_hz));
+                out.push(flow_event(
+                    "f",
+                    seq,
+                    ev.worker.0 as u64,
+                    ev.at,
+                    data.clock_hz,
+                ));
+            }
+        }
+    }
+}
+
 fn metadata(name: &str, tid: u64, value: &str) -> Json {
     Json::obj([
         ("name", Json::str(name)),
@@ -164,6 +221,7 @@ pub fn chrome_trace(data: &TraceData) -> Json {
     for ev in data.events() {
         events.push(chrome_event(ev, data.clock_hz));
     }
+    steal_flows(data, &mut events);
     Json::obj([
         ("traceEvents", Json::Arr(events)),
         (
@@ -180,6 +238,19 @@ pub fn chrome_trace(data: &TraceData) -> Json {
 /// Serialize a traced run as a Chrome trace-event JSON string.
 pub fn chrome_trace_json(data: &TraceData) -> String {
     chrome_trace(data).to_string()
+}
+
+/// Chrome trace for an audit flight recording: the regular export with
+/// the violation message added to `otherData` (Perfetto surfaces it in
+/// the trace-info dialog), so the post-mortem file is self-describing.
+pub fn flight_trace_json(data: &TraceData, violation: &str) -> String {
+    let mut doc = chrome_trace(data);
+    if let Json::Obj(members) = &mut doc {
+        if let Some((_, Json::Obj(other))) = members.iter_mut().find(|(k, _)| k == "otherData") {
+            other.push(("audit_violation".into(), Json::str(violation)));
+        }
+    }
+    doc.to_string()
 }
 
 /// Render values as JSON Lines (one compact document per line).
@@ -300,6 +371,74 @@ mod tests {
             .unwrap();
         assert_eq!(totals[lock_idx], 300);
         assert_eq!(totals.iter().sum::<u64>(), 300);
+    }
+
+    #[test]
+    fn completed_steals_get_flow_arrow_pairs() {
+        let mut data = sample_data();
+        let mut sink = RingSink::new(2, 64);
+        for ring in data.workers.drain(..) {
+            drop(ring);
+        }
+        sink.record(TraceEvent::instant(
+            Cycles(400),
+            WorkerId(0),
+            EventKind::DequePublish { task: 9, seq: 3 },
+        ));
+        sink.record(TraceEvent::instant(
+            Cycles(900),
+            WorkerId(1),
+            EventKind::StealCommit { task: 9, seq: 3 },
+        ));
+        // An unmatched publication produces no dangling arrow.
+        sink.record(TraceEvent::instant(
+            Cycles(950),
+            WorkerId(0),
+            EventKind::DequePublish { task: 11, seq: 4 },
+        ));
+        data.workers = sink.into_rings();
+        let doc = chrome_trace(&data);
+        let events = doc.field("traceEvents").unwrap().as_arr().unwrap();
+        let flows: Vec<&Json> = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.get("ph").and_then(|p| p.as_str().ok()),
+                    Some("s") | Some("f")
+                )
+            })
+            .collect();
+        assert_eq!(flows.len(), 2);
+        let start = flows
+            .iter()
+            .find(|e| e.field("ph").unwrap().as_str().unwrap() == "s")
+            .unwrap();
+        let finish = flows
+            .iter()
+            .find(|e| e.field("ph").unwrap().as_str().unwrap() == "f")
+            .unwrap();
+        assert_eq!(start.field("id").unwrap().as_u64().unwrap(), 3);
+        assert_eq!(finish.field("id").unwrap().as_u64().unwrap(), 3);
+        assert_eq!(start.field("tid").unwrap().as_u64().unwrap(), 0);
+        assert_eq!(finish.field("tid").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(finish.field("bp").unwrap().as_str().unwrap(), "e");
+    }
+
+    #[test]
+    fn flight_export_carries_the_violation() {
+        let data = sample_data();
+        let doc = Json::parse(&flight_trace_json(&data, "audit: boom")).unwrap();
+        assert_eq!(
+            doc.field("otherData")
+                .unwrap()
+                .field("audit_violation")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "audit: boom"
+        );
+        // Still a regular Chrome trace underneath.
+        assert!(doc.field("traceEvents").unwrap().as_arr().unwrap().len() > 1);
     }
 
     #[test]

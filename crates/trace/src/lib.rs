@@ -17,7 +17,14 @@
 //!   worker's buckets sum to the run's makespan.
 //! - **Export** ([`export`]): Chrome trace-event JSON — open the file
 //!   in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`, one
-//!   track per worker — and JSONL for machine-readable run summaries.
+//!   track per worker with flow arrows linking each deque publish to
+//!   the thief that took it — and JSONL for machine-readable run
+//!   summaries.
+//! - **Profile** ([`profile`]): the causal layer — reconstructs the
+//!   happens-before [`Dag`](profile::Dag) of a run, extracts the
+//!   critical path (with bucket attribution that sums to the makespan
+//!   exactly), and answers what-if questions by replaying the DAG with
+//!   one cost class scaled.
 //!
 //! This crate depends only on `uat-base`; the RDMA fabric, engine, and
 //! experiment binaries layer their instrumentation on top of it.
@@ -28,11 +35,13 @@
 pub mod account;
 pub mod event;
 pub mod export;
+pub mod profile;
 pub mod ring;
 pub mod sink;
 
 pub use account::{Bucket, TimeAccount};
 pub use event::{EventKind, RdmaOpKind, StealOutcome, StealPhaseId, TraceEvent};
-pub use export::{chrome_trace, chrome_trace_json, jsonl, TraceData};
+pub use export::{chrome_trace, chrome_trace_json, flight_trace_json, jsonl, TraceData};
+pub use profile::{critical_path, CostClass, CriticalPath, CriticalPathSummary, Dag, ProfileError};
 pub use ring::RingBuffer;
 pub use sink::{NullSink, RingSink, TraceSink};

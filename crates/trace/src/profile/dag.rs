@@ -1,0 +1,564 @@
+//! Happens-before DAG reconstruction from a traced run.
+//!
+//! The builder consumes a [`TraceData`] and produces a graph whose nodes
+//! are atomic intervals of worker timelines and whose edges are the
+//! causal interactions recorded by the engine. Construction is strict:
+//! any condition that would make the graph unsound (dropped ring events,
+//! slices that do not tile the makespan, an unmatched steal pairing)
+//! is an error, not a best-effort warning — a profiler that silently
+//! analyses a truncated trace produces confidently wrong answers.
+
+use crate::{Bucket, EventKind, TraceData};
+use std::collections::HashMap;
+use std::fmt;
+use uat_base::Cycles;
+
+/// Which protocol interaction induced a causal edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Parent pushed its continuation and the child began, on the same
+    /// worker at the same instant (child-first spawn). Degenerate —
+    /// parallel to program order — but kept so edge counts reflect the
+    /// full catalogue.
+    Spawn,
+    /// Victim's deque publish → thief's resume of the stolen thread.
+    /// The span between the endpoints is the steal's end-to-end latency.
+    Steal,
+    /// The child completion that made a join ready → the joiner's
+    /// resume past that join.
+    Join,
+    /// FIFO service order at one node's software FAA server: the
+    /// previous queued request's service start precedes this one's.
+    FaaQueue,
+}
+
+impl EdgeKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgeKind::Spawn => "spawn",
+            EdgeKind::Steal => "steal",
+            EdgeKind::Join => "join",
+            EdgeKind::FaaQueue => "faa-queue",
+        }
+    }
+}
+
+/// An instant on one worker's timeline (an endpoint of a causal edge).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Anchor {
+    /// Worker index.
+    pub worker: u32,
+    /// Simulated time of the instant.
+    pub at: Cycles,
+}
+
+/// A causal edge: the `src` instant happens-before the `dst` instant.
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    /// What interaction the edge models.
+    pub kind: EdgeKind,
+    /// Source instant (e.g. the victim's deque publish).
+    pub src: Anchor,
+    /// Destination instant (e.g. the thief's resume).
+    pub dst: Anchor,
+}
+
+/// One atomic interval of a worker's timeline: a piece of an accounting
+/// slice, cut at every causal anchor that falls inside it. Nodes of one
+/// worker are contiguous and tile `[0, makespan)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Node {
+    /// Worker index.
+    pub worker: u32,
+    /// Inclusive start.
+    pub start: Cycles,
+    /// Exclusive end (always > `start`; no zero-length nodes exist).
+    pub end: Cycles,
+    /// The accounting bucket the interval was charged to.
+    pub bucket: Bucket,
+}
+
+impl Node {
+    /// Interval length.
+    pub fn dur(&self) -> Cycles {
+        self.end.since(self.start)
+    }
+}
+
+/// Why a trace could not be turned into a happens-before DAG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProfileError {
+    /// A worker's ring evicted events; the DAG would have holes.
+    DroppedEvents {
+        /// Worker whose ring overflowed.
+        worker: u32,
+        /// How many events were lost.
+        dropped: u64,
+    },
+    /// A worker recorded no timeline slices at all.
+    NoSlices {
+        /// The sliceless worker.
+        worker: u32,
+    },
+    /// A worker's slices leave a gap or overlap at `at` instead of
+    /// tiling `[0, makespan)` contiguously.
+    SlicesDoNotTile {
+        /// Worker whose timeline is broken.
+        worker: u32,
+        /// Where the gap/overlap was detected.
+        at: Cycles,
+    },
+    /// No `TaskEnd` event exists, so there is no root completion to
+    /// anchor the critical path at.
+    NoTaskEnd,
+    /// The last task completion is not at the recorded makespan.
+    EndMismatch {
+        /// Time of the latest `TaskEnd`.
+        last_end: Cycles,
+        /// Makespan the trace claims.
+        makespan: Cycles,
+    },
+    /// A `StealCommit` names a publication seq that never appeared.
+    UnmatchedSteal {
+        /// The orphaned sequence number.
+        seq: u64,
+    },
+    /// A `JoinResume` has no `JoinReady` at or before it for the same
+    /// (parent, child) pair.
+    UnmatchedJoin {
+        /// Packed id of the resuming parent.
+        parent: u64,
+        /// Packed id of the claimed enabling child.
+        child: u64,
+    },
+    /// The edge set admits no topological order. Cannot happen for a
+    /// trace produced by the engine (every edge points forward in
+    /// time); kept as a checked invariant rather than an assumption.
+    Cyclic,
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::DroppedEvents { worker, dropped } => write!(
+                f,
+                "worker {worker}'s ring dropped {dropped} events; rerun with a \
+                 larger ring capacity (the DAG cannot be built from a truncated trace)"
+            ),
+            ProfileError::NoSlices { worker } => {
+                write!(f, "worker {worker} recorded no timeline slices")
+            }
+            ProfileError::SlicesDoNotTile { worker, at } => write!(
+                f,
+                "worker {worker}'s slices do not tile the makespan (gap or overlap at {at:?})"
+            ),
+            ProfileError::NoTaskEnd => write!(f, "trace contains no task-end event"),
+            ProfileError::EndMismatch { last_end, makespan } => write!(
+                f,
+                "latest task-end at {last_end:?} does not reach the makespan {makespan:?}"
+            ),
+            ProfileError::UnmatchedSteal { seq } => {
+                write!(f, "steal-commit seq {seq} has no matching deque-publish")
+            }
+            ProfileError::UnmatchedJoin { parent, child } => write!(
+                f,
+                "join-resume of parent {parent} (child {child}) has no matching join-ready"
+            ),
+            ProfileError::Cyclic => write!(f, "happens-before graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// The happens-before DAG of one traced run.
+///
+/// Program order within a worker is implicit (each worker's nodes are
+/// consecutive); [`Dag::edges`] holds the cross-worker (and spawn)
+/// edges. Build with [`Dag::build`]; the constructor validates the
+/// trace and checks acyclicity.
+#[derive(Debug)]
+pub struct Dag {
+    pub(super) makespan: Cycles,
+    pub(super) end: Anchor,
+    pub(super) nodes: Vec<Node>,
+    /// Per-worker contiguous index ranges into `nodes`.
+    pub(super) worker_nodes: Vec<std::ops::Range<usize>>,
+    pub(super) edges: Vec<Edge>,
+}
+
+impl Dag {
+    /// Build and validate the DAG for a traced run.
+    pub fn build(data: &TraceData) -> Result<Dag, ProfileError> {
+        // A ring that evicted events has holes: slices no longer tile,
+        // steal/join pairings may be orphaned. Refuse outright.
+        for (w, ring) in data.workers.iter().enumerate() {
+            if ring.dropped() > 0 {
+                return Err(ProfileError::DroppedEvents {
+                    worker: w as u32,
+                    dropped: ring.dropped(),
+                });
+            }
+        }
+        let nworkers = data.workers.len();
+        let makespan = data.makespan;
+
+        // Harvest per-worker slices and the causal instants. Ring order
+        // is emission order, not time order (resume instants are stamped
+        // in the future, slices at span end), so everything is sorted
+        // before use.
+        let mut slices: Vec<Vec<Node>> = vec![Vec::new(); nworkers];
+        let mut publishes: HashMap<u64, Anchor> = HashMap::new();
+        let mut commits: Vec<(u64, Anchor)> = Vec::new();
+        let mut readies: HashMap<(u64, u64), Vec<Anchor>> = HashMap::new();
+        let mut resumes: Vec<((u64, u64), Anchor)> = Vec::new();
+        let mut spawns: Vec<Anchor> = Vec::new();
+        let mut last_end: Option<Anchor> = None;
+        for (w, ring) in data.workers.iter().enumerate() {
+            let w = w as u32;
+            for ev in ring.iter() {
+                let a = Anchor {
+                    worker: w,
+                    at: ev.at,
+                };
+                match ev.kind {
+                    EventKind::Slice { bucket } => slices[w as usize].push(Node {
+                        worker: w,
+                        start: ev.at,
+                        end: ev.at + ev.dur,
+                        bucket,
+                    }),
+                    EventKind::DequePublish { seq, .. } => {
+                        publishes.insert(seq, a);
+                    }
+                    EventKind::StealCommit { seq, .. } => commits.push((seq, a)),
+                    EventKind::JoinReady { parent, child } => {
+                        readies.entry((parent, child)).or_default().push(a)
+                    }
+                    EventKind::JoinResume { parent, child } => resumes.push(((parent, child), a)),
+                    EventKind::Spawn { .. } => spawns.push(a),
+                    EventKind::TaskEnd { .. } if last_end.is_none_or(|e| ev.at >= e.at) => {
+                        last_end = Some(a);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // The root's completion defines the makespan; the critical path
+        // is anchored there.
+        let end = last_end.ok_or(ProfileError::NoTaskEnd)?;
+        if end.at != makespan {
+            return Err(ProfileError::EndMismatch {
+                last_end: end.at,
+                makespan,
+            });
+        }
+
+        // Validate tiling and merge adjacent same-bucket slices (fewer
+        // nodes, identical attribution).
+        for (w, list) in slices.iter_mut().enumerate() {
+            list.sort_by_key(|s| s.start);
+            if list.is_empty() {
+                if makespan == Cycles::ZERO {
+                    continue;
+                }
+                return Err(ProfileError::NoSlices { worker: w as u32 });
+            }
+            let mut merged: Vec<Node> = Vec::with_capacity(list.len());
+            let mut cursor = Cycles::ZERO;
+            for s in list.iter() {
+                if s.start != cursor {
+                    return Err(ProfileError::SlicesDoNotTile {
+                        worker: w as u32,
+                        at: s.start.min(cursor),
+                    });
+                }
+                cursor = s.end;
+                match merged.last_mut() {
+                    Some(prev) if prev.bucket == s.bucket => prev.end = s.end,
+                    _ => merged.push(*s),
+                }
+            }
+            if cursor != makespan {
+                return Err(ProfileError::SlicesDoNotTile {
+                    worker: w as u32,
+                    at: cursor,
+                });
+            }
+            *list = merged;
+        }
+
+        // Assemble the edge catalogue. Anchors beyond the makespan can
+        // occur (a resume instant stamped after the root completed) and
+        // constrain nothing inside the analysed window — drop them.
+        let mut edges: Vec<Edge> = Vec::new();
+        commits.sort_by_key(|(_, a)| a.at);
+        for (seq, dst) in commits {
+            let src = *publishes
+                .get(&seq)
+                .ok_or(ProfileError::UnmatchedSteal { seq })?;
+            // A steal spans at least one remote READ, so the commit is
+            // always well after the publish; the strictness guard only
+            // documents the invariant the edge relies on.
+            if src.at < dst.at && dst.at <= makespan {
+                edges.push(Edge {
+                    kind: EdgeKind::Steal,
+                    src,
+                    dst,
+                });
+            }
+        }
+        for list in readies.values_mut() {
+            list.sort_by_key(|a| a.at);
+        }
+        resumes.sort_by_key(|(_, a)| a.at);
+        for ((parent, child), dst) in resumes {
+            // Latest ready not after the resume: packed ids can recur
+            // across rounds, so pair nearest-in-time. A ready stamped
+            // *after* its resume can occur when the joiner polled the
+            // counter between the enabling completion's fire time and
+            // its nominal (cost-accumulated) end; the pairing is
+            // consumed but a backward edge would be a lie — skip it.
+            let list = readies
+                .get_mut(&(parent, child))
+                .filter(|l| !l.is_empty())
+                .ok_or(ProfileError::UnmatchedJoin { parent, child })?;
+            let idx = list.partition_point(|a| a.at <= dst.at).saturating_sub(1);
+            let src = list.remove(idx);
+            if src.at < dst.at && dst.at <= makespan {
+                edges.push(Edge {
+                    kind: EdgeKind::Join,
+                    src,
+                    dst,
+                });
+            }
+        }
+        for a in spawns {
+            if a.at <= makespan {
+                edges.push(Edge {
+                    kind: EdgeKind::Spawn,
+                    src: a,
+                    dst: a,
+                });
+            }
+        }
+        // FAA queue edges: requests that actually waited at a server,
+        // chained in service order (the simulated server is FIFO in
+        // issue order). `at` is the arrival instant, `dur` the wait, so
+        // service starts at `at + dur`.
+        let mut faa: HashMap<u64, Vec<Anchor>> = HashMap::new();
+        for ev in &data.fabric {
+            if let EventKind::FaaQueueWait { server, .. } = ev.kind {
+                faa.entry(server.0 as u64).or_default().push(Anchor {
+                    worker: ev.worker.0,
+                    at: ev.at + ev.dur,
+                });
+            }
+        }
+        for list in faa.values_mut() {
+            list.sort_by_key(|a| a.at);
+            for pair in list.windows(2) {
+                if pair[1].at <= makespan && pair[0].at < pair[1].at {
+                    edges.push(Edge {
+                        kind: EdgeKind::FaaQueue,
+                        src: pair[0],
+                        dst: pair[1],
+                    });
+                }
+            }
+        }
+
+        // Cut each worker's slices at every anchor that lands strictly
+        // inside one, so every edge endpoint coincides with a node
+        // boundary.
+        let mut cuts: Vec<Vec<Cycles>> = vec![Vec::new(); nworkers];
+        for e in &edges {
+            if (e.src.worker as usize) < nworkers {
+                cuts[e.src.worker as usize].push(e.src.at);
+            }
+            if (e.dst.worker as usize) < nworkers {
+                cuts[e.dst.worker as usize].push(e.dst.at);
+            }
+        }
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut worker_nodes: Vec<std::ops::Range<usize>> = Vec::with_capacity(nworkers);
+        for (w, list) in slices.into_iter().enumerate() {
+            let c = &mut cuts[w];
+            c.sort();
+            c.dedup();
+            let begin = nodes.len();
+            let mut ci = 0usize;
+            for s in list {
+                let mut lo = s.start;
+                while ci < c.len() && c[ci] <= lo {
+                    ci += 1;
+                }
+                while ci < c.len() && c[ci] < s.end {
+                    nodes.push(Node {
+                        worker: s.worker,
+                        start: lo,
+                        end: c[ci],
+                        bucket: s.bucket,
+                    });
+                    lo = c[ci];
+                    ci += 1;
+                }
+                nodes.push(Node {
+                    worker: s.worker,
+                    start: lo,
+                    end: s.end,
+                    bucket: s.bucket,
+                });
+            }
+            worker_nodes.push(begin..nodes.len());
+        }
+
+        let dag = Dag {
+            makespan,
+            end,
+            nodes,
+            worker_nodes,
+            edges,
+        };
+        dag.check_acyclic()?;
+        Ok(dag)
+    }
+
+    /// The run's makespan (equals the critical path's total).
+    pub fn makespan(&self) -> Cycles {
+        self.makespan
+    }
+
+    /// Worker whose root-completion anchors the critical path.
+    pub fn end_worker(&self) -> u32 {
+        self.end.worker
+    }
+
+    /// Number of workers covered by the DAG.
+    pub fn worker_count(&self) -> usize {
+        self.worker_nodes.len()
+    }
+
+    /// All timeline nodes, grouped by worker, in time order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The cross-worker / spawn edge catalogue.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of edges of one kind.
+    pub fn edge_count(&self, kind: EdgeKind) -> usize {
+        self.edges.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Index into [`Dag::nodes`] of the node on `worker` starting at
+    /// `at`, if any.
+    pub(super) fn node_starting_at(&self, worker: u32, at: Cycles) -> Option<usize> {
+        let range = self.worker_nodes.get(worker as usize)?.clone();
+        let list = &self.nodes[range.clone()];
+        let i = list.partition_point(|n| n.start < at);
+        (i < list.len() && list[i].start == at).then_some(range.start + i)
+    }
+
+    /// Index of the node on `worker` ending exactly at `at`, if any.
+    pub(super) fn node_ending_at(&self, worker: u32, at: Cycles) -> Option<usize> {
+        let range = self.worker_nodes.get(worker as usize)?.clone();
+        let list = &self.nodes[range.clone()];
+        let i = list.partition_point(|n| n.end < at);
+        (i < list.len() && list[i].end == at).then_some(range.start + i)
+    }
+
+    /// Charge the bucket time of `worker`'s timeline overlapping
+    /// `[lo, hi)` into `acct`.
+    pub(super) fn attribute(
+        &self,
+        worker: u32,
+        lo: Cycles,
+        hi: Cycles,
+        acct: &mut crate::TimeAccount,
+    ) {
+        let range = self.worker_nodes[worker as usize].clone();
+        let list = &self.nodes[range];
+        let mut i = list.partition_point(|n| n.end <= lo);
+        while i < list.len() && list[i].start < hi {
+            let n = &list[i];
+            let span = n.end.min(hi).since(n.start.max(lo));
+            acct.charge(n.bucket, span);
+            i += 1;
+        }
+    }
+
+    /// Verify the happens-before relation admits a topological order.
+    ///
+    /// Every engine-produced edge points forward in time, which already
+    /// forces acyclicity; this runs an explicit Kahn peel over program
+    /// order plus the cross edges so the property is *checked*, not
+    /// assumed (CI asserts it on every profiled run).
+    pub fn check_acyclic(&self) -> Result<(), ProfileError> {
+        let n = self.nodes.len();
+        let mut indegree = vec![0u32; n];
+        // Cross edges, mapped to node indices: source = node ending at
+        // the src instant, destination = node starting at the dst
+        // instant. Endpoints at time 0 / makespan have no such node and
+        // constrain nothing inside the window.
+        let mut adj: Vec<(u32, u32)> = Vec::with_capacity(self.edges.len());
+        for e in &self.edges {
+            let (Some(s), Some(d)) = (
+                self.node_ending_at(e.src.worker, e.src.at),
+                self.node_starting_at(e.dst.worker, e.dst.at),
+            ) else {
+                continue;
+            };
+            adj.push((s as u32, d as u32));
+            indegree[d] += 1;
+        }
+        adj.sort_unstable();
+        let heads: Vec<usize> = {
+            let mut h = vec![adj.len(); n];
+            for (i, &(s, _)) in adj.iter().enumerate().rev() {
+                h[s as usize] = i;
+            }
+            h
+        };
+        // Program order: each node follows its predecessor on the same
+        // worker.
+        for r in &self.worker_nodes {
+            for i in r.clone().skip(1) {
+                indegree[i] += 1;
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(i) = ready.pop() {
+            seen += 1;
+            // Successor in program order.
+            let wr = &self.worker_nodes[self.nodes[i].worker as usize];
+            if i + 1 < wr.end {
+                indegree[i + 1] -= 1;
+                if indegree[i + 1] == 0 {
+                    ready.push(i + 1);
+                }
+            }
+            // Cross-edge successors.
+            let mut j = heads[i];
+            while j < adj.len() && adj[j].0 as usize == i {
+                let d = adj[j].1 as usize;
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    ready.push(d);
+                }
+                j += 1;
+            }
+        }
+        if seen == n {
+            Ok(())
+        } else {
+            Err(ProfileError::Cyclic)
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! What-if analysis: predict the makespan under a scaled cost class.
+//!
+//! A frozen-schedule replay of the whole DAG: every node keeps its
+//! original duration unless its bucket belongs to the scaled class, and
+//! nodes are re-timed in dependency order — a node starts at the later
+//! of its program-order predecessor's new end and the new times of its
+//! incoming causal edges' sources. With factor 1 the replay reproduces
+//! the original makespan exactly (a checked sanity invariant); with
+//! factor ≠ 1 it predicts how the *existing* schedule would stretch.
+//! What it deliberately does not model: the scheduler making different
+//! decisions under the new costs (different victims, different steal
+//! interleavings). That divergence is exactly what validation against a
+//! ground-truth re-run with the scaled [`CostModel`] measures — see
+//! DESIGN.md §8 for the caveats.
+
+use super::dag::Dag;
+use crate::Bucket;
+use std::collections::{BinaryHeap, HashMap};
+use uat_base::{CostModel, Cycles};
+
+/// A scalable cost class: a set of timeline buckets (for the replay)
+/// plus the [`CostModel`] knobs that realize the same scaling in a
+/// ground-truth re-run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostClass {
+    /// RDMA READ latency: the empty-check, entry-steal, and
+    /// stack-transfer phases of every steal.
+    RdmaRead,
+    /// The software FAA path: lock round trips and comm-server queueing.
+    Faa,
+    /// Suspend/resume of continuations, including the stack copies.
+    SuspendCopy,
+}
+
+impl CostClass {
+    /// Every class, in display order.
+    pub const ALL: [CostClass; 3] = [CostClass::RdmaRead, CostClass::Faa, CostClass::SuspendCopy];
+
+    /// Stable display / CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostClass::RdmaRead => "rdma-read",
+            CostClass::Faa => "faa",
+            CostClass::SuspendCopy => "suspend",
+        }
+    }
+
+    /// Parse a CLI name as produced by [`CostClass::name`].
+    pub fn parse(s: &str) -> Option<CostClass> {
+        Self::ALL.into_iter().find(|c| c.name() == s)
+    }
+
+    /// The timeline buckets whose durations the class scales.
+    ///
+    /// `RdmaRead` claims the three read-dominated steal phases (the
+    /// entry-steal phase also contains one small WRITE, so its true
+    /// scaling is slightly sub-linear — a documented approximation).
+    pub fn buckets(self) -> &'static [Bucket] {
+        match self {
+            CostClass::RdmaRead => &[
+                Bucket::StealEmpty,
+                Bucket::StealEntry,
+                Bucket::StealTransfer,
+            ],
+            CostClass::Faa => &[Bucket::StealLock, Bucket::FaaQueue],
+            CostClass::SuspendCopy => &[Bucket::SuspendResume],
+        }
+    }
+
+    /// Scale the matching [`CostModel`] knobs by `factor`, for a
+    /// ground-truth re-run of the engine under the hypothetical.
+    pub fn apply(self, cost: &mut CostModel, factor: f64) {
+        fn scale(v: &mut u64, f: f64) {
+            *v = (*v as f64 * f).round() as u64;
+        }
+        match self {
+            CostClass::RdmaRead => scale(&mut cost.rdma_read_base, factor),
+            CostClass::Faa => {
+                scale(&mut cost.faa_notice_latency, factor);
+                scale(&mut cost.faa_service, factor);
+            }
+            CostClass::SuspendCopy => {
+                scale(&mut cost.suspend_base, factor);
+                scale(&mut cost.resume_base, factor);
+                // Stack copies are part of suspend/resume: slow the
+                // copy engine by the same factor.
+                cost.memcpy_bytes_per_cycle /= factor;
+            }
+        }
+    }
+}
+
+/// Predict the makespan if every node charged to one of `buckets` had
+/// its duration multiplied by `factor`, all else unchanged.
+///
+/// Returns the new time of the root's completion instant.
+pub fn predict_scaled(dag: &Dag, buckets: &[Bucket], factor: f64) -> Cycles {
+    // Incoming edges keyed by destination (worker, original start).
+    let mut inbound: HashMap<(u32, u64), Vec<(u32, u64)>> = HashMap::new();
+    for e in dag.edges() {
+        // An endpoint at the very start or end of the window has no
+        // node boundary to attach to and constrains nothing.
+        if e.dst.at >= dag.makespan() || (e.src.worker == e.dst.worker && e.src.at == e.dst.at) {
+            continue;
+        }
+        inbound
+            .entry((e.dst.worker, e.dst.at.get()))
+            .or_default()
+            .push((e.src.worker, e.src.at.get()));
+    }
+
+    // Re-time nodes in original start order (per-worker order preserved
+    // via a k-way merge). Sources of every edge end strictly before
+    // their destination's start, so they are always re-timed first.
+    let n = dag.worker_count();
+    let mut new_at: HashMap<(u32, u64), u64> = HashMap::with_capacity(dag.nodes().len() + n);
+    for w in 0..n {
+        new_at.insert((w as u32, 0), 0);
+    }
+    let per_worker: Vec<&[super::dag::Node]> = (0..n)
+        .map(|w| {
+            let r = dag.worker_nodes[w].clone();
+            &dag.nodes[r]
+        })
+        .collect();
+    let mut idx = vec![0usize; n];
+    let mut prev_end = vec![0u64; n];
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u32)>> = (0..n)
+        .filter(|&w| !per_worker[w].is_empty())
+        .map(|w| std::cmp::Reverse((per_worker[w][0].start.get(), w as u32)))
+        .collect();
+    while let Some(std::cmp::Reverse((_, w))) = heap.pop() {
+        let wi = w as usize;
+        let node = &per_worker[wi][idx[wi]];
+        let mut start = prev_end[wi];
+        if let Some(srcs) = inbound.remove(&(w, node.start.get())) {
+            for (sw, st) in srcs {
+                if let Some(&t) = new_at.get(&(sw, st)) {
+                    start = start.max(t);
+                }
+            }
+        }
+        let dur = node.dur().get();
+        let scaled = if factor != 1.0 && buckets.contains(&node.bucket) {
+            (dur as f64 * factor).round() as u64
+        } else {
+            dur
+        };
+        let end = start + scaled;
+        prev_end[wi] = end;
+        new_at.insert((w, node.end.get()), end);
+        idx[wi] += 1;
+        if let Some(next) = per_worker[wi].get(idx[wi]) {
+            heap.push(std::cmp::Reverse((next.start.get(), w)));
+        }
+    }
+
+    Cycles(
+        new_at
+            .get(&(dag.end_worker(), dag.makespan().get()))
+            .copied()
+            .unwrap_or(0),
+    )
+}
+
+/// Predict the makespan under `class` scaled by `factor`.
+pub fn predict(dag: &Dag, class: CostClass, factor: f64) -> Cycles {
+    predict_scaled(dag, class.buckets(), factor)
+}
