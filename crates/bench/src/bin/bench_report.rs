@@ -28,8 +28,10 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 use uat_base::json::{Json, ToJson};
 use uat_bench::compact_config;
-use uat_cluster::{sweep_threads, sweep_with_threads, Engine, SimConfig, Workload};
-use uat_workloads::{Btc, Uts};
+use uat_cluster::{sweep_threads, sweep_with_threads, Engine, SimConfig};
+use uat_fiber::NativeRunner;
+use uat_model::{sequential_profile, Workload};
+use uat_workloads::{Btc, Chain, Fib, NQueens, Uts};
 
 /// Fraction of the baseline events/sec below which `--check` fails.
 const REGRESSION_FLOOR: f64 = 0.8;
@@ -107,6 +109,52 @@ fn critical_path_entry() -> Json {
 #[cfg(not(feature = "trace"))]
 fn critical_path_entry() -> Json {
     Json::Null
+}
+
+/// Run one pinned workload on the native fiber backend, cross-check its
+/// expansion against the sequential ground truth (the differential
+/// invariant — a benchmark that executed the wrong tree must not report
+/// a number), and record wall-clock throughput.
+fn native_case<W>(name: &'static str, workers: usize, w: W) -> Json
+where
+    W: Workload + Send + Sync + 'static,
+    W::Desc: 'static,
+{
+    let p = sequential_profile(&w);
+    let s = NativeRunner::new(workers).run(w);
+    assert_eq!(s.total_tasks, p.tasks, "native expansion diverged: {name}");
+    assert_eq!(s.total_units, p.units, "native units diverged: {name}");
+    assert_eq!(
+        s.join_fingerprint, p.join_fingerprint,
+        "native join-tree shape diverged: {name}"
+    );
+    println!("{}", s.summary_line());
+    Json::obj([
+        ("name", Json::str(name)),
+        ("workload", Json::str(s.workload.as_str())),
+        ("workers", Json::UInt(u64::from(s.workers))),
+        ("tasks", Json::UInt(s.total_tasks)),
+        ("units", Json::UInt(s.total_units)),
+        ("wall_s", Json::Num(s.wall.as_secs_f64())),
+        ("units_per_sec", Json::Num(s.throughput())),
+        ("steals", Json::UInt(s.steals)),
+        ("peak_frame_bytes", Json::UInt(s.peak_frame_bytes)),
+    ])
+}
+
+/// The native-backend section of the engine artifact: the same `Action`
+/// programs the simulator times, executed for real on fibers.
+fn native_section(quick: bool, host_threads: usize) -> Json {
+    // Steal dynamics need >1 worker even on single-CPU hosts.
+    let workers = host_threads.clamp(2, 4);
+    let fib = if quick { 16 } else { 20 };
+    let rounds = if quick { 50 } else { 200 };
+    println!("\n# native fiber backend (workers={workers})");
+    Json::Arr(vec![
+        native_case("fib_native", workers, Fib::new(fib)),
+        native_case("nqueens7_native", workers, NQueens::new(7)),
+        native_case("chain_native", workers, Chain::fig10(rounds)),
+    ])
 }
 
 /// Load an artifact, returning its entries (empty on first run).
@@ -276,6 +324,9 @@ fn main() {
         serial_wall / parallel_wall
     );
 
+    // --- native fiber backend ---
+    let native = native_section(quick, host_threads);
+
     // --- artifacts ---
     let engine_path = out_dir.join("BENCH_engine.json");
     let engine_entry = Json::obj([
@@ -286,6 +337,7 @@ fn main() {
             "cases",
             Json::Arr(cases.iter().map(CaseResult::to_json).collect()),
         ),
+        ("native", native),
         ("critical_path", critical_path_entry()),
     ]);
     let fig11_path = out_dir.join("BENCH_fig11.json");

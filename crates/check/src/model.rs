@@ -1,9 +1,10 @@
 //! Small-step state machines for the THE-protocol steal path.
 //!
 //! The shared state is the deque's four memory regions — the lock word,
-//! `top`, `bottom`, and the entry slots — exactly the words `SimDeque`
-//! lays out at `base+0/8/16/24` and `NativeDeque` keeps in atomics. Two
-//! thread kinds step over it:
+//! `top`, `bottom`, and the entry slots — exactly the words of the
+//! canonical `uat_deque::layout` that `SimDeque` lays out in fabric
+//! memory and `NativeDeque` keeps in atomics (the location bit-masks
+//! below are derived from those offsets). Two thread kinds step over it:
 //!
 //! - the **owner**, running a fixed script of `push`/`pop` ops, and
 //! - **thieves**, each running a fixed number of steal attempts
@@ -40,13 +41,17 @@ pub struct Access {
     pub writes: u32,
 }
 
-const LOC_LOCK: u32 = 1 << 0;
-const LOC_TOP: u32 = 1 << 1;
-const LOC_BOTTOM: u32 = 1 << 2;
+use uat_deque::layout::{loc_bit, OFF_BOTTOM, OFF_ENTRIES, OFF_LOCK, OFF_TOP};
+
+const LOC_LOCK: u32 = 1 << loc_bit(OFF_LOCK);
+const LOC_TOP: u32 = 1 << loc_bit(OFF_TOP);
+const LOC_BOTTOM: u32 = 1 << loc_bit(OFF_BOTTOM);
+/// First slot bit: the word index where the entries begin.
+const LOC_SLOT0: u32 = loc_bit(OFF_ENTRIES);
 
 fn loc_slot(slot: u64) -> u32 {
     assert!(slot < 16, "model supports capacities up to 16");
-    1 << (3 + slot as u32)
+    1 << (LOC_SLOT0 + slot as u32)
 }
 
 impl Access {

@@ -1,177 +1,14 @@
-//! The task-program model: what a task does between migration points.
+//! The task-program model — re-exported from the backend-neutral
+//! `uat-model` crate.
 //!
-//! The paper's task model (Section 3) is fork-join: a task computes,
-//! spawns children (child-first: the child runs immediately and the
-//! parent's continuation becomes stealable), and waits for children at
-//! join points. A [`Workload`] maps a task descriptor to its straight-line
-//! [`Action`] program; the engine interprets it under the real scheduler.
+//! The model (what a task *does*: compute, spawn child-first, join) is
+//! independent of which runtime executes it, so it lives in `uat-model`
+//! where both this simulator and the native fiber interpreter
+//! (`uat-fiber::NativeRunner`) consume it. This module keeps the
+//! historical `uat_cluster::workload::*` paths compiling unchanged for
+//! the engine, the bench bins, and the check scenarios.
 
-/// One step of a task's program.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Action<D> {
-    /// Compute for this many cycles (no migration point inside).
-    Work(u64),
-    /// Spawn a child task. Under child-first scheduling the child starts
-    /// immediately and the continuation after this action is pushed on
-    /// the work-stealing queue (Figure 4).
-    Spawn(D),
-    /// Wait until every child spawned so far has completed (the `sync` /
-    /// `join` of Figure 1; a migration point).
-    JoinAll,
-}
-
-/// A benchmark: how task descriptors expand into programs.
-pub trait Workload {
-    /// Task descriptor — everything a task needs to know what to do.
-    type Desc: Clone + Send + Sync + std::fmt::Debug;
-
-    /// The root task's descriptor.
-    fn root(&self) -> Self::Desc;
-
-    /// Emit the program of the task described by `d` into `out`
-    /// (`out` arrives empty; reuse avoids per-task allocation churn).
-    fn program(&self, d: &Self::Desc, out: &mut Vec<Action<Self::Desc>>);
-
-    /// Stack bytes the task's frames occupy — drives the Table 4
-    /// uni-address-region usage numbers.
-    fn frame_size(&self, d: &Self::Desc) -> u64;
-
-    /// How many *reported units* this task contributes to throughput.
-    /// BTC counts every task (1); UTS counts tree nodes but not the
-    /// binary loop-splitting helper tasks (0); NQueens likewise.
-    fn units(&self, _d: &Self::Desc) -> u64 {
-        1
-    }
-
-    /// Display name for reports.
-    fn name(&self) -> String;
-}
-
-/// Blanket impl so `&W` and boxed workloads work where `W` is expected.
-impl<W: Workload + ?Sized> Workload for &W {
-    type Desc = W::Desc;
-    fn root(&self) -> Self::Desc {
-        (**self).root()
-    }
-    fn program(&self, d: &Self::Desc, out: &mut Vec<Action<Self::Desc>>) {
-        (**self).program(d, out)
-    }
-    fn frame_size(&self, d: &Self::Desc) -> u64 {
-        (**self).frame_size(d)
-    }
-    fn units(&self, d: &Self::Desc) -> u64 {
-        (**self).units(d)
-    }
-    fn name(&self) -> String {
-        (**self).name()
-    }
-}
-
-/// Count tasks and total work of a workload by sequential traversal —
-/// the ground truth the parallel runs are checked against in tests.
-pub fn sequential_profile<W: Workload>(w: &W) -> SeqProfile {
-    let mut stack = vec![w.root()];
-    let mut prog = Vec::new();
-    let mut p = SeqProfile::default();
-    while let Some(d) = stack.pop() {
-        p.tasks += 1;
-        p.units += w.units(&d);
-        p.frame_bytes_total += w.frame_size(&d);
-        prog.clear();
-        w.program(&d, &mut prog);
-        for a in prog.drain(..) {
-            match a {
-                Action::Work(c) => p.work_cycles += c,
-                Action::Spawn(child) => stack.push(child),
-                Action::JoinAll => p.joins += 1,
-            }
-        }
-    }
-    p
-}
-
-/// Result of [`sequential_profile`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct SeqProfile {
-    /// Total tasks in the tree (including the root).
-    pub tasks: u64,
-    /// Total reported units (see [`Workload::units`]).
-    pub units: u64,
-    /// Total `Work` cycles.
-    pub work_cycles: u64,
-    /// Total join points.
-    pub joins: u64,
-    /// Sum of all frame sizes.
-    pub frame_bytes_total: u64,
-}
-
-#[cfg(test)]
-pub(crate) mod testutil {
-    use super::*;
-
-    /// A tiny synthetic fork-join tree for engine tests: a perfect binary
-    /// tree of `depth` levels with `work` cycles per task.
-    #[derive(Clone, Debug)]
-    pub struct BinTree {
-        pub depth: u32,
-        pub work: u64,
-        pub frame: u64,
-    }
-
-    impl Workload for BinTree {
-        type Desc = u32; // remaining depth
-
-        fn root(&self) -> u32 {
-            self.depth
-        }
-
-        fn program(&self, d: &u32, out: &mut Vec<Action<u32>>) {
-            out.push(Action::Work(self.work));
-            if *d > 0 {
-                out.push(Action::Spawn(*d - 1));
-                out.push(Action::Spawn(*d - 1));
-                out.push(Action::JoinAll);
-            }
-        }
-
-        fn frame_size(&self, _d: &u32) -> u64 {
-            self.frame
-        }
-
-        fn name(&self) -> String {
-            format!("bintree(depth={})", self.depth)
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::testutil::BinTree;
-    use super::*;
-
-    #[test]
-    fn sequential_profile_counts_binary_tree() {
-        let w = BinTree {
-            depth: 4,
-            work: 10,
-            frame: 100,
-        };
-        let p = sequential_profile(&w);
-        assert_eq!(p.tasks, 31, "2^5 - 1 nodes");
-        assert_eq!(p.work_cycles, 310);
-        assert_eq!(p.joins, 15, "every internal node joins once");
-        assert_eq!(p.frame_bytes_total, 3100);
-    }
-
-    #[test]
-    fn workload_by_reference() {
-        let w = BinTree {
-            depth: 2,
-            work: 1,
-            frame: 64,
-        };
-        let r = &w;
-        assert_eq!(sequential_profile(&r).tasks, 7);
-        assert!(r.name().contains("bintree"));
-    }
-}
+pub use uat_model::{
+    join_tree_fingerprint, sequential_profile, task_shape_hash, testutil, Action, SeqProfile,
+    Workload,
+};

@@ -1,0 +1,56 @@
+//! The canonical THE-deque memory layout, shared by every component
+//! that addresses a deque's words.
+//!
+//! A deque occupies one contiguous block of the owner's memory:
+//!
+//! ```text
+//! base + OFF_LOCK     lock     0 = free; acquired with fetch-and-add
+//! base + OFF_TOP      top      steal end (H in the Cilk-5 THE paper)
+//! base + OFF_BOTTOM   bottom   owner end (T); entries in [top, bottom)
+//! base + OFF_ENTRIES  entries  capacity × 32-byte TaskqEntry
+//! ```
+//!
+//! [`SimDeque`](crate::SimDeque) realises this layout in simulated
+//! registered RDMA memory (every thief access is `base + OFF_*`);
+//! [`NativeDeque`](crate::NativeDeque) realises the three control words
+//! as `#[repr(C)]` atomics at the same offsets (asserted at compile
+//! time; its entries live behind a pointer rather than inline, which is
+//! fine intra-process where nothing computes remote addresses); and the
+//! `uat-check` interleaving model derives its location bit-masks from
+//! these offsets via [`loc_bit`]. Change the layout here and every
+//! consumer moves together — or fails to compile.
+
+/// Byte offset of the lock word.
+pub const OFF_LOCK: u64 = 0;
+/// Byte offset of `top`, the steal end.
+pub const OFF_TOP: u64 = 8;
+/// Byte offset of `bottom`, the owner end.
+pub const OFF_BOTTOM: u64 = 16;
+/// Byte offset of the first task-queue entry.
+pub const OFF_ENTRIES: u64 = 24;
+
+/// Bytes per control word (all fields are little-endian u64).
+pub const WORD_BYTES: u64 = 8;
+
+/// Bit index identifying the control word at byte offset `off` in a
+/// location bit-mask (as used by the `uat-check` interleaving checker):
+/// one bit per word, in layout order.
+pub const fn loc_bit(off: u64) -> u32 {
+    (off / WORD_BYTES) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_dense_and_ordered() {
+        assert_eq!(OFF_LOCK, 0);
+        assert_eq!(OFF_TOP, OFF_LOCK + WORD_BYTES);
+        assert_eq!(OFF_BOTTOM, OFF_TOP + WORD_BYTES);
+        assert_eq!(OFF_ENTRIES, OFF_BOTTOM + WORD_BYTES);
+        assert_eq!(loc_bit(OFF_LOCK), 0);
+        assert_eq!(loc_bit(OFF_TOP), 1);
+        assert_eq!(loc_bit(OFF_BOTTOM), 2);
+    }
+}

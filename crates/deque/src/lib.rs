@@ -24,6 +24,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod entry;
+pub mod layout;
 pub mod native;
 pub mod sim;
 

@@ -32,12 +32,27 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// `T` must be `Copy`: entries are small continuation descriptors
 /// (pointers + sizes), mirroring the 32-byte `taskq_entry`.
+///
+/// The three control words sit at the canonical [`crate::layout`]
+/// offsets (`repr(C)`, asserted below), so a native deque's header is
+/// byte-compatible with the simulated RDMA-resident one; only the
+/// entries differ, living behind a pointer rather than inline (fine
+/// intra-process, where no thief computes remote addresses).
+#[repr(C)]
 pub struct NativeDeque<T: Copy> {
     lock: AtomicU64,
     top: AtomicU64,
     bottom: AtomicU64,
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
 }
+
+// The layout contract: control words at `base + OFF_*`, exactly as the
+// simulated deque lays them out in fabric memory.
+const _: () = {
+    assert!(std::mem::offset_of!(NativeDeque<u64>, lock) as u64 == crate::layout::OFF_LOCK);
+    assert!(std::mem::offset_of!(NativeDeque<u64>, top) as u64 == crate::layout::OFF_TOP);
+    assert!(std::mem::offset_of!(NativeDeque<u64>, bottom) as u64 == crate::layout::OFF_BOTTOM);
+};
 
 // SAFETY: all shared access to `slots` is mediated by the THE protocol as
 // documented in the module header; T itself crosses threads by copy.

@@ -1,7 +1,7 @@
 //! THE-protocol deque over simulated RDMA memory.
 //!
-//! The deque lives in the owner's registered region with this layout
-//! (all fields little-endian u64):
+//! The deque lives in the owner's registered region with the canonical
+//! layout of [`crate::layout`] (all fields little-endian u64):
 //!
 //! ```text
 //! base + 0   lock     0 = free; acquired with fetch-and-add(+1), old==0
@@ -16,13 +16,9 @@
 //! Figure 6 phase sequence with one-sided operations only.
 
 use crate::entry::{TaskqEntry, ENTRY_BYTES};
+use crate::layout::{OFF_BOTTOM, OFF_ENTRIES, OFF_LOCK, OFF_TOP};
 use uat_base::{Cycles, WorkerId};
 use uat_rdma::{Fabric, RdmaError};
-
-const OFF_LOCK: u64 = 0;
-const OFF_TOP: u64 = 8;
-const OFF_BOTTOM: u64 = 16;
-const OFF_ENTRIES: u64 = 24;
 
 /// Result of an owner-side pop.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

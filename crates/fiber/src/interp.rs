@@ -1,0 +1,343 @@
+//! Native interpreter for the backend-neutral task model: run any
+//! `uat-model` [`Workload`] on real fibers.
+//!
+//! This is the second backend of the workspace (the first is the
+//! discrete-event simulator in `uat-cluster`): the *same* `Action`
+//! programs the simulator times against the FX10 cost model execute here
+//! on real x86-64 lightweight threads with real work stealing —
+//!
+//! - [`Action::Work`]`(c)` is calibrated spinning of `c` timestamp-counter
+//!   ticks ([`tsc::spin_cycles`]), optionally scaled down for tests;
+//! - [`Action::Spawn`]`(d)` is a child-first fiber creation
+//!   ([`runtime::spawn`]): the child's interpreter starts immediately on
+//!   a fresh stack while the parent's continuation is pushed on the
+//!   `NativeDeque`, stealable by any idle worker;
+//! - [`Action::JoinAll`] joins every child spawned so far — one done-flag
+//!   load on the fast path, else the Figure 7 suspend while the worker
+//!   finds other work;
+//! - [`Workload::frame_size`] is honored by *really reserving* that many
+//!   bytes of the task's stack before the program runs, so stack-depth
+//!   behaviour (and guard-page faults on overflow) are genuine.
+//!
+//! The run reports [`NativeRunStats`] with the same unit accounting as
+//! the simulator's `RunStats` (`total_units`, `total_tasks`,
+//! `total_work_cycles`), plus a schedule-independent
+//! [join-tree fingerprint](uat_model::join_tree_fingerprint) — the basis
+//! of the differential sim-vs-native harness in the root package's
+//! `tests/differential.rs`.
+
+use crate::runtime::{spawn, JoinHandle, Runtime};
+use crate::tsc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use uat_model::{task_shape_hash, Action, Workload};
+
+/// Bytes of genuine stack reserved per recursion step of
+/// [`with_reserved_frame`]. Small enough that the reservation tracks
+/// `frame_size` closely; large enough that the recursion overhead stays
+/// a minor fraction.
+const FRAME_CHUNK: usize = 256;
+
+/// Run `f` with (at least) `bytes` bytes of the current stack reserved
+/// below it — the native realisation of a task's uni-address frame
+/// claim. The reservation is real: each step places a touched buffer on
+/// the stack, so a `frame_size` that exceeds the runtime's stack size
+/// faults on the guard page instead of silently lying.
+#[inline(never)]
+fn with_reserved_frame<R, F: FnOnce() -> R>(bytes: u64, f: F) -> R {
+    if bytes == 0 {
+        return f();
+    }
+    let mut pad = [0u8; FRAME_CHUNK];
+    std::hint::black_box(pad.as_mut_ptr());
+    with_reserved_frame(bytes.saturating_sub(FRAME_CHUNK as u64), f)
+}
+
+/// Atomic accumulators shared by every task of one native run.
+#[derive(Default)]
+struct Counters {
+    tasks: AtomicU64,
+    units: AtomicU64,
+    work_cycles: AtomicU64,
+    joins: AtomicU64,
+    spawns: AtomicU64,
+    frame_bytes_total: AtomicU64,
+    live_frame_bytes: AtomicU64,
+    peak_frame_bytes: AtomicU64,
+    join_fingerprint: AtomicU64,
+}
+
+/// Interpret one task: expand its program and execute it on this fiber.
+fn exec<W>(w: &Arc<W>, d: &W::Desc, c: &Arc<Counters>, work_divisor: u64)
+where
+    W: Workload + Send + Sync + 'static,
+    W::Desc: 'static,
+{
+    let frame = w.frame_size(d);
+    let units = w.units(d);
+    // Machine-wide live-frame high-water (the analogue of the sim's
+    // peak stack usage, summed across workers rather than per-region).
+    let live = c.live_frame_bytes.fetch_add(frame, Ordering::AcqRel) + frame;
+    c.peak_frame_bytes.fetch_max(live, Ordering::AcqRel);
+
+    let mut prog = Vec::new();
+    w.program(d, &mut prog);
+    let children = prog
+        .iter()
+        .filter(|a| matches!(a, Action::Spawn(_)))
+        .count() as u64;
+
+    c.tasks.fetch_add(1, Ordering::Relaxed);
+    c.units.fetch_add(units, Ordering::Relaxed);
+    c.frame_bytes_total.fetch_add(frame, Ordering::Relaxed);
+    c.join_fingerprint
+        .fetch_add(task_shape_hash(children, units, frame), Ordering::Relaxed);
+
+    with_reserved_frame(frame, move || {
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        for a in prog {
+            match a {
+                Action::Work(cycles) => {
+                    c.work_cycles.fetch_add(cycles, Ordering::Relaxed);
+                    tsc::spin_cycles(cycles / work_divisor);
+                }
+                Action::Spawn(child) => {
+                    c.spawns.fetch_add(1, Ordering::Relaxed);
+                    let w2 = Arc::clone(w);
+                    let c2 = Arc::clone(c);
+                    // Child-first: `exec(child)` starts right now on a
+                    // fresh stack; our continuation (the rest of this
+                    // loop) becomes stealable.
+                    handles.push(spawn(move || exec(&w2, &child, &c2, work_divisor)));
+                }
+                Action::JoinAll => {
+                    c.joins.fetch_add(1, Ordering::Relaxed);
+                    for h in handles.drain(..) {
+                        h.join();
+                    }
+                }
+            }
+        }
+        // Fork-join programs end with every child joined (the simulator
+        // asserts as much); join stragglers anyway so a malformed
+        // workload cannot leak running tasks past its own completion.
+        for h in handles {
+            h.join();
+        }
+    });
+    c.live_frame_bytes.fetch_sub(frame, Ordering::AcqRel);
+}
+
+/// Result of one native run — the fiber backend's counterpart of the
+/// simulator's `RunStats`, restricted to the quantities that are
+/// *backend-invariant* (task expansion) or native-measurable (wall
+/// clock, steals, live-frame peak).
+#[derive(Clone, Debug)]
+pub struct NativeRunStats {
+    /// Workload name.
+    pub workload: String,
+    /// Worker OS threads.
+    pub workers: u32,
+    /// Tasks executed (= the sim's `total_tasks`).
+    pub total_tasks: u64,
+    /// Reported workload units (= the sim's `total_units`).
+    pub total_units: u64,
+    /// Cycles of `Work` actions *accounted* (= the sim's
+    /// `total_work_cycles`; the cycles actually spun are these divided
+    /// by the configured work divisor).
+    pub total_work_cycles: u64,
+    /// `JoinAll` actions executed.
+    pub joins: u64,
+    /// `Spawn` actions executed (= `total_tasks - 1`).
+    pub spawns: u64,
+    /// Sum of every task's `frame_size`.
+    pub frame_bytes_total: u64,
+    /// High-water of simultaneously live frame bytes, machine-wide.
+    pub peak_frame_bytes: u64,
+    /// Schedule-independent join-tree digest; must equal
+    /// [`uat_model::join_tree_fingerprint`] of the same workload.
+    pub join_fingerprint: u64,
+    /// Successful steals of a started thread between workers.
+    pub steals: u64,
+    /// Real elapsed time.
+    pub wall: std::time::Duration,
+}
+
+impl NativeRunStats {
+    /// Units per wall-clock second (the native Figure 11 axis).
+    pub fn throughput(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s == 0.0 {
+            return 0.0;
+        }
+        self.total_units as f64 / s
+    }
+
+    /// One-line summary for harness output.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<24} Native w={:<3} tasks={:<10} units={:<10} wall={:>9.4}s thr={:>12.0}/s steals={} peak_frames={}B",
+            self.workload,
+            self.workers,
+            self.total_tasks,
+            self.total_units,
+            self.wall.as_secs_f64(),
+            self.throughput(),
+            self.steals,
+            self.peak_frame_bytes,
+        )
+    }
+}
+
+/// Driver that runs any [`Workload`] on the native fiber runtime.
+#[derive(Clone, Debug)]
+pub struct NativeRunner {
+    workers: usize,
+    stack_size: usize,
+    work_divisor: u64,
+}
+
+impl NativeRunner {
+    /// A runner with `workers` OS-thread workers.
+    pub fn new(workers: usize) -> Self {
+        NativeRunner {
+            workers,
+            stack_size: 128 << 10,
+            work_divisor: 1,
+        }
+    }
+
+    /// Override the per-task stack size (default 128 KiB). Must exceed
+    /// the workload's largest `frame_size` with room for the
+    /// interpreter's own frames.
+    pub fn with_stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = bytes;
+        self
+    }
+
+    /// Divide every `Work(c)` spin by `div` (accounting still records
+    /// the full `c`). Differential tests compare task expansion, not
+    /// timing, so they use a large divisor to skip the spinning.
+    pub fn with_work_divisor(mut self, div: u64) -> Self {
+        assert!(div >= 1, "work divisor must be at least 1");
+        self.work_divisor = div;
+        self
+    }
+
+    /// Run `w` to completion on real fibers and report its accounting.
+    pub fn run<W>(&self, w: W) -> NativeRunStats
+    where
+        W: Workload + Send + Sync + 'static,
+        W::Desc: 'static,
+    {
+        let workload = w.name();
+        let w = Arc::new(w);
+        let counters = Arc::new(Counters::default());
+        let rt = Runtime::new(self.workers).with_stack_size(self.stack_size);
+        let w2 = Arc::clone(&w);
+        let c2 = Arc::clone(&counters);
+        let div = self.work_divisor;
+        let t0 = std::time::Instant::now();
+        let ((), sched) = rt.run_counted(move || {
+            let root = w2.root();
+            exec(&w2, &root, &c2, div);
+        });
+        let wall = t0.elapsed();
+        let c = &counters;
+        NativeRunStats {
+            workload,
+            workers: self.workers as u32,
+            total_tasks: c.tasks.load(Ordering::Acquire),
+            total_units: c.units.load(Ordering::Acquire),
+            total_work_cycles: c.work_cycles.load(Ordering::Acquire),
+            joins: c.joins.load(Ordering::Acquire),
+            spawns: c.spawns.load(Ordering::Acquire),
+            frame_bytes_total: c.frame_bytes_total.load(Ordering::Acquire),
+            peak_frame_bytes: c.peak_frame_bytes.load(Ordering::Acquire),
+            join_fingerprint: c.join_fingerprint.load(Ordering::Acquire),
+            steals: sched.steals,
+            wall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uat_model::testutil::BinTree;
+    use uat_model::{join_tree_fingerprint, sequential_profile};
+
+    fn runner(workers: usize) -> NativeRunner {
+        NativeRunner::new(workers).with_work_divisor(u64::MAX)
+    }
+
+    #[test]
+    fn bintree_counts_match_sequential_profile() {
+        let w = BinTree {
+            depth: 6,
+            work: 1_000,
+            frame: 512,
+        };
+        let p = sequential_profile(&w);
+        for workers in [1usize, 3] {
+            let s = runner(workers).run(w.clone());
+            assert_eq!(s.total_tasks, p.tasks, "workers={workers}");
+            assert_eq!(s.total_units, p.units);
+            assert_eq!(s.total_work_cycles, p.work_cycles);
+            assert_eq!(s.joins, p.joins);
+            assert_eq!(s.spawns, p.spawns);
+            assert_eq!(s.frame_bytes_total, p.frame_bytes_total);
+            assert_eq!(s.join_fingerprint, p.join_fingerprint);
+            assert_eq!(s.join_fingerprint, join_tree_fingerprint(&w));
+        }
+    }
+
+    #[test]
+    fn work_is_accounted_undivided() {
+        let w = BinTree {
+            depth: 2,
+            work: 10_000,
+            frame: 64,
+        };
+        let s = runner(2).run(w);
+        assert_eq!(s.total_work_cycles, 7 * 10_000);
+    }
+
+    #[test]
+    fn frames_really_occupy_stack() {
+        // A frame far beyond the chunk size still completes (the
+        // reservation recursion works), and the peak reflects at least
+        // the deepest single frame.
+        let w = BinTree {
+            depth: 1,
+            work: 0,
+            frame: 16 << 10,
+        };
+        let s = runner(1).run(w);
+        assert!(s.peak_frame_bytes >= 16 << 10);
+        assert_eq!(s.total_tasks, 3);
+    }
+
+    #[test]
+    fn multi_worker_runs_steal() {
+        // On a single-CPU host a thief only runs when the OS preempts
+        // the busy worker, so each run must span several scheduling
+        // quanta (~70ms of spinning here); allow a few attempts and
+        // require at least one observed steal overall.
+        let mut stole = 0;
+        for _ in 0..3 {
+            let w = BinTree {
+                depth: 10,
+                work: 100_000,
+                frame: 256,
+            };
+            let s = NativeRunner::new(4).run(w);
+            assert_eq!(s.total_tasks, (1 << 11) - 1);
+            stole += s.steals;
+            if stole > 0 {
+                break;
+            }
+        }
+        assert!(stole > 0, "no steals across 3 runs on 4 workers");
+    }
+}

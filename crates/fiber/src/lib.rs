@@ -19,6 +19,10 @@
 //!   steal-a-started-thread semantics in the shared-memory degenerate
 //!   case the paper notes in Section 2 ("migrating a task ... can be
 //!   done simply by passing the address of the stack").
+//! - [`interp`]: the native backend of the backend-neutral task model —
+//!   an interpreter that runs any `uat-model` `Workload` (`Work` /
+//!   `Spawn` / `JoinAll` programs) on real fibers with real frame
+//!   reservation, reporting the same unit accounting as the simulator.
 //! - [`ipc`]: the faithful **cross-address-space** demonstration —
 //!   process-per-core via `fork`, the uni-address region at the same
 //!   fixed virtual address in each process, shared-memory task-queue
@@ -37,12 +41,14 @@
 
 pub mod creation;
 pub mod ctx;
+pub mod interp;
 pub mod ipc;
 pub mod runtime;
 pub mod stack;
 pub mod tsc;
 
 pub use creation::{measure_creation, CreationStrategy};
+pub use interp::{NativeRunStats, NativeRunner};
 pub use ipc::steal_between_processes;
-pub use runtime::{spawn, JoinHandle, Runtime};
+pub use runtime::{spawn, JoinHandle, Runtime, SchedStats};
 pub use stack::{Stack, StackPool};

@@ -65,6 +65,9 @@ struct Shared {
     deques: Vec<Arc<NativeDeque<u64>>>,
     shutdown: AtomicBool,
     live: AtomicU64,
+    /// Successful steals across all workers (scheduler-loop steals of a
+    /// started thread — the paper's Figure 6 event, shared-memory case).
+    steals: AtomicU64,
     seed_task: Mutex<Option<Box<Payload>>>,
 }
 
@@ -321,12 +324,24 @@ impl Runtime {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        self.run_counted(root).0
+    }
+
+    /// Like [`run`](Self::run), additionally reporting scheduler-level
+    /// counters for the run (used by the native workload interpreter's
+    /// stats; mirrors the sim engine's `RunStats` steal accounting).
+    pub fn run_counted<T, F>(&self, root: F) -> (T, SchedStats)
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
         let shared = Arc::new(Shared {
             deques: (0..self.nworkers)
                 .map(|_| Arc::new(NativeDeque::new(8192)))
                 .collect(),
             shutdown: AtomicBool::new(false),
             live: AtomicU64::new(1), // the root
+            steals: AtomicU64::new(0),
             seed_task: Mutex::new(None),
         });
 
@@ -365,8 +380,18 @@ impl Runtime {
             h.join().expect("worker thread");
         }
         let out = result.lock().unwrap().take().expect("root set its result");
-        out
+        let sched = SchedStats {
+            steals: shared.steals.load(Ordering::Acquire),
+        };
+        (out, sched)
     }
+}
+
+/// Scheduler-level counters from one [`Runtime::run_counted`] call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedStats {
+    /// Successful steals of a started thread by an idle worker.
+    pub steals: u64,
 }
 
 fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
@@ -407,7 +432,11 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
             if v >= id {
                 v += 1;
             }
-            shared.deques[v].steal()
+            let got = shared.deques[v].steal();
+            if got.is_some() {
+                shared.steals.fetch_add(1, Ordering::Relaxed);
+            }
+            got
         });
         match target {
             Some(ctx) => {
@@ -540,12 +569,15 @@ mod tests {
             fn tree(d: u32, seen: &Arc<StdMutex<HashSet<std::thread::ThreadId>>>) {
                 seen.lock().unwrap().insert(std::thread::current().id());
                 if d == 0 {
-                    // Enough work that thieves get a window.
+                    // Enough work that thieves get a window. The yield
+                    // matters on single-CPU hosts, where a thief can
+                    // only run if the OS preempts or is handed the CPU.
                     let mut x = 0u64;
                     for i in 0..20_000u64 {
                         x = x.wrapping_add(std::hint::black_box(i));
                     }
                     std::hint::black_box(x);
+                    std::thread::yield_now();
                     return;
                 }
                 let s1 = seen.clone();

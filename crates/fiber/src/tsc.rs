@@ -29,6 +29,31 @@ pub fn stop() -> u64 {
     }
 }
 
+/// Read the timestamp counter without serializing the pipeline — the
+/// cheap read used inside calibrated spin loops, where the fences of
+/// [`start`]/[`stop`] would dwarf the interval being produced.
+#[inline]
+pub fn now() -> u64 {
+    // SAFETY: rdtsc is unprivileged and has no memory operands; this
+    // crate only builds on x86_64.
+    unsafe { _rdtsc() }
+}
+
+/// Busy-spin for (at least) `cycles` timestamp-counter ticks — the
+/// native interpretation of the task model's `Work(c)` action. The loop
+/// re-reads the counter rather than counting iterations, so the delay
+/// is calibrated in the same unit Table 2 measures in.
+#[inline]
+pub fn spin_cycles(cycles: u64) {
+    if cycles == 0 {
+        return;
+    }
+    let t0 = now();
+    while now().wrapping_sub(t0) < cycles {
+        std::hint::spin_loop();
+    }
+}
+
 /// Measure the mean cycles of one call to `f`, amortized over `batch`
 /// back-to-back calls, taking the minimum of `reps` batches (minimum
 /// filters scheduler noise, batching amortizes the fence overhead).

@@ -16,7 +16,7 @@
 //! 1,120 bytes (43,568 → 44,688 for depths 38 → 39; 22,288 → 23,408 for
 //! 19 → 20), i.e. ≈1,120 bytes of frames per tree level.
 
-use uat_cluster::{Action, Workload};
+use uat_model::{Action, Workload};
 
 /// Frame bytes per BTC task (Table 4's per-level stack growth).
 pub const BTC_FRAME: u64 = 1_120;
@@ -89,7 +89,7 @@ impl Workload for Btc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uat_cluster::workload::sequential_profile;
+    use uat_model::sequential_profile;
 
     #[test]
     fn iter1_is_a_binary_tree() {

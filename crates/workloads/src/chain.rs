@@ -11,7 +11,7 @@
 //! swapped. Steady state is exactly one steal and one suspend/resume of
 //! a 3,055-byte thread per round.
 
-use uat_cluster::{Action, Workload};
+use uat_model::{Action, Workload};
 
 /// Task descriptor: the iterating root or a leaf child.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -86,8 +86,7 @@ impl Workload for Chain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uat_cluster::workload::sequential_profile;
-    use uat_cluster::{Engine, SimConfig};
+    use uat_model::sequential_profile;
 
     #[test]
     fn chain_counts() {
@@ -97,19 +96,7 @@ mod tests {
         assert_eq!(p.units, 10);
     }
 
-    #[test]
-    fn two_workers_ping_pong() {
-        let mut cfg = SimConfig::tiny(2);
-        cfg.core.verify_stack_bytes = true;
-        let rounds = 200;
-        let s = Engine::new(cfg, Chain::fig10(rounds)).run();
-        // Nearly every round steals the root once.
-        assert!(
-            s.steals_completed as f64 > 0.8 * rounds as f64,
-            "only {} steals in {rounds} rounds",
-            s.steals_completed
-        );
-        // The region never holds more than the root + one leaf.
-        assert!(s.peak_stack_usage <= 3_055 + 256 + 64);
-    }
+    // The two-worker ping-pong test (which needs the simulator's Engine)
+    // lives in `uat-cluster/tests/chain_pingpong.rs`: this crate is
+    // backend-neutral and must not depend on the sim engine.
 }

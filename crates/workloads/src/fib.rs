@@ -3,7 +3,7 @@
 //! Used by the quickstart example and as a second fine-grained stressor
 //! (its task tree is the classic Cilk microbenchmark shape).
 
-use uat_cluster::{Action, Workload};
+use uat_model::{Action, Workload};
 
 /// The `fib(n)` workload of Figure 1 (fork-join form).
 #[derive(Clone, Debug)]
@@ -71,7 +71,7 @@ impl Workload for Fib {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uat_cluster::workload::sequential_profile;
+    use uat_model::sequential_profile;
 
     #[test]
     fn values() {

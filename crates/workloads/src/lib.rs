@@ -20,7 +20,7 @@
 //! each type's docs); EXPERIMENTS.md records the paper-vs-measured
 //! comparison.
 //!
-//! [`units`]: uat_cluster::Workload::units
+//! [`units`]: uat_model::Workload::units
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

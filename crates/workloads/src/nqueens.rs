@@ -11,7 +11,7 @@
 //! uni-address region (74,272 → 79,120 bytes for N=17 → 18), split as
 //! one node frame plus ≈3 split frames per row.
 
-use uat_cluster::{Action, Workload};
+use uat_model::{Action, Workload};
 
 /// Frame bytes of a placement task.
 pub const NQ_NODE_FRAME: u64 = 1_968;
@@ -195,7 +195,7 @@ fn split_mask(mask: u32) -> (u32, u32) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uat_cluster::workload::sequential_profile;
+    use uat_model::sequential_profile;
 
     #[test]
     fn known_solution_counts() {

@@ -24,7 +24,7 @@
 //! split as one node frame plus two split frames per level.
 
 use crate::sha1::{digest_u64, uts_child, uts_root, Digest};
-use uat_cluster::{Action, Workload};
+use uat_model::{Action, Workload};
 
 /// Frame bytes of a node task (Table 4 calibration).
 pub const UTS_NODE_FRAME: u64 = 3_928;
@@ -212,7 +212,7 @@ impl Workload for Uts {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uat_cluster::workload::sequential_profile;
+    use uat_model::sequential_profile;
 
     #[test]
     fn tree_is_deterministic() {

@@ -1,54 +1,39 @@
-//! NQueens on the *native* fiber runtime — a real parallel solver using
-//! spawn/join lightweight threads (the paper's Figure 2 API), not the
-//! simulator.
+//! NQueens on the *native* fiber runtime, through the shared task model.
+//!
+//! This runs the exact `uat-workloads` NQueens workload the cluster
+//! simulator runs — the same `Action` program, expanded by the native
+//! interpreter into real spawn/join lightweight threads (the paper's
+//! Figure 2 API) with real calibrated `Work` spinning — and cross-checks
+//! the expansion against the sequential ground truth. One workload
+//! definition, two backends.
 //!
 //! Run: `cargo run --release --example nqueens_native -- [N] [workers]`
 
-use uni_address_threads::fiber::{self, Runtime};
-use uni_address_threads::workloads::nqueens::Board;
-
-/// Count solutions below `board`, spawning a thread per safe column
-/// while at least `par_rows` rows remain (below that, plain recursion —
-/// the granularity-control idiom every task-parallel program uses).
-fn solve(board: Board, n: u32, par_rows: u32) -> u64 {
-    if board.row == n {
-        return 1;
-    }
-    let mut mask = board.safe_columns(n);
-    if n - board.row <= par_rows {
-        // Sequential tail.
-        let mut total = 0;
-        while mask != 0 {
-            let col = mask.trailing_zeros();
-            mask &= mask - 1;
-            total += solve(board.place(col), n, par_rows);
-        }
-        return total;
-    }
-    let mut handles = Vec::new();
-    while mask != 0 {
-        let col = mask.trailing_zeros();
-        mask &= mask - 1;
-        let child = board.place(col);
-        handles.push(fiber::spawn(move || solve(child, n, par_rows)));
-    }
-    handles.into_iter().map(|h| h.join()).sum()
-}
+use uni_address_threads::fiber::NativeRunner;
+use uni_address_threads::model::sequential_profile;
+use uni_address_threads::workloads::NQueens;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(11);
+    let n: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(9);
     let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
 
-    let rt = Runtime::new(workers);
-    let t0 = std::time::Instant::now();
-    let solutions = rt.run(move || solve(Board::empty(), n, n.saturating_sub(4)));
-    let dt = t0.elapsed();
+    let w = NQueens::new(n);
+    let stats = NativeRunner::new(workers).run(w.clone());
+    println!("{}", stats.summary_line());
 
-    println!("NQueens N={n}: {solutions} solutions on {workers} workers in {dt:?}");
-
-    // Cross-check against the sequential solver.
-    let expected = uni_address_threads::workloads::NQueens::new(n).solutions();
-    assert_eq!(solutions, expected, "parallel result must match sequential");
-    println!("verified against the sequential solver.");
+    // The native expansion must match the sequential ground truth —
+    // the same invariant the simulator is held to.
+    let p = sequential_profile(&w);
+    assert_eq!(stats.total_tasks, p.tasks, "task count diverged");
+    assert_eq!(stats.total_units, p.units, "unit count diverged");
+    assert_eq!(
+        stats.join_fingerprint, p.join_fingerprint,
+        "join-tree shape diverged"
+    );
+    println!(
+        "verified against the sequential profile: {} tasks, {} units \
+         (legal positions), join tree intact.",
+        p.tasks, p.units
+    );
 }

@@ -8,6 +8,9 @@
 //!
 //! This crate is a facade over the workspace:
 //!
+//! - [`model`] (`uat-model`) — the backend-neutral task model: `Action`
+//!   programs, the `Workload` trait, and sequential ground-truth
+//!   profiling. Both backends below execute this one model.
 //! - [`core`] (`uat-core`) — the uni-address region discipline,
 //!   suspend/resume, the RDMA steal protocol, and the iso-address
 //!   baseline it is compared against.
@@ -19,7 +22,8 @@
 //!   splittable RNG), NQueens, Fibonacci.
 //! - [`fiber`] (`uat-fiber`) — a *native* x86-64 lightweight-thread
 //!   runtime built on the paper's Appendix A context-switching assembly,
-//!   with real multi-worker work stealing.
+//!   with real multi-worker work stealing and an interpreter
+//!   (`fiber::interp`) that runs any [`model`] workload on real fibers.
 //! - [`rdma`], [`vmem`], [`deque`], [`base`] — the substrates: simulated
 //!   fabric, simulated virtual memory, THE-protocol deques, and common
 //!   types.
@@ -59,6 +63,7 @@ pub use uat_cluster as cluster;
 pub use uat_core as core;
 pub use uat_deque as deque;
 pub use uat_fiber as fiber;
+pub use uat_model as model;
 pub use uat_rdma as rdma;
 pub use uat_vmem as vmem;
 pub use uat_workloads as workloads;
