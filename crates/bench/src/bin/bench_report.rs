@@ -142,18 +142,74 @@ where
     ])
 }
 
+/// Traced-vs-untraced native throughput on one pinned case, single
+/// worker for determinism (no steal races in the comparison). The
+/// untraced side still compiles the hooks — this build has the `trace`
+/// feature on but installs no sink, so it measures the dormant-hook
+/// path the tentpole promises is near-free. Gated: installing the sink
+/// may cost at most 5% tasks/sec over best-of-N runs.
+#[cfg(feature = "trace")]
+fn hook_overhead_entry(quick: bool) -> Json {
+    let reps = if quick { 5 } else { 9 };
+    let runner = NativeRunner::new(1);
+    let rate = |tasks: u64, wall: std::time::Duration| tasks as f64 / wall.as_secs_f64();
+    let mut untraced = f64::MIN;
+    let mut traced = f64::MIN;
+    for _ in 0..reps {
+        let s = runner.run(NQueens::new(7));
+        untraced = untraced.max(rate(s.total_tasks, s.wall));
+        let (s, t) = runner.run_traced(NQueens::new(7));
+        assert_eq!(s.trace_dropped, 0, "overhead case must not drop events");
+        assert!(
+            t.data.makespan.get() > 0,
+            "traced overhead case produced an empty trace"
+        );
+        traced = traced.max(rate(s.total_tasks, s.wall));
+    }
+    let overhead_pct = 100.0 * (untraced / traced - 1.0);
+    println!(
+        "hook_overhead: nqueens7 w=1 untraced={untraced:.0}/s traced={traced:.0}/s overhead={overhead_pct:+.2}%"
+    );
+    if overhead_pct > 5.0 {
+        eprintln!(
+            "error: installing the trace sink costs {overhead_pct:.2}% tasks/sec (budget 5%)"
+        );
+        std::process::exit(1);
+    }
+    Json::obj([
+        ("case", Json::str("nqueens7_w1")),
+        ("untraced_tasks_per_sec", Json::Num(untraced)),
+        ("traced_tasks_per_sec", Json::Num(traced)),
+        ("overhead_pct", Json::Num(overhead_pct)),
+    ])
+}
+
+#[cfg(not(feature = "trace"))]
+fn hook_overhead_entry(_quick: bool) -> Json {
+    Json::Null
+}
+
 /// The native-backend section of the engine artifact: the same `Action`
-/// programs the simulator times, executed for real on fibers.
+/// programs the simulator times, executed for real on fibers. `hooks`
+/// records whether this build compiled the trace hooks, so trajectory
+/// diffs can compare hook-free and hooked builds of the same cases (the
+/// zero-cost-stub check); `hook_overhead` gates the in-build cost of
+/// actually installing a sink.
 fn native_section(quick: bool, host_threads: usize) -> Json {
     // Steal dynamics need >1 worker even on single-CPU hosts.
     let workers = host_threads.clamp(2, 4);
     let fib = if quick { 16 } else { 20 };
     let rounds = if quick { 50 } else { 200 };
     println!("\n# native fiber backend (workers={workers})");
-    Json::Arr(vec![
+    let cases = Json::Arr(vec![
         native_case("fib_native", workers, Fib::new(fib)),
         native_case("nqueens7_native", workers, NQueens::new(7)),
         native_case("chain_native", workers, Chain::fig10(rounds)),
+    ]);
+    Json::obj([
+        ("hooks", Json::Bool(cfg!(feature = "trace"))),
+        ("cases", cases),
+        ("hook_overhead", hook_overhead_entry(quick)),
     ])
 }
 

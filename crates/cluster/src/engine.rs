@@ -1204,6 +1204,7 @@ impl<W: Workload> Engine<W> {
             uat_core::audit::panic_message(payload).unwrap_or("non-string panic payload");
         let data = uat_trace::TraceData {
             clock_hz: self.cfg.cost.clock_hz,
+            clock_source: uat_trace::ClockSource::Simulated,
             workers: self.trace.take_rings(),
             fabric: self.fabric.take_trace(),
             makespan: now,
@@ -1261,6 +1262,7 @@ impl<W: Workload> Engine<W> {
             stats,
             uat_trace::TraceData {
                 clock_hz,
+                clock_source: uat_trace::ClockSource::Simulated,
                 workers,
                 fabric,
                 makespan,

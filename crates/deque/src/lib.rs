@@ -29,5 +29,5 @@ pub mod native;
 pub mod sim;
 
 pub use entry::TaskqEntry;
-pub use native::NativeDeque;
+pub use native::{NativeDeque, StealAttemptOutcome, StealPhases};
 pub use sim::{DequeSnapshot, PopOutcome, SimDeque, StealOutcome};

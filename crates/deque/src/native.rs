@@ -228,6 +228,76 @@ impl<T: Copy> NativeDeque<T> {
         result
     }
 
+    /// [`steal`](Self::steal) with phase-boundary timestamps from
+    /// `clock`, for tracing thieves: the returned [`StealPhases`] brackets
+    /// the empty pre-check, the lock acquisition, and the entry take the
+    /// same way the paper's Table 3 brackets the RDMA protocol's phases.
+    /// The protocol itself is identical to the untimed path (which stays
+    /// clock-free so untraced runs pay nothing).
+    pub fn steal_phased<C: FnMut() -> u64>(&self, mut clock: C) -> (Option<T>, StealPhases) {
+        let start = clock();
+        // Empty pre-check (the RDMA protocol's phase 1).
+        let t = self.top.load(Ordering::Acquire);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            let checked = clock();
+            return (
+                None,
+                StealPhases {
+                    start,
+                    checked,
+                    locked: checked,
+                    end: checked,
+                    outcome: StealAttemptOutcome::Empty,
+                },
+            );
+        }
+        let checked = clock();
+        if self
+            .lock
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            let locked = clock();
+            return (
+                None,
+                StealPhases {
+                    start,
+                    checked,
+                    locked,
+                    end: locked,
+                    outcome: StealAttemptOutcome::LockBusy,
+                },
+            );
+        }
+        let locked = clock();
+        let t = self.top.load(Ordering::Relaxed);
+        // SeqCst pairs with the pop's bottom store.
+        let b = self.bottom.load(Ordering::SeqCst);
+        let (result, outcome) = if t >= b {
+            (None, StealAttemptOutcome::Raced)
+        } else {
+            // SAFETY: identical critical section to `steal` — position t
+            // is live and held static by the lock we own (see the proof
+            // comment there).
+            let v = unsafe { (*self.slot(t)).assume_init_read() };
+            self.top.store(t + 1, Ordering::SeqCst);
+            (Some(v), StealAttemptOutcome::Taken)
+        };
+        self.release_lock();
+        let end = clock();
+        (
+            result,
+            StealPhases {
+                start,
+                checked,
+                locked,
+                end,
+                outcome,
+            },
+        )
+    }
+
     /// Entries currently in the deque (racy snapshot).
     pub fn len(&self) -> u64 {
         let t = self.top.load(Ordering::Acquire);
@@ -244,6 +314,40 @@ impl<T: Copy> NativeDeque<T> {
     pub fn capacity(&self) -> usize {
         self.slots.len()
     }
+}
+
+/// How an instrumented steal attempt ended (the native analogue of the
+/// trace layer's `StealOutcome`, kept local so `uat-deque` stays at the
+/// bottom of the dependency graph).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StealAttemptOutcome {
+    /// An entry was taken.
+    Taken,
+    /// The pre-check saw an empty deque.
+    Empty,
+    /// Another thief held the lock; aborted without queuing.
+    LockBusy,
+    /// Locked successfully but the deque had drained (lost the race).
+    Raced,
+}
+
+/// Clock readings bracketing the phases of one [`NativeDeque::steal_phased`]
+/// attempt: `[start, checked)` is the empty pre-check, `[checked, locked)`
+/// the lock acquisition, `[locked, end)` the entry take and unlock. On an
+/// abort the later boundaries collapse onto the point the attempt ended.
+#[derive(Clone, Copy, Debug)]
+pub struct StealPhases {
+    /// Clock at attempt start.
+    pub start: u64,
+    /// Clock after the empty pre-check.
+    pub checked: u64,
+    /// Clock after the lock CAS resolved.
+    pub locked: u64,
+    /// Clock after the entry was taken (or the attempt aborted) and the
+    /// lock released.
+    pub end: u64,
+    /// How the attempt ended.
+    pub outcome: StealAttemptOutcome,
 }
 
 #[cfg(test)]
@@ -416,6 +520,39 @@ mod tests {
                 "round {r} claimed twice or lost"
             );
         }
+    }
+
+    /// The instrumented steal is protocol-identical to the plain one and
+    /// its phase stamps are ordered by construction.
+    #[test]
+    fn steal_phased_matches_steal_semantics() {
+        let d = NativeDeque::new(8);
+        let mut clk = 0u64;
+        let mut clock = || {
+            clk += 1;
+            clk
+        };
+        let (got, ph) = d.steal_phased(&mut clock);
+        assert_eq!(got, None);
+        assert_eq!(ph.outcome, StealAttemptOutcome::Empty);
+        assert!(ph.start <= ph.checked && ph.checked == ph.end);
+
+        d.push(7u64);
+        d.push(8);
+        let (got, ph) = d.steal_phased(&mut clock);
+        assert_eq!(got, Some(7));
+        assert_eq!(ph.outcome, StealAttemptOutcome::Taken);
+        assert!(ph.start <= ph.checked && ph.checked <= ph.locked && ph.locked <= ph.end);
+        assert_eq!(d.pop(), Some(8));
+
+        // A held lock aborts instead of queuing.
+        d.push(9);
+        d.lock.store(1, Ordering::Release);
+        let (got, ph) = d.steal_phased(&mut clock);
+        assert_eq!(got, None);
+        assert_eq!(ph.outcome, StealAttemptOutcome::LockBusy);
+        d.lock.store(0, Ordering::Release);
+        assert_eq!(d.steal(), Some(9));
     }
 
     /// Two thieves only (owner quiescent): all entries stolen exactly once.

@@ -159,6 +159,13 @@ pub struct NativeRunStats {
     pub join_fingerprint: u64,
     /// Successful steals of a started thread between workers.
     pub steals: u64,
+    /// Workers that crossed the idle spin threshold into a sleep cycle.
+    pub parks: u64,
+    /// Parked workers that subsequently found work.
+    pub unparks: u64,
+    /// Trace events evicted from full rings (0 for untraced runs and
+    /// for traced runs whose rings sufficed — the accounts stay exact).
+    pub trace_dropped: u64,
     /// Real elapsed time.
     pub wall: std::time::Duration,
 }
@@ -176,7 +183,7 @@ impl NativeRunStats {
     /// One-line summary for harness output.
     pub fn summary_line(&self) -> String {
         format!(
-            "{:<24} Native w={:<3} tasks={:<10} units={:<10} wall={:>9.4}s thr={:>12.0}/s steals={} peak_frames={}B",
+            "{:<24} Native w={:<3} tasks={:<10} units={:<10} wall={:>9.4}s thr={:>12.0}/s steals={} parks={} unparks={} drop={} peak_frames={}B",
             self.workload,
             self.workers,
             self.total_tasks,
@@ -184,6 +191,9 @@ impl NativeRunStats {
             self.wall.as_secs_f64(),
             self.throughput(),
             self.steals,
+            self.parks,
+            self.unparks,
+            self.trace_dropped,
             self.peak_frame_bytes,
         )
     }
@@ -195,6 +205,12 @@ pub struct NativeRunner {
     workers: usize,
     stack_size: usize,
     work_divisor: u64,
+    /// Per-worker event-ring capacity for [`run_traced`]
+    /// (`None` = the runtime default).
+    ///
+    /// [`run_traced`]: Self::run_traced
+    #[cfg(feature = "trace")]
+    ring_capacity: Option<usize>,
 }
 
 impl NativeRunner {
@@ -204,7 +220,17 @@ impl NativeRunner {
             workers,
             stack_size: 128 << 10,
             work_divisor: 1,
+            #[cfg(feature = "trace")]
+            ring_capacity: None,
         }
+    }
+
+    /// Override the per-worker event-ring capacity used by
+    /// [`run_traced`](Self::run_traced).
+    #[cfg(feature = "trace")]
+    pub fn with_tracing(mut self, ring_capacity: usize) -> Self {
+        self.ring_capacity = Some(ring_capacity);
+        self
     }
 
     /// Override the per-task stack size (default 128 KiB). Must exceed
@@ -237,13 +263,52 @@ impl NativeRunner {
         let w2 = Arc::clone(&w);
         let c2 = Arc::clone(&counters);
         let div = self.work_divisor;
-        let t0 = std::time::Instant::now();
         let ((), sched) = rt.run_counted(move || {
             let root = w2.root();
             exec(&w2, &root, &c2, div);
         });
-        let wall = t0.elapsed();
-        let c = &counters;
+        let wall = sched.wall;
+        self.stats(workload, &counters, sched, wall, 0)
+    }
+
+    /// Like [`run`](Self::run) with per-worker event tracing on,
+    /// additionally returning the finalized [`NativeTrace`]
+    /// (exportable `TraceData` + per-worker bucket accounts).
+    ///
+    /// [`NativeTrace`]: crate::ntrace::NativeTrace
+    #[cfg(feature = "trace")]
+    pub fn run_traced<W>(&self, w: W) -> (NativeRunStats, crate::ntrace::NativeTrace)
+    where
+        W: Workload + Send + Sync + 'static,
+        W::Desc: 'static,
+    {
+        let workload = w.name();
+        let w = Arc::new(w);
+        let counters = Arc::new(Counters::default());
+        let mut rt = Runtime::new(self.workers).with_stack_size(self.stack_size);
+        if let Some(cap) = self.ring_capacity {
+            rt = rt.with_tracing(cap);
+        }
+        let w2 = Arc::clone(&w);
+        let c2 = Arc::clone(&counters);
+        let div = self.work_divisor;
+        let ((), sched, trace) = rt.run_traced(move || {
+            let root = w2.root();
+            exec(&w2, &root, &c2, div);
+        });
+        let wall = sched.wall;
+        let dropped = trace.data.workers.iter().map(|r| r.dropped()).sum();
+        (self.stats(workload, &counters, sched, wall, dropped), trace)
+    }
+
+    fn stats(
+        &self,
+        workload: String,
+        c: &Counters,
+        sched: crate::runtime::SchedStats,
+        wall: std::time::Duration,
+        trace_dropped: u64,
+    ) -> NativeRunStats {
         NativeRunStats {
             workload,
             workers: self.workers as u32,
@@ -256,6 +321,9 @@ impl NativeRunner {
             peak_frame_bytes: c.peak_frame_bytes.load(Ordering::Acquire),
             join_fingerprint: c.join_fingerprint.load(Ordering::Acquire),
             steals: sched.steals,
+            parks: sched.parks,
+            unparks: sched.unparks,
+            trace_dropped,
             wall,
         }
     }
@@ -316,6 +384,35 @@ mod tests {
         let s = runner(1).run(w);
         assert!(s.peak_frame_bytes >= 16 << 10);
         assert_eq!(s.total_tasks, 3);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_run_tiles_the_makespan() {
+        let w = BinTree {
+            depth: 5,
+            work: 2_000,
+            frame: 256,
+        };
+        let (s, t) = NativeRunner::new(2)
+            .with_work_divisor(8)
+            .run_traced(w.clone());
+        assert_eq!(s.total_tasks, 63);
+        assert_eq!(s.trace_dropped, 0);
+        let mk = t.data.makespan.get();
+        assert!(mk > 0, "traced run has a zero makespan");
+        assert_eq!(t.accounts.len(), 2);
+        for (i, acc) in t.accounts.iter().enumerate() {
+            assert_eq!(
+                acc.total().get(),
+                mk,
+                "worker {i} buckets do not tile the makespan"
+            );
+        }
+        // Counts must agree with the untraced accounting.
+        let p = sequential_profile(&w);
+        assert_eq!(s.total_tasks, p.tasks);
+        assert_eq!(s.join_fingerprint, p.join_fingerprint);
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   an interpreter that runs any `uat-model` `Workload` (`Work` /
 //!   `Spawn` / `JoinAll` programs) on real fibers with real frame
 //!   reservation, reporting the same unit accounting as the simulator.
+//! - [`ntrace`]: native observability — per-worker TSC-stamped event
+//!   rings, `TimeAccount` buckets, and steal-phase spans feeding the
+//!   same `uat-trace` exporters and profiler the simulator uses
+//!   (zero-cost stubs when the `trace` feature is off).
 //! - [`ipc`]: the faithful **cross-address-space** demonstration —
 //!   process-per-core via `fork`, the uni-address region at the same
 //!   fixed virtual address in each process, shared-memory task-queue
@@ -43,6 +47,7 @@ pub mod creation;
 pub mod ctx;
 pub mod interp;
 pub mod ipc;
+pub mod ntrace;
 pub mod runtime;
 pub mod stack;
 pub mod tsc;
@@ -50,5 +55,8 @@ pub mod tsc;
 pub use creation::{measure_creation, CreationStrategy};
 pub use interp::{NativeRunStats, NativeRunner};
 pub use ipc::steal_between_processes;
+#[cfg(feature = "trace")]
+pub use ntrace::{NativeTrace, DEFAULT_RING_CAPACITY};
 pub use runtime::{spawn, JoinHandle, Runtime, SchedStats};
 pub use stack::{Stack, StackPool};
+pub use tsc::{ClockSource, RunClock};

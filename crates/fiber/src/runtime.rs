@@ -26,6 +26,7 @@
 //! diverge with only `Copy` locals live, so no destructor is skipped.
 
 use crate::ctx::{resume_context, save_context_and_call, switch_stack_and_call, Context};
+use crate::ntrace::{TraceShared, WorkerTracer};
 use crate::stack::{Stack, StackPool};
 use std::cell::Cell;
 use std::ffi::c_void;
@@ -43,6 +44,16 @@ struct JoinCore {
     done: AtomicBool,
     /// 0 = empty, 1 = sealed (child finished), else a `*mut Context`.
     waiter: AtomicU64,
+    /// Trace-only: task id of the parked waiter, written by the parent
+    /// before publishing its continuation in the waiter slot, read by
+    /// the completing child to name the `JoinReady` edge.
+    #[cfg(feature = "trace")]
+    waiter_task: AtomicU64,
+    /// Trace-only: task id of the child whose completion unparked the
+    /// waiter (0 = the join never blocked), read by the resumed parent
+    /// to name the `JoinResume` edge.
+    #[cfg(feature = "trace")]
+    enabler: AtomicU64,
 }
 
 impl JoinCore {
@@ -50,6 +61,10 @@ impl JoinCore {
         JoinCore {
             done: AtomicBool::new(false),
             waiter: AtomicU64::new(WAITER_EMPTY),
+            #[cfg(feature = "trace")]
+            waiter_task: AtomicU64::new(0),
+            #[cfg(feature = "trace")]
+            enabler: AtomicU64::new(0),
         }
     }
 }
@@ -68,7 +83,28 @@ struct Shared {
     /// Successful steals across all workers (scheduler-loop steals of a
     /// started thread — the paper's Figure 6 event, shared-memory case).
     steals: AtomicU64,
+    /// Workers that crossed the idle spin threshold into a sleep cycle.
+    parks: AtomicU64,
+    /// Parked workers that found work again.
+    unparks: AtomicU64,
     seed_task: Mutex<Option<Box<Payload>>>,
+    /// Run-wide trace state; `None` = untraced (hooks early-out).
+    #[cfg(feature = "trace")]
+    trace: Option<Arc<TraceShared>>,
+}
+
+impl Shared {
+    #[inline]
+    fn trace_shared(&self) -> Option<&Arc<TraceShared>> {
+        #[cfg(feature = "trace")]
+        {
+            self.trace.as_ref()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            None
+        }
+    }
 }
 
 struct Worker {
@@ -78,13 +114,23 @@ struct Worker {
     rng: SplitMix64,
     sched_ctx: *mut Context,
     pending_retire: Option<Stack>,
+    trace: WorkerTracer,
 }
 
 thread_local! {
     static CURRENT: Cell<*mut Worker> = const { Cell::new(std::ptr::null_mut()) };
 }
 
-#[inline]
+// `inline(never)` is load-bearing, not a perf tweak: fiber code calls
+// `current()` on *both sides* of a context switch (e.g. before and after
+// a task body that may suspend), and the resume can happen on a
+// different OS thread. If both calls inline into one function, LLVM
+// treats the thread-local's address as invariant across the opaque
+// switch and CSEs the accesses, handing the resumed code the *previous*
+// thread's Worker — stacks then retire into the wrong pool and the next
+// resume jumps into reused memory. Keeping the TLS access inside a
+// never-inlined callee forces a fresh lookup on the executing thread.
+#[inline(never)]
 fn current() -> *mut Worker {
     let w = CURRENT.with(|c| c.get());
     assert!(
@@ -111,6 +157,8 @@ struct Payload {
     body: Option<Box<dyn FnOnce() + Send>>,
     core: Arc<JoinCore>,
     stack: Option<Stack>,
+    /// Trace task id (0 when the run is untraced).
+    task_id: u64,
 }
 
 /// Spawn a thread running `f`, child-first: `f` starts immediately on a
@@ -131,11 +179,19 @@ where
     });
     let w = current();
     // SAFETY: exclusive access by the owning thread; short borrow.
-    let stack = unsafe { (*w).pool.take() };
+    let (stack, task_id) = unsafe {
+        let wr = &mut *w;
+        let stack = wr.pool.take();
+        // Trace: close the parent's Work slice, open Spawn, allocate
+        // and announce the child id (0 when untraced).
+        let task_id = wr.trace.on_spawn();
+        (stack, task_id)
+    };
     let payload = Box::new(Payload {
         body: Some(body),
         core: Arc::clone(&core),
         stack: Some(stack),
+        task_id,
     });
     // SAFETY: shared is alive for the runtime's duration; the reference
     // is dropped before the context switch below.
@@ -154,6 +210,10 @@ where
     }
     // Resumed — possibly on a different worker thread.
     collect_retired();
+    // SAFETY: exclusive worker access; scoped borrow.
+    unsafe {
+        (*current()).trace.on_resumed();
+    }
     JoinHandle { core, result }
 }
 
@@ -163,7 +223,11 @@ unsafe extern "C" fn spawn_tramp(ctx: *mut Context, arg: *mut c_void) {
     // SAFETY: worker structures outlive all tasks; references end before
     // the stack switch.
     let top = unsafe {
-        let wr = &*w;
+        let wr = &mut *w;
+        // Trace: register the continuation *before* the push makes it
+        // stealable, so a thief's commit always finds the publication.
+        let parent = wr.trace.cur_task();
+        wr.trace.on_publish(ctx as u64, parent);
         wr.shared.deques[wr.id].push(ctx as u64);
         let payload = &*(arg as *mut Payload);
         payload
@@ -181,6 +245,11 @@ unsafe extern "C" fn child_main(arg: *mut c_void) -> ! {
         // SAFETY: sole owner of the payload from here.
         let mut payload = unsafe { Box::from_raw(arg as *mut Payload) };
         let body = payload.body.take().expect("body present");
+        let task = payload.task_id;
+        // Trace: the fiber body starts here; `born` is a Copy local so it
+        // survives any migration of this stack between workers.
+        // SAFETY: exclusive worker access on this thread; scoped borrow.
+        let born = unsafe { (*current()).trace.on_task_begin(task) };
         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).is_err() {
             // Unwinding across a context switch is UB; mirror the paper's
             // C++ runtime and die loudly.
@@ -195,11 +264,25 @@ unsafe extern "C" fn child_main(arg: *mut c_void) -> ! {
             let wr = &mut *w;
             debug_assert!(wr.pending_retire.is_none());
             wr.pending_retire = payload.stack.take();
+            wr.trace.on_task_end(task, born);
         }
         // Thread exit: publish the result, wake a waiter if one parked.
         payload.core.done.store(true, Ordering::Release);
         let prev = payload.core.waiter.swap(WAITER_SEALED, Ordering::AcqRel);
         if prev > WAITER_SEALED {
+            // Trace: name the join edge and register the waiter's
+            // continuation *before* the push makes it stealable.
+            #[cfg(feature = "trace")]
+            // SAFETY: exclusive worker access on this thread.
+            unsafe {
+                let wr = &mut *w;
+                if wr.trace.enabled() {
+                    let parent = payload.core.waiter_task.load(Ordering::Acquire);
+                    payload.core.enabler.store(task, Ordering::Release);
+                    wr.trace.on_join_ready(parent);
+                    wr.trace.on_publish(prev, parent);
+                }
+            }
             // SAFETY: prev is a parked continuation, claimed exactly here;
             // pushing it makes it runnable (and stealable).
             unsafe {
@@ -219,9 +302,12 @@ unsafe extern "C" fn child_main(arg: *mut c_void) -> ! {
     // to the scheduler.
     // SAFETY: worker alive; contexts in the deque are live by protocol.
     let target = unsafe {
-        let wr = &*w;
+        let wr = &mut *w;
         match wr.shared.deques[wr.id].pop() {
-            Some(c) => c as *mut Context,
+            Some(c) => {
+                wr.trace.on_local_pop(c);
+                c as *mut Context
+            }
             None => wr.sched_ctx,
         }
     };
@@ -236,12 +322,34 @@ impl<T> JoinHandle<T> {
     pub fn join(self) -> T {
         if !self.core.done.load(Ordering::Acquire) {
             let core_ptr: *const JoinCore = &*self.core;
+            // Trace: charge the park attempt to the suspend bucket.
+            // SAFETY: exclusive worker access on this thread.
+            unsafe {
+                (*current()).trace.on_suspend();
+            }
             // SAFETY: join_tramp either parks this continuation (resumed
             // exactly once by the completer) or resumes it inline.
             unsafe {
                 save_context_and_call(std::ptr::null_mut(), join_tramp, core_ptr as *mut c_void);
             }
             collect_retired();
+            // Trace: name the resume edge if the join actually parked
+            // (the child that sealed the slot recorded itself as the
+            // enabler); an inline resume just reopens the work slice.
+            #[cfg(feature = "trace")]
+            // SAFETY: exclusive worker access on this (possibly new)
+            // thread.
+            unsafe {
+                let wr = &mut *current();
+                if wr.trace.enabled() {
+                    let child = self.core.enabler.load(Ordering::Acquire);
+                    if child != 0 {
+                        wr.trace.on_join_resume(child);
+                    } else {
+                        wr.trace.on_resumed();
+                    }
+                }
+            }
             debug_assert!(self.core.done.load(Ordering::Acquire));
         }
         let out = self
@@ -261,6 +369,18 @@ impl<T> JoinHandle<T> {
 
 unsafe extern "C" fn join_tramp(ctx: *mut Context, arg: *mut c_void) {
     let core = arg as *const JoinCore;
+    // Trace: record who is about to park *before* the CAS can expose the
+    // slot to the completing child (which reads it to name `JoinReady`).
+    #[cfg(feature = "trace")]
+    // SAFETY: core outlives the join; exclusive worker access.
+    unsafe {
+        let wr = &mut *current();
+        if wr.trace.enabled() {
+            (*core)
+                .waiter_task
+                .store(wr.trace.cur_task(), Ordering::Release);
+        }
+    }
     // Park this continuation unless the child already finished.
     // SAFETY: core outlives the join (the handle holds the Arc).
     let parked = unsafe {
@@ -284,9 +404,12 @@ unsafe extern "C" fn join_tramp(ctx: *mut Context, arg: *mut c_void) {
     let w = current();
     // SAFETY: as in child_main.
     let target = unsafe {
-        let wr = &*w;
+        let wr = &mut *w;
         match wr.shared.deques[wr.id].pop() {
-            Some(c) => c as *mut Context,
+            Some(c) => {
+                wr.trace.on_local_pop(c);
+                c as *mut Context
+            }
             None => wr.sched_ctx,
         }
     };
@@ -299,6 +422,9 @@ unsafe extern "C" fn join_tramp(ctx: *mut Context, arg: *mut c_void) {
 pub struct Runtime {
     nworkers: usize,
     stack_size: usize,
+    /// Per-worker event-ring capacity when tracing; `None` = untraced.
+    #[cfg(feature = "trace")]
+    trace_rings: Option<usize>,
 }
 
 impl Runtime {
@@ -308,12 +434,22 @@ impl Runtime {
         Runtime {
             nworkers,
             stack_size: 128 << 10,
+            #[cfg(feature = "trace")]
+            trace_rings: None,
         }
     }
 
     /// Override the per-task stack size (default 128 KiB).
     pub fn with_stack_size(mut self, bytes: usize) -> Self {
         self.stack_size = bytes;
+        self
+    }
+
+    /// Trace subsequent runs with `ring_capacity`-event per-worker
+    /// rings; collect results with [`run_traced`](Self::run_traced).
+    #[cfg(feature = "trace")]
+    pub fn with_tracing(mut self, ring_capacity: usize) -> Self {
+        self.trace_rings = Some(ring_capacity);
         self
     }
 
@@ -335,6 +471,41 @@ impl Runtime {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        let (out, sched, _shared) = self.run_core(root);
+        (out, sched)
+    }
+
+    /// Like [`run_counted`](Self::run_counted) with tracing forced on
+    /// (at the configured or default ring capacity), additionally
+    /// returning the finalized per-worker trace.
+    #[cfg(feature = "trace")]
+    pub fn run_traced<T, F>(&self, root: F) -> (T, SchedStats, crate::ntrace::NativeTrace)
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let rt = Runtime {
+            nworkers: self.nworkers,
+            stack_size: self.stack_size,
+            trace_rings: Some(
+                self.trace_rings
+                    .unwrap_or(crate::ntrace::DEFAULT_RING_CAPACITY),
+            ),
+        };
+        let (out, sched, shared) = rt.run_core(root);
+        let trace = crate::ntrace::finalize(shared.trace.as_ref().expect("tracing enabled"));
+        (out, sched, trace)
+    }
+
+    fn run_core<T, F>(&self, root: F) -> (T, SchedStats, Arc<Shared>)
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        #[cfg(feature = "trace")]
+        let trace = self
+            .trace_rings
+            .map(|cap| TraceShared::new(self.nworkers, cap));
         let shared = Arc::new(Shared {
             deques: (0..self.nworkers)
                 .map(|_| Arc::new(NativeDeque::new(8192)))
@@ -342,7 +513,11 @@ impl Runtime {
             shutdown: AtomicBool::new(false),
             live: AtomicU64::new(1), // the root
             steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            unparks: AtomicU64::new(0),
             seed_task: Mutex::new(None),
+            #[cfg(feature = "trace")]
+            trace,
         });
 
         let core = Arc::new(JoinCore::new());
@@ -351,12 +526,24 @@ impl Runtime {
         let body: Box<dyn FnOnce() + Send> = Box::new(move || {
             *r2.lock().unwrap() = Some(root());
         });
+        let root_task = {
+            #[cfg(feature = "trace")]
+            {
+                shared.trace.as_ref().map_or(0, |t| t.alloc_task())
+            }
+            #[cfg(not(feature = "trace"))]
+            {
+                0
+            }
+        };
         *shared.seed_task.lock().unwrap() = Some(Box::new(Payload {
             body: Some(body),
             core: Arc::clone(&core),
             stack: Some(Stack::new(self.stack_size)),
+            task_id: root_task,
         }));
 
+        let t0 = std::time::Instant::now();
         let handles: Vec<_> = (0..self.nworkers)
             .map(|id| {
                 let shared = Arc::clone(&shared);
@@ -379,11 +566,15 @@ impl Runtime {
         for h in handles {
             h.join().expect("worker thread");
         }
+        let wall = t0.elapsed();
         let out = result.lock().unwrap().take().expect("root set its result");
         let sched = SchedStats {
             steals: shared.steals.load(Ordering::Acquire),
+            parks: shared.parks.load(Ordering::Acquire),
+            unparks: shared.unparks.load(Ordering::Acquire),
+            wall,
         };
-        (out, sched)
+        (out, sched, shared)
     }
 }
 
@@ -392,6 +583,15 @@ impl Runtime {
 pub struct SchedStats {
     /// Successful steals of a started thread by an idle worker.
     pub steals: u64,
+    /// Workers that crossed the idle spin threshold into a sleep cycle.
+    pub parks: u64,
+    /// Parked workers that subsequently found work.
+    pub unparks: u64,
+    /// Elapsed time of the worker run itself — first worker thread
+    /// spawned to last joined. Excludes trace-ring allocation before the
+    /// run and trace finalization after it, so traced and untraced runs
+    /// are compared on the scheduling work alone.
+    pub wall: std::time::Duration,
 }
 
 fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
@@ -402,6 +602,7 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
         rng: SplitMix64::new(0x5EED ^ id as u64),
         sched_ctx: std::ptr::null_mut(),
         pending_retire: None,
+        trace: WorkerTracer::new(shared.trace_shared(), id),
     };
     let w: *mut Worker = &mut worker;
     CURRENT.with(|c| c.set(w));
@@ -419,28 +620,64 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
 
     let n = shared.deques.len();
     let mut idle_spins = 0u32;
+    let mut parked = false;
     loop {
         collect_retired();
+        // SAFETY: exclusive worker access on this thread (each borrow
+        // below is scoped to its statement).
+        unsafe {
+            (*w).trace.on_idle();
+        }
         // Own deque first (ready waiters and un-stolen parents)...
-        let target = shared.deques[id].pop().or_else(|| {
-            // ...then random stealing.
-            if n == 1 {
-                return None;
-            }
-            // SAFETY: exclusive worker access on this thread.
-            let mut v = unsafe { (*w).rng.below(n as u64 - 1) as usize };
-            if v >= id {
-                v += 1;
-            }
-            let got = shared.deques[v].steal();
-            if got.is_some() {
-                shared.steals.fetch_add(1, Ordering::Relaxed);
-            }
-            got
-        });
+        let target = shared.deques[id]
+            .pop()
+            .inspect(|&c| {
+                // SAFETY: as above.
+                unsafe {
+                    (*w).trace.on_local_pop(c);
+                }
+            })
+            .or_else(|| {
+                // ...then random stealing.
+                if n == 1 {
+                    return None;
+                }
+                // SAFETY: as above.
+                let mut v = unsafe { (*w).rng.below(n as u64 - 1) as usize };
+                if v >= id {
+                    v += 1;
+                }
+                // Traced runs take the phase-stamped steal so lock/entry
+                // time lands in the right buckets; untraced runs keep the
+                // bare protocol.
+                // SAFETY: as above.
+                let got = match unsafe { (*w).trace.clock() } {
+                    Some(clk) => {
+                        let (got, ph) = shared.deques[v].steal_phased(|| clk.now_cycles());
+                        // SAFETY: as above.
+                        unsafe {
+                            (*w).trace.on_steal_attempt(v, got, &ph);
+                        }
+                        got
+                    }
+                    None => shared.deques[v].steal(),
+                };
+                if got.is_some() {
+                    shared.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                got
+            });
         match target {
             Some(ctx) => {
                 idle_spins = 0;
+                if parked {
+                    parked = false;
+                    shared.unparks.fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: as above.
+                    unsafe {
+                        (*w).trace.on_unpark();
+                    }
+                }
                 run_ctx(ctx as *mut Context);
             }
             None => {
@@ -449,12 +686,25 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
                 }
                 idle_spins = idle_spins.saturating_add(1);
                 if idle_spins > 64 {
+                    if !parked {
+                        parked = true;
+                        shared.parks.fetch_add(1, Ordering::Relaxed);
+                        // SAFETY: as above.
+                        unsafe {
+                            (*w).trace.on_park();
+                        }
+                    }
                     std::thread::sleep(std::time::Duration::from_micros(20));
                 } else {
                     std::thread::yield_now();
                 }
             }
         }
+    }
+    // Deposit this worker's timeline (no-op when untraced).
+    // SAFETY: as above.
+    unsafe {
+        (*w).trace.finish();
     }
     CURRENT.with(|c| c.set(std::ptr::null_mut()));
 }

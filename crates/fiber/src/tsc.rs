@@ -1,8 +1,31 @@
-//! Cycle counting with `rdtsc`/`rdtscp` — the unit of Table 2.
+//! Cycle counting with `rdtsc`/`rdtscp` — the unit of Table 2 — plus
+//! the calibrated, per-run-epoch [`RunClock`] that stamps native trace
+//! events.
+//!
+//! The raw counter readers below are x86-64 only (like the rest of the
+//! crate); [`RunClock`] additionally degrades gracefully: if the TSC is
+//! unavailable (non-x86 host, once the crate gate lifts) or calibration
+//! detects a broken counter, it falls back to `std::time::Instant`
+//! deltas at a nominal rate and *says so* via [`ClockSource`], which the
+//! trace exporters surface as metadata — honest timestamps or honest
+//! labels, never silent garbage.
 
+#[cfg(target_arch = "x86_64")]
 use std::arch::x86_64::{__cpuid, __rdtscp, _rdtsc};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Nanoseconds since a process-wide epoch — the portable stand-in for
+/// the TSC where no usable counter exists (1 "cycle" = 1 ns).
+#[cfg_attr(target_arch = "x86_64", allow(dead_code))]
+fn instant_nanos() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_nanos() as u64
+}
 
 /// Serialize, then read the timestamp counter (measurement start).
+#[cfg(target_arch = "x86_64")]
 #[inline]
 pub fn start() -> u64 {
     // SAFETY: cpuid and rdtsc are unprivileged and have no memory
@@ -15,8 +38,16 @@ pub fn start() -> u64 {
     }
 }
 
+/// [`start`] on hosts without a TSC: an `Instant`-based reading.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+pub fn start() -> u64 {
+    instant_nanos()
+}
+
 /// Read the timestamp counter with `rdtscp` (measurement end); the
 /// instruction waits for earlier instructions to retire.
+#[cfg(target_arch = "x86_64")]
 #[inline]
 pub fn stop() -> u64 {
     // SAFETY: rdtscp writes only through the provided aux pointer, which
@@ -29,14 +60,29 @@ pub fn stop() -> u64 {
     }
 }
 
+/// [`stop`] on hosts without a TSC: an `Instant`-based reading.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+pub fn stop() -> u64 {
+    instant_nanos()
+}
+
 /// Read the timestamp counter without serializing the pipeline — the
 /// cheap read used inside calibrated spin loops, where the fences of
 /// [`start`]/[`stop`] would dwarf the interval being produced.
+#[cfg(target_arch = "x86_64")]
 #[inline]
 pub fn now() -> u64 {
     // SAFETY: rdtsc is unprivileged and has no memory operands; this
     // crate only builds on x86_64.
     unsafe { _rdtsc() }
+}
+
+/// [`now`] on hosts without a TSC: an `Instant`-based reading.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+pub fn now() -> u64 {
+    instant_nanos()
 }
 
 /// Busy-spin for (at least) `cycles` timestamp-counter ticks — the
@@ -78,6 +124,105 @@ pub fn measure<F: FnMut()>(mut f: F, batch: u64, reps: u64) -> f64 {
     best
 }
 
+/// Which physical clock a [`RunClock`] reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClockSource {
+    /// Hardware timestamp counter, calibrated against the OS monotonic
+    /// clock.
+    Tsc,
+    /// `std::time::Instant` at [`INSTANT_HZ`] — the fallback when the
+    /// TSC is absent or calibration rejects it.
+    Instant,
+}
+
+/// The nominal rate of the `Instant` fallback: one "cycle" per
+/// nanosecond.
+pub const INSTANT_HZ: f64 = 1e9;
+
+/// Calibrate the TSC against the OS monotonic clock, once per process:
+/// read both clocks, spin ~2 ms, read both again, and require the
+/// implied rate to land in a plausible range (100 MHz – 100 GHz) with a
+/// forward-moving counter. `None` means "do not trust this TSC".
+fn calibrated_tsc_hz() -> Option<f64> {
+    static HZ: OnceLock<Option<f64>> = OnceLock::new();
+    *HZ.get_or_init(|| {
+        if !cfg!(target_arch = "x86_64") {
+            return None;
+        }
+        let i0 = Instant::now();
+        let t0 = start();
+        while i0.elapsed() < std::time::Duration::from_millis(2) {
+            std::hint::spin_loop();
+        }
+        let t1 = stop();
+        let secs = i0.elapsed().as_secs_f64();
+        let ticks = t1.wrapping_sub(t0);
+        if t1 <= t0 || secs <= 0.0 {
+            return None;
+        }
+        let hz = ticks as f64 / secs;
+        (1e8..=1e11).contains(&hz).then_some(hz)
+    })
+}
+
+/// A monotonic cycle clock with a per-run epoch: every reading is
+/// "cycles since [`RunClock::start`] was called", comparable across the
+/// run's worker threads because they share the one epoch. Backed by the
+/// calibrated TSC when trustworthy, else by `Instant` (see
+/// [`ClockSource`]). Raw TSC readings are *not* guaranteed monotone
+/// across cores — per-worker consumers clamp (see the runtime's
+/// tracer), which this type deliberately leaves to them so a single
+/// shared `RunClock` needs no interior mutability on the hot path.
+#[derive(Clone, Copy, Debug)]
+pub struct RunClock {
+    source: ClockSource,
+    hz: f64,
+    epoch_tsc: u64,
+    epoch: Instant,
+}
+
+impl RunClock {
+    /// Establish the run epoch: calibrate (first call only), pick the
+    /// clock source, and record "time zero".
+    pub fn start() -> Self {
+        match calibrated_tsc_hz() {
+            Some(hz) => RunClock {
+                source: ClockSource::Tsc,
+                hz,
+                epoch_tsc: now(),
+                epoch: Instant::now(),
+            },
+            None => RunClock {
+                source: ClockSource::Instant,
+                hz: INSTANT_HZ,
+                epoch_tsc: 0,
+                epoch: Instant::now(),
+            },
+        }
+    }
+
+    /// Cycles since the epoch. Cheap (one `rdtsc` on the TSC path); may
+    /// regress by small amounts across core migrations — clamp per
+    /// consumer if monotonicity is required.
+    #[inline]
+    pub fn now_cycles(&self) -> u64 {
+        match self.source {
+            ClockSource::Tsc => now().wrapping_sub(self.epoch_tsc),
+            ClockSource::Instant => (self.epoch.elapsed().as_secs_f64() * self.hz) as u64,
+        }
+    }
+
+    /// The calibrated cycle rate in Hz.
+    pub fn hz(&self) -> f64 {
+        self.hz
+    }
+
+    /// Which physical clock backs this run's timestamps.
+    pub fn source(&self) -> ClockSource {
+        self.source
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +256,36 @@ mod tests {
         );
         assert!(long > short, "short={short}, long={long}");
         assert!((0.0..1_000.0).contains(&short), "short={short}");
+    }
+
+    #[test]
+    fn run_clock_advances_at_a_sane_rate() {
+        let clk = RunClock::start();
+        let a = clk.now_cycles();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let b = clk.now_cycles();
+        assert!(b > a, "run clock did not advance: {a} -> {b}");
+        // 5 ms at >= 100 MHz is >= 500k cycles; at <= 100 GHz it is
+        // <= 500M plus generous scheduling slack.
+        let d = b - a;
+        assert!(
+            (100_000..50_000_000_000).contains(&d),
+            "implausible 5ms delta: {d} cycles (source {:?}, {} Hz)",
+            clk.source(),
+            clk.hz()
+        );
+    }
+
+    #[test]
+    fn run_clock_reports_its_source_and_rate() {
+        let clk = RunClock::start();
+        match clk.source() {
+            ClockSource::Tsc => assert!((1e8..=1e11).contains(&clk.hz())),
+            ClockSource::Instant => assert_eq!(clk.hz(), INSTANT_HZ),
+        }
+        // Two clocks share the process-wide calibration.
+        let clk2 = RunClock::start();
+        assert_eq!(clk.source(), clk2.source());
+        assert_eq!(clk.hz(), clk2.hz());
     }
 }

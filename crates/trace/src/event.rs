@@ -144,6 +144,12 @@ pub enum EventKind {
     },
     /// An idle scheduler poll (nothing local, no steal issued).
     IdlePoll,
+    /// The worker gave up spinning and went to sleep (native backend:
+    /// the idle backoff crossed its spin threshold; the sim has no
+    /// analogue because idle workers poll every round).
+    Park,
+    /// The worker woke from a park and found work again.
+    Unpark,
     /// An RDMA operation issued by this worker (fabric-level view).
     RdmaOp {
         /// Operation type.
@@ -173,6 +179,8 @@ impl EventKind {
             EventKind::JoinResume { .. } => "join-resume",
             EventKind::FaaQueueWait { .. } => "faa-queue-wait",
             EventKind::IdlePoll => "idle-poll",
+            EventKind::Park => "park",
+            EventKind::Unpark => "unpark",
             EventKind::RdmaOp { op, .. } => op.name(),
         }
     }
@@ -191,7 +199,7 @@ impl EventKind {
             EventKind::JoinReady { .. } | EventKind::JoinResume { .. } => "join-flow",
             EventKind::StealResult { .. } => "steal-result",
             EventKind::FaaQueueWait { .. } | EventKind::RdmaOp { .. } => "rdma",
-            EventKind::IdlePoll => "sched",
+            EventKind::IdlePoll | EventKind::Park | EventKind::Unpark => "sched",
         }
     }
 }

@@ -10,14 +10,46 @@
 //! cross-check without float rounding.
 
 use crate::{Bucket, EventKind, RingBuffer, TraceEvent};
+use serde::{Deserialize, Serialize};
 use uat_base::json::Json;
 use uat_base::Cycles;
+
+/// Where a trace's timestamps came from. Exported in the trace
+/// metadata so a consumer never has to guess whether "cycles" means
+/// simulated cost-model cycles, hardware TSC ticks, or a calibrated
+/// `Instant`-based fallback (satellite of the native-tracing work:
+/// hosts without a usable TSC get honest metadata, not garbage).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClockSource {
+    /// Deterministic simulator cycles from the cost model.
+    Simulated,
+    /// Hardware timestamp counter (`rdtsc`), calibrated against the OS
+    /// monotonic clock and re-based to the run's epoch.
+    Tsc,
+    /// `std::time::Instant` deltas converted to cycles at the calibrated
+    /// rate — the fallback when the TSC is unavailable or unusable.
+    Instant,
+}
+
+impl ClockSource {
+    /// Display name, used in exported metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClockSource::Simulated => "simulated",
+            ClockSource::Tsc => "tsc",
+            ClockSource::Instant => "instant",
+        }
+    }
+}
 
 /// Everything a traced run produced, ready for export.
 #[derive(Clone, Debug)]
 pub struct TraceData {
-    /// Simulated core clock, for cycle→µs conversion.
+    /// Core clock in Hz (simulated cost-model clock, or the calibrated
+    /// native TSC rate), for cycle→µs conversion.
     pub clock_hz: f64,
+    /// What physical (or simulated) clock stamped the events.
+    pub clock_source: ClockSource,
     /// Per-worker engine-level events, indexed by worker id.
     pub workers: Vec<RingBuffer>,
     /// Fabric-level RDMA events (worker field = initiating worker).
@@ -100,7 +132,7 @@ fn event_args(ev: &TraceEvent) -> Vec<(String, Json)> {
             args.push(("parent".into(), Json::UInt(parent)));
             args.push(("child".into(), Json::UInt(child)));
         }
-        EventKind::Slice { .. } | EventKind::IdlePoll => {}
+        EventKind::Slice { .. } | EventKind::IdlePoll | EventKind::Park | EventKind::Unpark => {}
         EventKind::StealPhase { victim, .. } => {
             args.push(("victim".into(), Json::UInt(victim.0 as u64)));
         }
@@ -228,6 +260,7 @@ pub fn chrome_trace(data: &TraceData) -> Json {
             "otherData",
             Json::obj([
                 ("clock_hz", Json::Num(data.clock_hz)),
+                ("clock_source", Json::str(data.clock_source.name())),
                 ("makespan_cycles", Json::UInt(data.makespan.get())),
                 ("dropped_events", Json::UInt(data.dropped())),
             ]),
@@ -298,6 +331,7 @@ mod tests {
         ));
         TraceData {
             clock_hz: 1.848e9,
+            clock_source: ClockSource::Simulated,
             workers: sink.into_rings(),
             fabric: vec![TraceEvent::span(
                 Cycles(600),
@@ -345,6 +379,15 @@ mod tests {
                 .as_u64()
                 .unwrap(),
             2_000
+        );
+        assert_eq!(
+            doc.field("otherData")
+                .unwrap()
+                .field("clock_source")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "simulated"
         );
     }
 

@@ -41,7 +41,9 @@ pub mod sink;
 
 pub use account::{Bucket, TimeAccount};
 pub use event::{EventKind, RdmaOpKind, StealOutcome, StealPhaseId, TraceEvent};
-pub use export::{chrome_trace, chrome_trace_json, flight_trace_json, jsonl, TraceData};
+pub use export::{
+    chrome_trace, chrome_trace_json, flight_trace_json, jsonl, ClockSource, TraceData,
+};
 pub use profile::{critical_path, CostClass, CriticalPath, CriticalPathSummary, Dag, ProfileError};
 pub use ring::RingBuffer;
 pub use sink::{NullSink, RingSink, TraceSink};

@@ -62,6 +62,7 @@ mod tests {
         }
         TraceData {
             clock_hz: 1.848e9,
+            clock_source: crate::ClockSource::Simulated,
             workers: sink.into_rings(),
             fabric: Vec::new(),
             makespan: Cycles(makespan),
@@ -286,6 +287,7 @@ mod tests {
         ring.push(slice(0, 500, 1_000, Bucket::Work));
         let d = TraceData {
             clock_hz: 1.848e9,
+            clock_source: crate::ClockSource::Simulated,
             workers: vec![ring],
             fabric: Vec::new(),
             makespan: Cycles(1_000),

@@ -61,6 +61,14 @@ impl RingBuffer {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Record `n` drops that happened outside this ring — used when a
+    /// trace is re-built (e.g. clipped to a makespan) from a ring that
+    /// had already evicted events, so the rebuilt ring stays honest
+    /// about truncation instead of laundering the loss away.
+    pub fn note_dropped(&mut self, n: u64) {
+        self.dropped += n;
+    }
 }
 
 #[cfg(test)]

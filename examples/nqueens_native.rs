@@ -7,19 +7,38 @@
 //! the expansion against the sequential ground truth. One workload
 //! definition, two backends.
 //!
-//! Run: `cargo run --release --example nqueens_native -- [N] [workers]`
+//! Run: `cargo run --release --example nqueens_native -- [N] [workers]
+//! [--trace <path>]`. `--trace` re-runs with per-worker event rings on
+//! and writes the flow-annotated Chrome/Perfetto trace (steal arrows
+//! across worker tracks) — open it at `ui.perfetto.dev`.
 
 use uni_address_threads::fiber::NativeRunner;
 use uni_address_threads::model::sequential_profile;
 use uni_address_threads::workloads::NQueens;
 
 fn main() {
+    let mut positional = Vec::new();
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    let n: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(9);
-    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            trace_path = Some(args.next().unwrap_or_else(|| {
+                eprintln!("error: --trace requires a path");
+                std::process::exit(2);
+            }));
+        } else {
+            positional.push(arg);
+        }
+    }
+    let n: u32 = positional.first().and_then(|a| a.parse().ok()).unwrap_or(9);
+    let workers: usize = positional.get(1).and_then(|a| a.parse().ok()).unwrap_or(4);
 
     let w = NQueens::new(n);
-    let stats = NativeRunner::new(workers).run(w.clone());
+    let runner = NativeRunner::new(workers);
+    let stats = match &trace_path {
+        None => runner.run(w.clone()),
+        Some(path) => run_traced(&runner, &w, path),
+    };
     println!("{}", stats.summary_line());
 
     // The native expansion must match the sequential ground truth —
@@ -36,4 +55,40 @@ fn main() {
          (legal positions), join tree intact.",
         p.tasks, p.units
     );
+}
+
+#[cfg(feature = "trace")]
+fn run_traced(
+    runner: &NativeRunner,
+    w: &NQueens,
+    path: &str,
+) -> uni_address_threads::fiber::NativeRunStats {
+    use uni_address_threads::trace::chrome_trace_json;
+
+    let (stats, trace) = runner.run_traced(w.clone());
+    assert!(
+        trace.data.workers.iter().any(|r| !r.is_empty()),
+        "traced run produced empty event rings"
+    );
+    std::fs::write(path, chrome_trace_json(&trace.data)).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "wrote Chrome trace to {path} ({} clock @ {:.3e} Hz, makespan {} cycles)",
+        trace.data.clock_source.name(),
+        trace.data.clock_hz,
+        trace.data.makespan.get()
+    );
+    stats
+}
+
+#[cfg(not(feature = "trace"))]
+fn run_traced(
+    _runner: &NativeRunner,
+    _w: &NQueens,
+    _path: &str,
+) -> uni_address_threads::fiber::NativeRunStats {
+    eprintln!("error: --trace requires the `trace` feature; rebuild without --no-default-features");
+    std::process::exit(2);
 }

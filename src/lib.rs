@@ -65,5 +65,6 @@ pub use uat_deque as deque;
 pub use uat_fiber as fiber;
 pub use uat_model as model;
 pub use uat_rdma as rdma;
+pub use uat_trace as trace;
 pub use uat_vmem as vmem;
 pub use uat_workloads as workloads;
