@@ -1,31 +1,58 @@
 //! CLI for the THE-protocol interleaving checker.
 //!
 //! ```text
-//! uat_check                      # clean suite: must find zero violations
-//! uat_check --mutate <name>      # seeded regression: must find a
-//!                                #   counterexample and print its trace
+//! uat_check                        # clean suite under SC: zero violations
+//! uat_check --memory-model ra      # clean suite under release/acquire
+//! uat_check --mutate <name>        # seeded regression: must find a
+//!                                  #   counterexample and print its trace
 //! uat_check --list-mutations
-//! uat_check --replay-cap 500     # bound differential-replay schedules
+//! uat_check --json stats.json      # machine-readable run statistics
+//! uat_check --replay-cap 500       # bound differential-replay schedules
 //! ```
 //!
 //! Exit code 0 means "the checker did its job": zero violations for the
 //! clean suite, a counterexample trace for a seeded mutation. Anything
 //! else exits 1, so both modes can gate CI directly.
+//!
+//! Ordering-downgrade mutations (`*-weak`) carry their own RA demo
+//! scenarios, so `--mutate push-publish-weak` needs no `--memory-model`
+//! flag; the flag selects which *clean* suite runs.
 
 use std::process::ExitCode;
 use uat_check::model::{Family, Mutation};
-use uat_check::scenarios::{mutation_demos, sleep_set_scenarios, standard_suite};
-use uat_check::{replay, Explorer};
+use uat_check::scenarios::{mutation_demos, sleep_set_scenarios, standard_suite, weak_suite};
+use uat_check::{replay, Explorer, MemModel};
 
-const MUTATIONS: [Mutation; 3] = [
+const MUTATIONS: [Mutation; 10] = [
+    // Protocol mutations (visible under SC).
     Mutation::SkipOwnerTopRecheck,
     Mutation::SkipUnlockOnRacedEmpty,
     Mutation::LastEntryFastPath,
+    Mutation::BatchNarrowOwnerBound,
+    // Ordering downgrades (visible only under the RA memory model).
+    Mutation::PushPublishRelaxed,
+    Mutation::PopPublishRelease,
+    Mutation::StealBottomRelaxed,
+    Mutation::UnlockRelaxed,
+    Mutation::LockCasRelaxed,
+    Mutation::ClaimTopRelease,
 ];
+
+/// Per-scenario statistics accumulated for `--json`.
+struct ScenarioStat {
+    name: &'static str,
+    states: u64,
+    transitions: u64,
+    interleavings: u128,
+    finals: usize,
+    violation: Option<String>,
+}
 
 fn main() -> ExitCode {
     let mut mutate: Option<Mutation> = None;
     let mut replay_cap: usize = 2000;
+    let mut model = MemModel::Sc;
+    let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -45,6 +72,24 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "--memory-model" => match args.next().as_deref() {
+                Some("sc") => model = MemModel::Sc,
+                Some("ra") => model = MemModel::Ra,
+                other => {
+                    eprintln!(
+                        "--memory-model takes `sc` or `ra`, got `{}`",
+                        other.unwrap_or("")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => {
+                json_path = args.next();
+                if json_path.is_none() {
+                    eprintln!("--json takes an output path");
+                    return ExitCode::FAILURE;
+                }
+            }
             "--replay-cap" => {
                 replay_cap = args
                     .next()
@@ -59,17 +104,27 @@ fn main() -> ExitCode {
     }
 
     match mutate {
-        None => run_clean_suite(replay_cap),
-        Some(m) => run_mutation_demo(m),
+        None => run_clean_suite(model, replay_cap, json_path.as_deref()),
+        Some(m) => run_mutation_demo(m, json_path.as_deref()),
     }
 }
 
-fn run_clean_suite(replay_cap: usize) -> ExitCode {
-    let suite = standard_suite();
+fn run_clean_suite(model: MemModel, replay_cap: usize, json_path: Option<&str>) -> ExitCode {
+    let suite = match model {
+        MemModel::Sc => standard_suite(),
+        MemModel::Ra => weak_suite(),
+    };
+    let mut stats: Vec<ScenarioStat> = Vec::new();
     let mut total_interleavings: u128 = 0;
     let mut total_states: u64 = 0;
     let mut failed = false;
-    println!("uat-check: THE-protocol steal path, exhaustive exploration");
+    println!(
+        "uat-check: THE-protocol steal path, exhaustive exploration ({} memory model)",
+        match model {
+            MemModel::Sc => "sequentially consistent",
+            MemModel::Ra => "release/acquire",
+        }
+    );
     println!(
         "{:<22} {:>10} {:>12} {:>16} {:>8}",
         "scenario", "states", "transitions", "interleavings", "finals"
@@ -86,44 +141,56 @@ fn run_clean_suite(replay_cap: usize) -> ExitCode {
         );
         total_interleavings += report.interleavings;
         total_states += report.states;
-        if let Some(v) = &report.violation {
+        let violation = report.violation.as_ref().map(|v| {
             println!("{}", v.render(sc.name));
             failed = true;
-        }
+            v.kind.describe()
+        });
+        stats.push(ScenarioStat {
+            name: sc.name,
+            states: report.states,
+            transitions: report.transitions,
+            interleavings: report.interleavings,
+            finals: report.final_states.len(),
+            violation,
+        });
     }
 
     // Sleep-set cross-check + differential replay on the scenarios whose
-    // path space is small enough to walk path-by-path.
-    for sc in &suite {
-        if !sleep_set_scenarios().contains(&sc.name) {
-            continue;
-        }
-        let exhaustive = Explorer::new(sc, 0).run_exhaustive();
-        let sleepy = Explorer::new(sc, replay_cap).run_sleep_sets();
-        if let Some(v) = &sleepy.violation {
-            println!("{}", v.render(sc.name));
-            failed = true;
-            continue;
-        }
-        let agree = sleepy.final_states == exhaustive.final_states;
-        if !agree {
-            println!(
-                "{}: sleep-set exploration reached {} quiescent states, exhaustive {} — pruning is unsound",
-                sc.name,
-                sleepy.final_states.len(),
-                exhaustive.final_states.len()
-            );
-            failed = true;
-        }
-        assert_eq!(sc.family, Family::SimPhase);
-        match replay::replay_schedules(sc, &sleepy.schedules) {
-            Ok(n) => println!(
-                "{:<22} sleep-sets: {} executions ({} pruned), replayed {} against SimDeque: conform",
-                sc.name, sleepy.interleavings, sleepy.sleep_pruned, n
-            ),
-            Err(e) => {
-                println!("{}: replay divergence: {e}", sc.name);
+    // path space is small enough to walk path-by-path (SC only: the
+    // sleep-set prover and the SimDeque replay target are SC artifacts).
+    if model == MemModel::Sc {
+        for sc in &suite {
+            if !sleep_set_scenarios().contains(&sc.name) {
+                continue;
+            }
+            let exhaustive = Explorer::new(sc, 0).run_exhaustive();
+            let sleepy = Explorer::new(sc, replay_cap).run_sleep_sets();
+            if let Some(v) = &sleepy.violation {
+                println!("{}", v.render(sc.name));
                 failed = true;
+                continue;
+            }
+            let agree = sleepy.final_states == exhaustive.final_states;
+            if !agree {
+                println!(
+                    "{}: sleep-set exploration reached {} quiescent states, exhaustive {} — pruning is unsound",
+                    sc.name,
+                    sleepy.final_states.len(),
+                    exhaustive.final_states.len()
+                );
+                failed = true;
+            }
+            assert_eq!(sc.family, Family::SimPhase);
+            match replay::replay_schedules(sc, &sleepy.schedules) {
+                Ok(n) => println!(
+                    "{:<22} sleep-sets: {} executions ({} pruned), replayed {} against SimDeque: conform",
+                    sc.name, sleepy.interleavings, sleepy.sleep_pruned, n
+                ),
+                Err(e) => {
+                    println!("{}: replay divergence: {e}", sc.name);
+                    failed = true;
+                }
             }
         }
     }
@@ -132,6 +199,13 @@ fn run_clean_suite(replay_cap: usize) -> ExitCode {
         "total: {total_states} states verified, {total_interleavings} distinct interleavings across {} scenarios",
         suite.len()
     );
+    if let Some(path) = json_path {
+        if let Err(e) = write_json(path, model, None, &stats, !failed) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("stats written to {path}");
+    }
     if failed {
         println!("RESULT: VIOLATIONS FOUND");
         ExitCode::FAILURE
@@ -141,22 +215,44 @@ fn run_clean_suite(replay_cap: usize) -> ExitCode {
     }
 }
 
-fn run_mutation_demo(m: Mutation) -> ExitCode {
+fn run_mutation_demo(m: Mutation, json_path: Option<&str>) -> ExitCode {
     let demos = mutation_demos(m);
+    let mut stats: Vec<ScenarioStat> = Vec::new();
     let mut bit = false;
     println!("uat-check: seeded mutation `{}`", m.name());
     for sc in &demos {
         let report = Explorer::new(sc, 0).run_exhaustive();
-        match &report.violation {
+        let violation = match &report.violation {
             Some(v) => {
                 println!("{}", v.render(sc.name));
                 bit = true;
+                Some(v.kind.describe())
             }
-            None => println!(
-                "{}: no violation found ({} interleavings) — mutation not observable here",
-                sc.name, report.interleavings
-            ),
+            None => {
+                println!(
+                    "{}: no violation found ({} interleavings) — mutation not observable here",
+                    sc.name, report.interleavings
+                );
+                None
+            }
+        };
+        stats.push(ScenarioStat {
+            name: sc.name,
+            states: report.states,
+            transitions: report.transitions,
+            interleavings: report.interleavings,
+            finals: report.final_states.len(),
+            violation,
+        });
+    }
+    if let Some(path) = json_path {
+        // For a mutation run "ok" means the counterexample was found.
+        let model = demos.first().map(|sc| sc.mem_model).unwrap_or(MemModel::Sc);
+        if let Err(e) = write_json(path, model, Some(m), &stats, bit) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
         }
+        println!("stats written to {path}");
     }
     if bit {
         println!("RESULT: checker caught the mutation (exit 0)");
@@ -165,4 +261,70 @@ fn run_mutation_demo(m: Mutation) -> ExitCode {
         println!("RESULT: checker FAILED to catch the mutation (exit 1)");
         ExitCode::FAILURE
     }
+}
+
+/// Minimal JSON escaping: the strings we emit are scenario names,
+/// mutation names, and violation one-liners — ASCII with no exotic
+/// control characters, but quotes and backslashes are handled anyway.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Hand-rolled writer (the workspace carries no serde); the schema is
+/// consumed by CI dashboards and the lint's fixture tests.
+fn write_json(
+    path: &str,
+    model: MemModel,
+    mutation: Option<Mutation>,
+    stats: &[ScenarioStat],
+    ok: bool,
+) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"memory_model\": {},\n",
+        json_str(model.name())
+    ));
+    s.push_str(&format!(
+        "  \"mutation\": {},\n",
+        mutation.map_or("null".to_string(), |m| json_str(m.name()))
+    ));
+    s.push_str(&format!("  \"ok\": {ok},\n"));
+    s.push_str(&format!(
+        "  \"total_states\": {},\n",
+        stats.iter().map(|t| t.states).sum::<u64>()
+    ));
+    s.push_str(&format!(
+        "  \"total_interleavings\": {},\n",
+        stats.iter().map(|t| t.interleavings).sum::<u128>()
+    ));
+    s.push_str("  \"scenarios\": [\n");
+    for (i, st) in stats.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": {}, \"states\": {}, \"transitions\": {}, \"interleavings\": {}, \"finals\": {}, \"violation\": {}}}{}\n",
+            json_str(st.name),
+            st.states,
+            st.transitions,
+            st.interleavings,
+            st.finals,
+            st.violation
+                .as_deref()
+                .map_or("null".to_string(), json_str),
+            if i + 1 == stats.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
 }

@@ -31,6 +31,7 @@
 //! 5. **Conservation** — at quiescence every pushed value was either
 //!    kept exactly once or still sits in `[top, bottom)`.
 
+use crate::memory::MemModel;
 use crate::model::{Access, OwnerOp, Scenario, StepOut, Sys};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
@@ -42,6 +43,14 @@ pub enum ViolationKind {
     /// A value was kept twice (pop/steal or steal/steal double claim).
     DoubleClaim {
         /// The twice-claimed value.
+        value: u64,
+    },
+    /// A consumer kept a value that was never pushed in the explored
+    /// window — a stale slot read that escaped (possible only when a
+    /// publication edge is broken, e.g. the `push-publish-weak`
+    /// mutation).
+    PhantomValue {
+        /// The never-pushed value that was kept.
         value: u64,
     },
     /// A pushed value was neither kept nor left in the deque.
@@ -79,6 +88,12 @@ impl ViolationKind {
         match self {
             ViolationKind::DoubleClaim { value } => {
                 format!("double claim: value v{value} was kept by two consumers")
+            }
+            ViolationKind::PhantomValue { value } => {
+                format!(
+                    "phantom task: a consumer kept v{value}, which was never pushed \
+                     (stale slot read)"
+                )
             }
             ViolationKind::LostValue { value } => {
                 format!("lost task: value v{value} was pushed but never delivered")
@@ -181,6 +196,9 @@ pub struct Explorer<'a> {
     sched: Vec<usize>,
     schedule_cap: usize,
     memo: HashMap<Sys, u128>,
+    /// Values the owner script pushes (phantom detection: anything else
+    /// a consumer keeps is a stale slot read that escaped).
+    pushed: Vec<u64>,
 }
 
 fn hash_sys(sys: &Sys) -> u64 {
@@ -193,6 +211,15 @@ impl<'a> Explorer<'a> {
     /// A fresh explorer for `sc`. `schedule_cap` bounds how many complete
     /// schedules the sleep-set mode records for replay (0 = none).
     pub fn new(sc: &'a Scenario, schedule_cap: usize) -> Self {
+        let mut pushed: Vec<u64> = sc
+            .owner
+            .iter()
+            .filter_map(|op| match op {
+                OwnerOp::Push(v) => Some(*v),
+                OwnerOp::Pop => None,
+            })
+            .collect();
+        pushed.sort_unstable();
         Explorer {
             sc,
             report: Report {
@@ -203,6 +230,7 @@ impl<'a> Explorer<'a> {
             sched: Vec::new(),
             schedule_cap,
             memo: HashMap::new(),
+            pushed,
         }
     }
 
@@ -218,20 +246,15 @@ impl<'a> Explorer<'a> {
 
     /// Stateless DFS with sleep sets. Returns the report.
     pub fn run_sleep_sets(mut self) -> Report {
+        assert_eq!(
+            self.sc.mem_model,
+            MemModel::Sc,
+            "sleep sets assume choice-free steps; RA scenarios are \
+             explored exhaustively"
+        );
         let init = Sys::initial(self.sc);
         self.dfs_sleep(&init, &[]);
         self.report
-    }
-
-    fn pushed_values(&self) -> Vec<u64> {
-        self.sc
-            .owner
-            .iter()
-            .filter_map(|op| match op {
-                OwnerOp::Push(v) => Some(*v),
-                OwnerOp::Pop => None,
-            })
-            .collect()
     }
 
     fn violate(&mut self, kind: ViolationKind) {
@@ -245,9 +268,11 @@ impl<'a> Explorer<'a> {
 
     /// Per-transition checks, run after every executed step.
     fn check_step(&mut self, sys: &Sys, out: &StepOut) {
-        if out.dup {
-            if let Some(v) = out.kept {
+        if let Some(v) = out.kept {
+            if out.dup {
                 self.violate(ViolationKind::DoubleClaim { value: v });
+            } else if self.pushed.binary_search(&v).is_err() {
+                self.violate(ViolationKind::PhantomValue { value: v });
             }
         }
         // Tight per-family slack bounds, proved by the exploration
@@ -260,15 +285,15 @@ impl<'a> Explorer<'a> {
             crate::model::Family::SimPhase => 0,
             crate::model::Family::NativeOp => 1,
         };
-        if sys.top > sys.bottom + slack {
+        if sys.top() > sys.bottom() + slack {
             self.violate(ViolationKind::SlackExceeded {
-                top: sys.top,
-                bottom: sys.bottom,
+                top: sys.top(),
+                bottom: sys.bottom(),
             });
         }
-        if sys.bottom > sys.top && sys.bottom - sys.top > self.sc.capacity {
+        if sys.bottom() > sys.top() && sys.bottom() - sys.top() > self.sc.capacity {
             self.violate(ViolationKind::OverCapacity {
-                live: sys.bottom - sys.top,
+                live: sys.bottom() - sys.top(),
                 capacity: self.sc.capacity,
             });
         }
@@ -276,21 +301,21 @@ impl<'a> Explorer<'a> {
 
     /// Quiescence checks, run when every thread is done.
     fn check_quiescent(&mut self, sys: &Sys) {
-        if sys.lock != 0 {
-            self.violate(ViolationKind::LockLeak { lock: sys.lock });
+        if sys.lock() != 0 {
+            self.violate(ViolationKind::LockLeak { lock: sys.lock() });
         }
         // Transient overshoot must be rolled back by quiescence.
-        if sys.top > sys.bottom {
+        if sys.top() > sys.bottom() {
             self.violate(ViolationKind::SlackExceeded {
-                top: sys.top,
-                bottom: sys.bottom,
+                top: sys.top(),
+                bottom: sys.bottom(),
             });
         }
-        let mut remaining: Vec<u64> = (sys.top..sys.bottom)
-            .map(|p| sys.slots[(p % sys.slots.len() as u64) as usize])
+        let mut remaining: Vec<u64> = (sys.top()..sys.bottom())
+            .map(|p| sys.slot((p % sys.capacity()) as usize))
             .collect();
         remaining.sort_unstable();
-        for v in self.pushed_values() {
+        for &v in &self.pushed.clone() {
             let delivered = sys.consumed.binary_search(&v).is_ok();
             let in_deque = remaining.binary_search(&v).is_ok();
             if !delivered && !in_deque {
@@ -329,25 +354,29 @@ impl<'a> Explorer<'a> {
             1u128
         } else {
             let mut n = 0u128;
-            for t in enabled {
-                if self.report.violation.is_some() {
-                    break;
+            'threads: for t in enabled {
+                // Under RA a load branches over every message its
+                // ordering permits; under SC every step has one choice.
+                for c in 0..sys.choices(t, self.sc) {
+                    if self.report.violation.is_some() {
+                        break 'threads;
+                    }
+                    let mut next = sys.clone();
+                    let out = next.step(t, c, self.sc);
+                    self.report.transitions += 1;
+                    self.path.push(StepRecord {
+                        thread: t,
+                        label: out.label.clone(),
+                        lock: next.lock(),
+                        top: next.top(),
+                        bottom: next.bottom(),
+                    });
+                    self.check_step(&next, &out);
+                    if self.report.violation.is_none() {
+                        n += self.dfs_exhaustive(&next);
+                    }
+                    self.path.pop();
                 }
-                let mut next = sys.clone();
-                let out = next.step(t, self.sc);
-                self.report.transitions += 1;
-                self.path.push(StepRecord {
-                    thread: t,
-                    label: out.label.clone(),
-                    lock: next.lock,
-                    top: next.top,
-                    bottom: next.bottom,
-                });
-                self.check_step(&next, &out);
-                if self.report.violation.is_none() {
-                    n += self.dfs_exhaustive(&next);
-                }
-                self.path.pop();
             }
             n
         };
@@ -391,14 +420,14 @@ impl<'a> Explorer<'a> {
                 break;
             }
             let mut next = sys.clone();
-            let out = next.step(t, self.sc);
+            let out = next.step(t, 0, self.sc);
             self.report.transitions += 1;
             self.path.push(StepRecord {
                 thread: t,
                 label: out.label.clone(),
-                lock: next.lock,
-                top: next.top,
-                bottom: next.bottom,
+                lock: next.lock(),
+                top: next.top(),
+                bottom: next.bottom(),
             });
             self.sched.push(t);
             self.check_step(&next, &out);

@@ -15,7 +15,16 @@
 //! - **sleep-set mode** walks concrete executions with Godefroid-style
 //!   sleep sets plus stutter pruning, feeding the differential replay
 //!   that re-runs explored schedules against the real `SimDeque` over a
-//!   real `Fabric`.
+//!   real `Fabric`;
+//! - **weak-memory mode** ([`memory`], `--memory-model ra`) re-explores
+//!   the `NativeOp` machine under C11 release/acquire semantics: each
+//!   shared word keeps its full modification order, each thread a view
+//!   (reads-from floor), and every load branches over the messages its
+//!   declared `Ordering` permits — so the explorer covers the behaviors
+//!   `NativeDeque`'s `Relaxed`/`Acquire`/`Release`/`SeqCst` annotations
+//!   actually allow, not just SC interleavings, including the batched
+//!   steal (transfer-k) extension modeled ahead of its native
+//!   implementation.
 //!
 //! Checked on every reachable state: no task lost, no task stolen twice,
 //! lock released on every path, `top <= bottom + 1`, owner-pop and
@@ -30,9 +39,11 @@
 #![forbid(unsafe_code)]
 
 pub mod explore;
+pub mod memory;
 pub mod model;
 pub mod replay;
 pub mod scenarios;
 
 pub use explore::{Explorer, Report, StepRecord, Violation, ViolationKind};
-pub use model::{Access, Family, Mutation, OwnerOp, Scenario, Sys};
+pub use memory::{Mem, MemModel, MemOrd};
+pub use model::{Access, Family, Mutation, OrdSpec, OwnerOp, Scenario, Sys};

@@ -19,16 +19,32 @@
 //!   single atomic step, because `Fabric` linearizes every one-sided op
 //!   at its issue instant.
 //! - [`Family::NativeOp`] — one step per *shared memory access*,
-//!   mirroring `NativeDeque`'s individual atomic loads/stores/RMWs under
-//!   sequential consistency (every access there is `SeqCst` at the
-//!   protocol-relevant points). This is the granularity at which the
-//!   last-entry arbitration can actually go wrong — an owner's pop and
-//!   a locked thief's critical section overlap access-by-access — which
-//!   phase-atomic models cannot see.
+//!   mirroring `NativeDeque`'s individual atomic loads/stores/RMWs. This
+//!   is the granularity at which the last-entry arbitration can actually
+//!   go wrong — an owner's pop and a locked thief's critical section
+//!   overlap access-by-access — which phase-atomic models cannot see.
+//!
+//! Orthogonally, [`MemModel`] fixes the *memory semantics*: under
+//! [`MemModel::Sc`] every access sees the single authoritative value
+//! (the PR 3 behavior); under [`MemModel::Ra`] each access carries the
+//! [`MemOrd`] declared at the matching `NativeDeque` site ([`OrdSpec`])
+//! and loads branch over every message the C11 release/acquire rules let
+//! them read — see [`crate::memory`]. `NativeOp` scenarios can also
+//! model the **batched steal** extension ahead of its native
+//! implementation: with [`Scenario::batch`] `= k`, a locked thief
+//! transfers up to `k` entries per critical section and the owner's
+//! lock-free pop bound widens from `top < bottom-1` to
+//! `top + k <= bottom-1` (the shipped protocol is exactly the `k = 1`
+//! case).
 //!
 //! [`Mutation`]s re-introduce specific protocol regressions so the
 //! checker can demonstrate a counterexample trace for each (and so a
-//! future refactor that reintroduces one is caught by the suite).
+//! future refactor that reintroduces one is caught by the suite). The
+//! ordering-downgrade mutations only weaken an [`OrdSpec`] entry: under
+//! `Sc` they are invisible by construction, and the suite proves the
+//! `Ra` explorer catches every one of them.
+
+use crate::memory::{LoadOut, Mem, MemModel, MemOrd};
 
 /// Shared-memory location classes, used for the independence relation
 /// behind sleep-set pruning. Slot indices are per-capacity (`pos % cap`).
@@ -49,9 +65,20 @@ const LOC_BOTTOM: u32 = 1 << loc_bit(OFF_BOTTOM);
 /// First slot bit: the word index where the entries begin.
 const LOC_SLOT0: u32 = loc_bit(OFF_ENTRIES);
 
+/// Location *indices* for the memory subsystem (same numbering as the
+/// `Access` bits: the word index within the canonical layout).
+const IDX_LOCK: usize = loc_bit(OFF_LOCK) as usize;
+const IDX_TOP: usize = loc_bit(OFF_TOP) as usize;
+const IDX_BOTTOM: usize = loc_bit(OFF_BOTTOM) as usize;
+const IDX_SLOT0: usize = loc_bit(OFF_ENTRIES) as usize;
+
 fn loc_slot(slot: u64) -> u32 {
     assert!(slot < 16, "model supports capacities up to 16");
     1 << (LOC_SLOT0 + slot as u32)
+}
+
+fn idx_slot(slot: u64) -> usize {
+    IDX_SLOT0 + slot as usize
 }
 
 impl Access {
@@ -85,6 +112,77 @@ pub enum Family {
     NativeOp,
 }
 
+/// The per-access-site memory orderings of a `NativeOp` scenario,
+/// mirroring the `Ordering` arguments at each `NativeDeque` call site
+/// one-for-one (`crates/deque/src/native.rs`). [`OrdSpec::native`] is
+/// the shipped deque; ordering-downgrade [`Mutation`]s weaken exactly
+/// one entry. Under [`MemModel::Sc`] the spec is ignored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OrdSpec {
+    /// `push`: the `top` load feeding the capacity check.
+    pub push_read_top: MemOrd,
+    /// `push`: the entry write (plain store, modeled `Relaxed`).
+    pub push_write_slot: MemOrd,
+    /// `push`: the publishing `bottom` store.
+    pub push_publish: MemOrd,
+    /// `pop`: the initial `top` load.
+    pub pop_read_top0: MemOrd,
+    /// `pop`: the speculative `bottom` decrement (Dekker store side).
+    pub pop_dec_bottom: MemOrd,
+    /// `pop`: the `top` re-read after the decrement (Dekker load side).
+    pub pop_reread_top: MemOrd,
+    /// `pop`: the `bottom` restore before lock arbitration.
+    pub pop_restore_bottom: MemOrd,
+    /// `pop`: the locked `top` re-read.
+    pub pop_locked_top: MemOrd,
+    /// `pop`: the locked `bottom` store when the owner wins.
+    pub pop_take_bottom: MemOrd,
+    /// Lock CAS success ordering (owner TATAS and thief try-lock).
+    pub lock_cas: MemOrd,
+    /// Unlock store (owner and thief).
+    pub unlock: MemOrd,
+    /// `steal` pre-check: the `top` load.
+    pub pre_top: MemOrd,
+    /// `steal` pre-check: the `bottom` load (the publication edge
+    /// pairing with `push_publish`).
+    pub pre_bottom: MemOrd,
+    /// `steal`: the locked `top` load.
+    pub locked_top: MemOrd,
+    /// `steal`: the locked `bottom` load (Dekker load side).
+    pub locked_bottom: MemOrd,
+    /// `steal`: the entry read (plain load, modeled `Relaxed`).
+    pub slot_read: MemOrd,
+    /// `steal`: the claim-publishing `top` store (Dekker store side
+    /// pairing with `pop_reread_top`).
+    pub claim_top: MemOrd,
+}
+
+impl OrdSpec {
+    /// The orderings `NativeDeque` declares (see DESIGN.md §11 for the
+    /// invariant each one protects).
+    pub fn native() -> OrdSpec {
+        OrdSpec {
+            push_read_top: MemOrd::Acquire,
+            push_write_slot: MemOrd::Relaxed,
+            push_publish: MemOrd::Release,
+            pop_read_top0: MemOrd::Relaxed,
+            pop_dec_bottom: MemOrd::SeqCst,
+            pop_reread_top: MemOrd::SeqCst,
+            pop_restore_bottom: MemOrd::SeqCst,
+            pop_locked_top: MemOrd::Relaxed,
+            pop_take_bottom: MemOrd::Relaxed,
+            lock_cas: MemOrd::Acquire,
+            unlock: MemOrd::Release,
+            pre_top: MemOrd::Acquire,
+            pre_bottom: MemOrd::Acquire,
+            locked_top: MemOrd::Relaxed,
+            locked_bottom: MemOrd::SeqCst,
+            slot_read: MemOrd::Relaxed,
+            claim_top: MemOrd::SeqCst,
+        }
+    }
+}
+
 /// A seeded protocol regression for mutation smoke-checks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Mutation {
@@ -107,6 +205,47 @@ pub enum Mutation {
     /// sides go on to keep the same entry. This is the latent bug
     /// `uat-check` found in the shipped `NativeDeque::pop`.
     LastEntryFastPath,
+    /// Ordering downgrade (`Ra` only): `push`'s publishing `bottom`
+    /// store `Release -> Relaxed`. The entry write no longer
+    /// happens-before the bottom bump, so a thief whose pre-check
+    /// acquires the new bottom can still read the slot's stale previous
+    /// contents — it keeps a value that was never pushed (and the real
+    /// entry is lost). This is the downgrade the push-publish audit
+    /// (ISSUE 8 satellite) proves unsafe; the explorer passing the clean
+    /// suite with `Release` proves `SeqCst` was not needed.
+    PushPublishRelaxed,
+    /// Ordering downgrade (`Ra` only): `pop`'s speculative `bottom`
+    /// decrement `SeqCst -> Release`. The Dekker store side leaves the
+    /// SC order, so a locked thief's `SeqCst` bottom load may still read
+    /// the pre-decrement value and steal an entry the owner's fast path
+    /// is simultaneously taking.
+    PopPublishRelease,
+    /// Ordering downgrade (`Ra` only): the thief's locked `bottom` load
+    /// `SeqCst -> Relaxed` — the Dekker load side of the same handshake,
+    /// broken from the other end.
+    StealBottomRelaxed,
+    /// Ordering downgrade (`Ra` only): the unlock store
+    /// `Release -> Relaxed`. The critical-section writes no longer
+    /// transfer to the next lock holder, whose locked `Relaxed` re-reads
+    /// then see stale `top` and double-claim.
+    UnlockRelaxed,
+    /// Ordering downgrade (`Ra` only): the lock CAS success ordering
+    /// `Acquire -> Relaxed` — the same chain broken on the acquiring
+    /// side.
+    LockCasRelaxed,
+    /// Ordering downgrade (`Ra` only): the thief's claim-publishing
+    /// `top` store `SeqCst -> Release`. The claim leaves the SC order,
+    /// so the owner's `SeqCst` top re-read can miss it, conclude the
+    /// fast-path bound holds, and take a position a thief is already
+    /// committed to.
+    ClaimTopRelease,
+    /// Batched steal (`batch >= 2` only): keep the `k = 1` owner
+    /// fast-path bound `top < bottom - 1` instead of widening it to
+    /// `top + k <= bottom - 1`. A locked thief transferring `k` entries
+    /// reaches positions the narrow bound wrongly treats as
+    /// owner-exclusive — caught even under SC, which is why the bound
+    /// must widen before native batching ships (ROADMAP item 3).
+    BatchNarrowOwnerBound,
 }
 
 impl Mutation {
@@ -117,7 +256,28 @@ impl Mutation {
             Mutation::SkipOwnerTopRecheck => "owner-top-recheck",
             Mutation::SkipUnlockOnRacedEmpty => "unlock-drop",
             Mutation::LastEntryFastPath => "last-entry-fast-path",
+            Mutation::PushPublishRelaxed => "push-publish-weak",
+            Mutation::PopPublishRelease => "pop-publish-weak",
+            Mutation::StealBottomRelaxed => "steal-bottom-weak",
+            Mutation::UnlockRelaxed => "unlock-weak",
+            Mutation::LockCasRelaxed => "lock-cas-weak",
+            Mutation::ClaimTopRelease => "claim-top-weak",
+            Mutation::BatchNarrowOwnerBound => "batch-owner-bound",
         }
+    }
+
+    /// Whether this mutation is an ordering downgrade, observable only
+    /// under [`MemModel::Ra`].
+    pub fn is_ordering_downgrade(self) -> bool {
+        matches!(
+            self,
+            Mutation::PushPublishRelaxed
+                | Mutation::PopPublishRelease
+                | Mutation::StealBottomRelaxed
+                | Mutation::UnlockRelaxed
+                | Mutation::LockCasRelaxed
+                | Mutation::ClaimTopRelease
+        )
     }
 }
 
@@ -132,15 +292,21 @@ pub enum OwnerOp {
 }
 
 /// A closed system to check: owner script, thief attempt counts, deque
-/// capacity, granularity, and an optional seeded mutation.
+/// capacity, granularity, memory model, steal batch size, and an
+/// optional seeded mutation.
 #[derive(Clone, Debug)]
 pub struct Scenario {
     /// Report name.
     pub name: &'static str,
     /// Atomicity granularity.
     pub family: Family,
+    /// Memory semantics ([`MemModel::Ra`] requires `NativeOp`).
+    pub mem_model: MemModel,
     /// Deque capacity (slots).
     pub capacity: u64,
+    /// Max entries a locked thief transfers per critical section
+    /// (`NativeOp`; 1 = the shipped protocol).
+    pub batch: u64,
     /// Owner ops executed serially (at `SimPhase` atomicity) before the
     /// interleaved part, to advance positions past slot wraparound. Must
     /// leave the deque empty.
@@ -151,6 +317,24 @@ pub struct Scenario {
     pub thieves: Vec<u32>,
     /// Seeded regression, or `Mutation::None`.
     pub mutation: Mutation,
+}
+
+impl Scenario {
+    /// The ordering spec this scenario runs under: the shipped native
+    /// orderings with the mutation's single downgrade applied.
+    pub fn ords(&self) -> OrdSpec {
+        let mut o = OrdSpec::native();
+        match self.mutation {
+            Mutation::PushPublishRelaxed => o.push_publish = MemOrd::Relaxed,
+            Mutation::PopPublishRelease => o.pop_dec_bottom = MemOrd::Release,
+            Mutation::StealBottomRelaxed => o.locked_bottom = MemOrd::Relaxed,
+            Mutation::UnlockRelaxed => o.unlock = MemOrd::Relaxed,
+            Mutation::LockCasRelaxed => o.lock_cas = MemOrd::Relaxed,
+            Mutation::ClaimTopRelease => o.claim_top = MemOrd::Release,
+            _ => {}
+        }
+        o
+    }
 }
 
 /// Program counter of the owner thread.
@@ -200,13 +384,16 @@ pub enum ThiefPc {
     NatL1,
     /// `NativeOp`: locked `top` read; next locked read of `bottom`.
     NatL2 { t: u64 },
-    /// `NativeOp`: next the locked slot read. The value is *kept* at
-    /// that read: the lock pins `top` at `t`, and the owner's strict
-    /// fast-path bound (`top < bottom - 1`) keeps it away from position
-    /// `t`, so the entry is exclusively ours before we publish anything.
-    NatReadSlot { t: u64 },
-    /// `NativeOp`: value kept; next publish the claim `top = t + 1`.
-    NatClaim { t: u64 },
+    /// `NativeOp`: next locked read of slot `t + i` (of `k` being
+    /// transferred this critical section). The value is *kept* at that
+    /// read: the lock pins `top` at `t`, and the owner's fast-path bound
+    /// (`top + batch <= bottom - 1`) keeps it away from positions
+    /// `[t, t + k)`, so the entries are exclusively ours before we
+    /// publish anything.
+    NatReadSlot { t: u64, k: u64, i: u64 },
+    /// `NativeOp`: `k` values kept; next publish the claim
+    /// `top = t + k`.
+    NatClaim { t: u64, k: u64 },
     /// `NativeOp`: next release the lock, ending the attempt.
     NatUnlock { stole: bool },
 }
@@ -230,23 +417,15 @@ pub enum ThreadState {
     },
 }
 
-/// Full system state: the shared deque words plus every thread's control
-/// state and the (sorted) multiset of values kept so far. `consumed` is
-/// part of the state key so the memoized explorer distinguishes runs
-/// that delivered different values.
+/// Full system state: the shared memory (single-valued under SC,
+/// histories + views under RA — see [`crate::memory`]) plus every
+/// thread's control state and the (sorted) multiset of values kept so
+/// far. `consumed` is part of the state key so the memoized explorer
+/// distinguishes runs that delivered different values.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Sys {
-    /// Lock word (0 = free; failed FAA increments accumulate until the
-    /// holder's unlock WRITE of 0 erases them, as in `SimDeque`).
-    pub lock: u64,
-    /// Steal end (H). Monotonically nondecreasing: claims are only ever
-    /// published for entries the claimant keeps.
-    pub top: u64,
-    /// Owner end (T).
-    pub bottom: u64,
-    /// Slot contents by slot index (`pos % capacity`); stale values
-    /// remain after consumption, as in real memory.
-    pub slots: Vec<u64>,
+    /// The shared deque words.
+    pub mem: Mem,
     /// All thread control states (owner first, then thieves).
     pub threads: Vec<ThreadState>,
     /// Values kept so far, sorted (for canonical hashing).
@@ -281,7 +460,8 @@ pub enum OpEvent {
 /// The result of executing one step.
 #[derive(Clone, Debug)]
 pub struct StepOut {
-    /// Human-readable description ("thief 1: claim top=3").
+    /// Human-readable description ("thief 1: claim top=3"). Stale
+    /// reads-from choices and mutated orderings are annotated inline.
     pub label: String,
     /// Read/write footprint (drives sleep-set independence).
     pub acc: Access,
@@ -293,13 +473,65 @@ pub struct StepOut {
     pub event: OpEvent,
 }
 
+/// Annotation appended to a step label when its ordering was downgraded
+/// by the scenario's mutation.
+fn ord_tag(actual: MemOrd, clean: MemOrd) -> String {
+    if actual == clean {
+        String::new()
+    } else {
+        format!(" [MUTATED: {} instead of {}]", actual.name(), clean.name())
+    }
+}
+
+/// Annotation appended when a load took a stale reads-from choice.
+fn stale_tag(l: LoadOut, what: &str, latest: u64) -> String {
+    if l.stale {
+        format!(" [STALE {what} read; latest is {latest}]")
+    } else {
+        String::new()
+    }
+}
+
 impl Sys {
-    /// Initial state for a scenario, with the prologue already applied.
+    /// Initial state for a scenario, with the prologue already applied
+    /// (and, under `Ra`, fully synchronized: the runtime's deque
+    /// construction happens-before any worker starting).
     pub fn initial(sc: &Scenario) -> Sys {
         assert!(
             sc.capacity >= 1 && sc.capacity <= 13,
             "capacity must fit the Access bitmask"
         );
+        assert!(sc.batch >= 1, "batch size must be at least 1");
+        if sc.batch > 1 {
+            assert_eq!(
+                sc.family,
+                Family::NativeOp,
+                "batched steals are modeled at NativeOp granularity"
+            );
+        }
+        if sc.mem_model == MemModel::Ra {
+            assert_eq!(
+                sc.family,
+                Family::NativeOp,
+                "the RA model applies to per-access granularity only \
+                 (SimPhase atomicity is the fabric's linearization)"
+            );
+            // The owner's capacity check reads `top` and a stale (older,
+            // hence smaller) top makes the check strictly harder to
+            // pass. Keep it satisfiable under the worst case (the
+            // initial floor) so a legal weak behavior is never reported
+            // as a model-internal overflow.
+            let pushes = sc
+                .owner
+                .iter()
+                .filter(|o| matches!(o, OwnerOp::Push(_)))
+                .count() as u64;
+            assert!(
+                pushes <= sc.capacity,
+                "RA scenarios need total pushes <= capacity (stale-top \
+                 capacity check)"
+            );
+        }
         let mut threads = vec![ThreadState::Owner {
             next: 0,
             pc: OwnerPc::Ready,
@@ -310,40 +542,68 @@ impl Sys {
                 pc: ThiefPc::Idle,
             });
         }
-        let mut sys = Sys {
-            lock: 0,
-            top: 0,
-            bottom: 0,
-            slots: vec![0; sc.capacity as usize],
-            threads,
-            consumed: Vec::new(),
-        };
+        // Apply the prologue on plain values, then seal them into the
+        // memory model as the synchronized initial state.
+        let mut vals = vec![0u64; IDX_SLOT0 + sc.capacity as usize];
         for (i, &op) in sc.prologue.iter().enumerate() {
             match op {
                 OwnerOp::Push(v) => {
                     assert!(
-                        sys.bottom - sys.top < sc.capacity,
+                        vals[IDX_BOTTOM] - vals[IDX_TOP] < sc.capacity,
                         "prologue overflow at op {i}"
                     );
-                    let slot = (sys.bottom % sc.capacity) as usize;
-                    sys.slots[slot] = v;
-                    sys.bottom += 1;
+                    let slot = vals[IDX_BOTTOM] % sc.capacity;
+                    vals[idx_slot(slot)] = v;
+                    vals[IDX_BOTTOM] += 1;
                 }
                 OwnerOp::Pop => {
                     assert!(
-                        sys.bottom > sys.top,
+                        vals[IDX_BOTTOM] > vals[IDX_TOP],
                         "prologue pop on empty deque at op {i}"
                     );
-                    sys.bottom -= 1;
+                    vals[IDX_BOTTOM] -= 1;
                 }
             }
         }
-        assert_eq!(sys.top, sys.bottom, "prologue must leave the deque empty");
-        sys
+        assert_eq!(
+            vals[IDX_TOP], vals[IDX_BOTTOM],
+            "prologue must leave the deque empty"
+        );
+        let nthreads = threads.len();
+        Sys {
+            mem: Mem::new(sc.mem_model, vals, nthreads),
+            threads,
+            consumed: Vec::new(),
+        }
     }
 
-    fn slot_of(&self, pos: u64) -> usize {
-        (pos % self.slots.len() as u64) as usize
+    /// Latest lock word (modification order, not any thread's view).
+    pub fn lock(&self) -> u64 {
+        self.mem.latest(IDX_LOCK)
+    }
+
+    /// Latest `top`.
+    pub fn top(&self) -> u64 {
+        self.mem.latest(IDX_TOP)
+    }
+
+    /// Latest `bottom`.
+    pub fn bottom(&self) -> u64 {
+        self.mem.latest(IDX_BOTTOM)
+    }
+
+    /// Latest content of slot `idx`.
+    pub fn slot(&self, idx: usize) -> u64 {
+        self.mem.latest(IDX_SLOT0 + idx)
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> u64 {
+        (self.mem.locs() - IDX_SLOT0) as u64
+    }
+
+    fn slot_of(&self, pos: u64) -> u64 {
+        pos % self.capacity()
     }
 
     /// Whether thread `ti` has finished all its work.
@@ -358,7 +618,8 @@ impl Sys {
     /// simulator owner's `Contended` pop and the native owner's TATAS
     /// lock wait — are modeled as *disabled until the lock frees*, which
     /// is the stutter pruning: executing the retry would not change the
-    /// state, so the explorer skips straight to the wake-up.
+    /// state, so the explorer skips straight to the wake-up. Guards read
+    /// the latest values (they model progress, not a thread's view).
     pub fn enabled(&self, ti: usize, sc: &Scenario) -> bool {
         if self.done(ti, sc) {
             return false;
@@ -369,8 +630,8 @@ impl Sys {
                     // Stutter: Contended pop (empty deque, lock held)
                     // would re-schedule without effect.
                     !(matches!(sc.owner[*next], OwnerOp::Pop)
-                        && self.bottom == self.top
-                        && self.lock != 0)
+                        && self.bottom() == self.top()
+                        && self.lock() != 0)
                 }
                 (OwnerPc::Ready, Family::NativeOp) => {
                     // Only reachable under a seeded mutation: a correct
@@ -380,22 +641,70 @@ impl Sys {
                     // trip the capacity assertion; model it as blocked
                     // so such runs surface as `Stuck` instead of
                     // panicking the explorer.
-                    !(matches!(sc.owner[*next], OwnerOp::Push(_)) && self.top > self.bottom)
+                    !(matches!(sc.owner[*next], OwnerOp::Push(_)) && self.top() > self.bottom())
                 }
-                (OwnerPc::PopLock { .. }, _) => self.lock == 0,
+                (OwnerPc::PopLock { .. }, _) => self.lock() == 0,
                 _ => true,
             },
             ThreadState::Thief { .. } => true,
         }
     }
 
-    /// Execute thread `ti`'s next step. Panics on model-internal
-    /// impossibilities (overflow under a well-sized scenario).
-    pub fn step(&mut self, ti: usize, sc: &Scenario) -> StepOut {
+    /// The load whose reads-from choice thread `ti`'s next step branches
+    /// on, if any. Owner reads of owner-written words (`bottom`, slots)
+    /// always have exactly one readable message (the thread's own floor
+    /// is the latest store), so they are not listed.
+    fn pending_load(&self, ti: usize, sc: &Scenario) -> Option<(usize, MemOrd)> {
+        if sc.family != Family::NativeOp {
+            return None;
+        }
+        let o = sc.ords();
+        match &self.threads[ti] {
+            ThreadState::Owner { next, pc } => match pc {
+                OwnerPc::Ready if *next < sc.owner.len() => Some(match sc.owner[*next] {
+                    OwnerOp::Push(_) => (IDX_TOP, o.push_read_top),
+                    OwnerOp::Pop => (IDX_TOP, o.pop_read_top0),
+                }),
+                OwnerPc::PopRecheck { .. } if sc.mutation != Mutation::SkipOwnerTopRecheck => {
+                    Some((IDX_TOP, o.pop_reread_top))
+                }
+                OwnerPc::PopLocked { .. } => Some((IDX_TOP, o.pop_locked_top)),
+                _ => None,
+            },
+            ThreadState::Thief { pc, .. } => match pc {
+                ThiefPc::Idle => Some((IDX_TOP, o.pre_top)),
+                ThiefPc::NatPre { .. } => Some((IDX_BOTTOM, o.pre_bottom)),
+                ThiefPc::NatL1 => Some((IDX_TOP, o.locked_top)),
+                ThiefPc::NatL2 { .. } => Some((IDX_BOTTOM, o.locked_bottom)),
+                ThiefPc::NatReadSlot { t, i, .. } => {
+                    Some((idx_slot(self.slot_of(t + i)), o.slot_read))
+                }
+                _ => None,
+            },
+        }
+    }
+
+    /// Number of distinct next steps for thread `ti`: the reads-from
+    /// choices of its pending load (1 under SC or for stores/RMWs). The
+    /// explorer branches over `0..choices`.
+    pub fn choices(&self, ti: usize, sc: &Scenario) -> u32 {
+        match self.pending_load(ti, sc) {
+            Some((loc, ord)) => self.mem.load_choices(ti, loc, ord),
+            None => 1,
+        }
+    }
+
+    /// Execute thread `ti`'s next step with reads-from `choice` (must be
+    /// `< choices(ti, sc)`). Panics on model-internal impossibilities
+    /// (overflow under a well-sized scenario).
+    pub fn step(&mut self, ti: usize, choice: u32, sc: &Scenario) -> StepOut {
         debug_assert!(self.enabled(ti, sc));
+        debug_assert!(choice < self.choices(ti, sc));
         match self.threads[ti].clone() {
-            ThreadState::Owner { next, pc } => self.owner_step(ti, next, pc, sc),
-            ThreadState::Thief { attempts_left, pc } => self.thief_step(ti, attempts_left, pc, sc),
+            ThreadState::Owner { next, pc } => self.owner_step(ti, next, pc, choice, sc),
+            ThreadState::Thief { attempts_left, pc } => {
+                self.thief_step(ti, attempts_left, pc, choice, sc)
+            }
         }
     }
 
@@ -419,29 +728,45 @@ impl Sys {
         }
     }
 
-    fn owner_step(&mut self, ti: usize, next: usize, pc: OwnerPc, sc: &Scenario) -> StepOut {
+    /// Load from a word this thread is the only writer of: its floor is
+    /// its own latest store, so there is exactly one readable message.
+    fn own_load(&mut self, ti: usize, loc: usize, ord: MemOrd) -> u64 {
+        debug_assert_eq!(self.mem.load_choices(ti, loc, ord), 1);
+        self.mem.load(ti, loc, ord, 0).val
+    }
+
+    fn owner_step(
+        &mut self,
+        ti: usize,
+        next: usize,
+        pc: OwnerPc,
+        choice: u32,
+        sc: &Scenario,
+    ) -> StepOut {
         let set = |s: &mut Sys, next, pc| s.threads[ti] = ThreadState::Owner { next, pc };
+        let ords = sc.ords();
+        let clean = OrdSpec::native();
         match (pc, sc.family) {
             (OwnerPc::Ready, Family::SimPhase) => match sc.owner[next] {
                 OwnerOp::Push(v) => {
-                    assert!(self.bottom - self.top < sc.capacity, "owner push overflow");
-                    let slot = self.slot_of(self.bottom);
-                    self.slots[slot] = v;
-                    let b = self.bottom;
-                    self.bottom = b + 1;
+                    let (b, t) = (self.bottom(), self.top());
+                    assert!(b - t < sc.capacity, "owner push overflow");
+                    let slot = self.slot_of(b);
+                    self.mem.store(ti, idx_slot(slot), MemOrd::Relaxed, v);
+                    self.mem.store(ti, IDX_BOTTOM, MemOrd::Relaxed, b + 1);
                     set(self, next + 1, OwnerPc::Ready);
                     Self::out(
                         format!("owner: push v{v} at pos {b} (slot {slot})"),
-                        Access::rw(LOC_TOP | LOC_BOTTOM, LOC_BOTTOM | loc_slot(slot as u64)),
+                        Access::rw(LOC_TOP | LOC_BOTTOM, LOC_BOTTOM | loc_slot(slot)),
                         OpEvent::PushDone(v),
                     )
                 }
                 OwnerOp::Pop => {
                     // Mirrors SimDeque::pop at event atomicity. The
                     // enabledness check already excluded Contended.
-                    let (b, t) = (self.bottom, self.top);
+                    let (b, t) = (self.bottom(), self.top());
                     if b == t {
-                        assert_eq!(self.lock, 0);
+                        assert_eq!(self.lock(), 0);
                         set(self, next + 1, OwnerPc::Ready);
                         return Self::out(
                             "owner: pop -> empty".to_string(),
@@ -456,15 +781,15 @@ impl Sys {
                         "SimDeque pop conflict path is unreachable at event atomicity \
                          (top cannot move inside an atomic pop)"
                     );
-                    self.bottom = nb;
+                    self.mem.store(ti, IDX_BOTTOM, MemOrd::Relaxed, nb);
                     let slot = self.slot_of(nb);
-                    let v = self.slots[slot];
+                    let v = self.mem.latest(idx_slot(slot));
                     let (kept, dup) = self.keep(v);
                     set(self, next + 1, OwnerPc::Ready);
                     StepOut {
                         label: format!("owner: pop -> keeps v{v} from pos {nb}"),
                         acc: Access::rw(
-                            LOC_TOP | LOC_BOTTOM | LOC_LOCK | loc_slot(slot as u64),
+                            LOC_TOP | LOC_BOTTOM | LOC_LOCK | loc_slot(slot),
                             LOC_BOTTOM,
                         ),
                         kept,
@@ -479,29 +804,38 @@ impl Sys {
                     // owner-owned, so folding its read in costs nothing.
                     // `t <= b` here is a protocol theorem the checker
                     // itself establishes (the enabledness guard blocks
-                    // the mutated counterexamples that break it).
-                    let (b, t) = (self.bottom, self.top);
+                    // the mutated counterexamples that break it; a stale
+                    // top read is older, hence smaller, and preserves it).
+                    let b = self.own_load(ti, IDX_BOTTOM, MemOrd::Relaxed);
+                    let l = self.mem.load(ti, IDX_TOP, ords.push_read_top, choice);
+                    let t = l.val;
                     assert!(t <= b && b - t < sc.capacity, "owner push overflow");
                     set(self, next, OwnerPc::PushIdx { b });
                     Self::out(
-                        format!("owner: push reads top={t}, bottom={b} (capacity ok)"),
+                        format!(
+                            "owner: push reads top={t}, bottom={b} (capacity ok){}",
+                            stale_tag(l, "top", self.top())
+                        ),
                         Access::r(LOC_TOP | LOC_BOTTOM),
                         OpEvent::Micro,
                     )
                 }
                 OwnerOp::Pop => {
-                    let (b, t) = (self.bottom, self.top);
+                    let b = self.own_load(ti, IDX_BOTTOM, MemOrd::Relaxed);
+                    let l = self.mem.load(ti, IDX_TOP, ords.pop_read_top0, choice);
+                    let t = l.val;
+                    let tag = stale_tag(l, "top", self.top());
                     if t >= b {
                         set(self, next + 1, OwnerPc::Ready);
                         return Self::out(
-                            format!("owner: pop reads top={t} >= bottom={b} -> empty"),
+                            format!("owner: pop reads top={t} >= bottom={b} -> empty{tag}"),
                             Access::r(LOC_TOP | LOC_BOTTOM),
                             OpEvent::PopDone(None),
                         );
                     }
                     set(self, next, OwnerPc::PopDec { b });
                     Self::out(
-                        format!("owner: pop reads top={t}, bottom={b}"),
+                        format!("owner: pop reads top={t}, bottom={b}{tag}"),
                         Access::r(LOC_TOP | LOC_BOTTOM),
                         OpEvent::Micro,
                     )
@@ -512,11 +846,11 @@ impl Sys {
                     unreachable!()
                 };
                 let slot = self.slot_of(b);
-                self.slots[slot] = v;
+                self.mem.store(ti, idx_slot(slot), ords.push_write_slot, v);
                 set(self, next, OwnerPc::PushWrote { b });
                 Self::out(
                     format!("owner: push writes v{v} to slot {slot}"),
-                    Access::rw(0, loc_slot(slot as u64)),
+                    Access::rw(0, loc_slot(slot)),
                     OpEvent::Micro,
                 )
             }
@@ -524,19 +858,29 @@ impl Sys {
                 let OwnerOp::Push(v) = sc.owner[next] else {
                     unreachable!()
                 };
-                self.bottom = b + 1;
+                self.mem.store(ti, IDX_BOTTOM, ords.push_publish, b + 1);
                 set(self, next + 1, OwnerPc::Ready);
                 Self::out(
-                    format!("owner: push publishes bottom={}", b + 1),
+                    format!(
+                        "owner: push publishes bottom={} ({}){}",
+                        b + 1,
+                        ords.push_publish.name(),
+                        ord_tag(ords.push_publish, clean.push_publish)
+                    ),
                     Access::rw(0, LOC_BOTTOM),
                     OpEvent::PushDone(v),
                 )
             }
             (OwnerPc::PopDec { b }, _) => {
-                self.bottom = b - 1;
+                self.mem.store(ti, IDX_BOTTOM, ords.pop_dec_bottom, b - 1);
                 set(self, next, OwnerPc::PopRecheck { b });
                 Self::out(
-                    format!("owner: pop stores bottom={}", b - 1),
+                    format!(
+                        "owner: pop stores bottom={} ({}){}",
+                        b - 1,
+                        ords.pop_dec_bottom.name(),
+                        ord_tag(ords.pop_dec_bottom, clean.pop_dec_bottom)
+                    ),
                     Access::rw(0, LOC_BOTTOM),
                     OpEvent::Micro,
                 )
@@ -546,41 +890,57 @@ impl Sys {
                 if sc.mutation == Mutation::SkipOwnerTopRecheck {
                     // Mutation: the fast path no longer consults `top`.
                     let slot = self.slot_of(nb);
-                    let v = self.slots[slot];
+                    let v = self.own_load(ti, idx_slot(slot), ords.slot_read);
                     let (kept, dup) = self.keep(v);
                     set(self, next + 1, OwnerPc::Ready);
                     return StepOut {
                         label: format!(
                             "owner: pop [MUTATED: no top re-check] keeps v{v} from pos {nb}"
                         ),
-                        acc: Access::r(loc_slot(slot as u64)),
+                        acc: Access::r(loc_slot(slot)),
                         kept,
                         dup,
                         event: OpEvent::PopDone(Some(v)),
                     };
                 }
-                let t = self.top;
-                // The sound bound is strict: position nb is taken
-                // lock-free only when it provably is no thief's target.
+                let l = self.mem.load(ti, IDX_TOP, ords.pop_reread_top, choice);
+                let t = l.val;
+                let tag = stale_tag(l, "top", self.top());
+                // The sound bound leaves the whole thief target range
+                // `[t, t + batch)` alone: position nb is taken lock-free
+                // only when it provably is no thief's target. The shipped
+                // k = 1 protocol is the strict `t < nb`.
                 // `LastEntryFastPath` restores the original `t <= nb`,
                 // which also takes the last entry while a locked thief
-                // may already be committed to it.
-                let fast = t < nb || (sc.mutation == Mutation::LastEntryFastPath && t == nb);
+                // may already be committed to it; `BatchNarrowOwnerBound`
+                // keeps the k = 1 bound under batching.
+                let sound = t + sc.batch <= nb;
+                let fast = match sc.mutation {
+                    Mutation::LastEntryFastPath => t <= nb,
+                    Mutation::BatchNarrowOwnerBound => t < nb,
+                    _ => sound,
+                };
                 if fast {
                     let slot = self.slot_of(nb);
-                    let v = self.slots[slot];
+                    let v = self.own_load(ti, idx_slot(slot), ords.slot_read);
                     let (kept, dup) = self.keep(v);
-                    let mutated = if t == nb {
-                        " [MUTATED: lock-free last entry]"
+                    let mutated = if !sound {
+                        match sc.mutation {
+                            Mutation::LastEntryFastPath => " [MUTATED: lock-free last entry]",
+                            Mutation::BatchNarrowOwnerBound => {
+                                " [MUTATED: k=1 owner bound under batching]"
+                            }
+                            _ => unreachable!("fast beyond the sound bound needs a mutation"),
+                        }
                     } else {
                         ""
                     };
                     set(self, next + 1, OwnerPc::Ready);
                     StepOut {
                         label: format!(
-                            "owner: pop re-reads top={t} <= {nb} -> keeps v{v}{mutated}"
+                            "owner: pop re-reads top={t} -> keeps v{v} lock-free{tag}{mutated}"
                         ),
-                        acc: Access::r(LOC_TOP | loc_slot(slot as u64)),
+                        acc: Access::r(LOC_TOP | loc_slot(slot)),
                         kept,
                         dup,
                         event: OpEvent::PopDone(Some(v)),
@@ -588,14 +948,14 @@ impl Sys {
                 } else {
                     set(self, next, OwnerPc::PopRestore { b });
                     Self::out(
-                        format!("owner: pop re-reads top={t} >= {nb} -> lock arbitration"),
+                        format!("owner: pop re-reads top={t} -> lock arbitration{tag}"),
                         Access::r(LOC_TOP),
                         OpEvent::Micro,
                     )
                 }
             }
             (OwnerPc::PopRestore { b }, _) => {
-                self.bottom = b;
+                self.mem.store(ti, IDX_BOTTOM, ords.pop_restore_bottom, b);
                 set(self, next, OwnerPc::PopLock { b });
                 Self::out(
                     format!("owner: pop restores bottom={b}"),
@@ -604,52 +964,58 @@ impl Sys {
                 )
             }
             (OwnerPc::PopLock { b }, _) => {
-                assert_eq!(
-                    self.lock, 0,
+                let (old, ok) = self.mem.cas(ti, IDX_LOCK, 0, 1, ords.lock_cas);
+                assert!(
+                    ok && old == 0,
                     "PopLock is enabled only while the lock is free"
                 );
-                self.lock = 1;
                 set(self, next, OwnerPc::PopLocked { b });
                 Self::out(
-                    "owner: pop TAS acquires lock".to_string(),
+                    format!(
+                        "owner: pop TAS acquires lock ({}){}",
+                        ords.lock_cas.name(),
+                        ord_tag(ords.lock_cas, clean.lock_cas)
+                    ),
                     Access::rw(LOC_LOCK, LOC_LOCK),
                     OpEvent::Micro,
                 )
             }
             (OwnerPc::PopLocked { b }, _) => {
-                let t = self.top;
+                let l = self.mem.load(ti, IDX_TOP, ords.pop_locked_top, choice);
+                let t = l.val;
+                let tag = stale_tag(l, "top", self.top());
                 if t >= b {
                     set(self, next, OwnerPc::PopUnlock { took: false });
                     Self::out(
-                        format!("owner: pop locked re-read top={t} >= {b} -> thief won"),
+                        format!("owner: pop locked re-read top={t} >= {b} -> thief won{tag}"),
                         Access::r(LOC_TOP),
                         OpEvent::Micro,
                     )
                 } else {
                     set(self, next, OwnerPc::PopTake { b });
                     Self::out(
-                        format!("owner: pop locked re-read top={t} < {b} -> take"),
+                        format!("owner: pop locked re-read top={t} < {b} -> take{tag}"),
                         Access::r(LOC_TOP),
                         OpEvent::Micro,
                     )
                 }
             }
             (OwnerPc::PopTake { b }, _) => {
-                self.bottom = b - 1;
+                self.mem.store(ti, IDX_BOTTOM, ords.pop_take_bottom, b - 1);
                 let slot = self.slot_of(b - 1);
-                let v = self.slots[slot];
+                let v = self.own_load(ti, idx_slot(slot), ords.slot_read);
                 let (kept, dup) = self.keep(v);
                 set(self, next, OwnerPc::PopUnlock { took: true });
                 StepOut {
                     label: format!("owner: pop keeps v{v} under lock"),
-                    acc: Access::rw(loc_slot(slot as u64), LOC_BOTTOM),
+                    acc: Access::rw(loc_slot(slot), LOC_BOTTOM),
                     kept,
                     dup,
                     event: OpEvent::PopDone(Some(v)),
                 }
             }
             (OwnerPc::PopUnlock { took }, _) => {
-                self.lock = 0;
+                self.mem.store(ti, IDX_LOCK, ords.unlock, 0);
                 set(self, next + 1, OwnerPc::Ready);
                 let event = if took {
                     OpEvent::Micro
@@ -657,7 +1023,11 @@ impl Sys {
                     OpEvent::PopDone(None)
                 };
                 Self::out(
-                    "owner: pop releases lock".to_string(),
+                    format!(
+                        "owner: pop releases lock ({}){}",
+                        ords.unlock.name(),
+                        ord_tag(ords.unlock, clean.unlock)
+                    ),
                     Access::rw(0, LOC_LOCK),
                     event,
                 )
@@ -665,15 +1035,25 @@ impl Sys {
         }
     }
 
-    fn thief_step(&mut self, ti: usize, attempts: u32, pc: ThiefPc, sc: &Scenario) -> StepOut {
+    fn thief_step(
+        &mut self,
+        ti: usize,
+        attempts: u32,
+        pc: ThiefPc,
+        choice: u32,
+        sc: &Scenario,
+    ) -> StepOut {
         let name = format!("thief {ti}");
         let set = |s: &mut Sys, attempts_left, pc| {
             s.threads[ti] = ThreadState::Thief { attempts_left, pc };
         };
+        let ords = sc.ords();
+        let clean = OrdSpec::native();
         match (pc, sc.family) {
             // ---- SimPhase: one step per RDMA phase --------------------
             (ThiefPc::Idle, Family::SimPhase) => {
-                let empty = self.top >= self.bottom;
+                let (t, b) = (self.top(), self.bottom());
+                let empty = t >= b;
                 if empty {
                     set(self, attempts - 1, ThiefPc::Idle);
                 } else {
@@ -681,9 +1061,7 @@ impl Sys {
                 }
                 Self::out(
                     format!(
-                        "{name}: phase1 empty-check READ top={}, bottom={} -> {}",
-                        self.top,
-                        self.bottom,
+                        "{name}: phase1 empty-check READ top={t}, bottom={b} -> {}",
                         if empty { "empty, abort" } else { "continue" }
                     ),
                     Access::r(LOC_TOP | LOC_BOTTOM),
@@ -691,8 +1069,7 @@ impl Sys {
                 )
             }
             (ThiefPc::SimChecked, Family::SimPhase) => {
-                let old = self.lock;
-                self.lock += 1;
+                let old = self.mem.faa(ti, IDX_LOCK, 1, MemOrd::Acquire);
                 let acquired = old == 0;
                 if acquired {
                     set(self, attempts, ThiefPc::SimLocked);
@@ -709,7 +1086,7 @@ impl Sys {
                 )
             }
             (ThiefPc::SimLocked, Family::SimPhase) => {
-                let (t, b) = (self.top, self.bottom);
+                let (t, b) = (self.top(), self.bottom());
                 if t >= b {
                     if sc.mutation == Mutation::SkipUnlockOnRacedEmpty {
                         // Mutation: the thief forgets its unlock duty.
@@ -728,8 +1105,8 @@ impl Sys {
                     );
                 }
                 let slot = self.slot_of(t);
-                let v = self.slots[slot];
-                self.top = t + 1;
+                let v = self.mem.latest(idx_slot(slot));
+                self.mem.store(ti, IDX_TOP, MemOrd::Relaxed, t + 1);
                 let (kept, dup) = self.keep(v);
                 set(self, attempts, ThiefPc::SimUnlockPending { stole: true });
                 StepOut {
@@ -737,14 +1114,14 @@ impl Sys {
                         "{name}: phase3 READ entry v{v} at pos {t}, WRITE top={}",
                         t + 1
                     ),
-                    acc: Access::rw(LOC_TOP | LOC_BOTTOM | loc_slot(slot as u64), LOC_TOP),
+                    acc: Access::rw(LOC_TOP | LOC_BOTTOM | loc_slot(slot), LOC_TOP),
                     kept,
                     dup,
                     event: OpEvent::StealPhase(Some(v)),
                 }
             }
             (ThiefPc::SimUnlockPending { .. }, Family::SimPhase) => {
-                self.lock = 0;
+                self.mem.store(ti, IDX_LOCK, MemOrd::Relaxed, 0);
                 set(self, attempts - 1, ThiefPc::Idle);
                 Self::out(
                     format!("{name}: phase4 WRITE lock=0"),
@@ -754,38 +1131,46 @@ impl Sys {
             }
             // ---- NativeOp: one step per atomic access -----------------
             (ThiefPc::Idle, Family::NativeOp) => {
-                let t = self.top;
+                let l = self.mem.load(ti, IDX_TOP, ords.pre_top, choice);
+                let t = l.val;
+                let tag = stale_tag(l, "top", self.top());
                 set(self, attempts, ThiefPc::NatPre { t });
                 Self::out(
-                    format!("{name}: pre-check loads top={t}"),
+                    format!("{name}: pre-check loads top={t}{tag}"),
                     Access::r(LOC_TOP),
                     OpEvent::Micro,
                 )
             }
             (ThiefPc::NatPre { t }, _) => {
-                let b = self.bottom;
+                let l = self.mem.load(ti, IDX_BOTTOM, ords.pre_bottom, choice);
+                let b = l.val;
+                let tag = stale_tag(l, "bottom", self.bottom());
                 if t >= b {
                     set(self, attempts - 1, ThiefPc::Idle);
                     Self::out(
-                        format!("{name}: pre-check loads bottom={b} <= top -> abort"),
+                        format!("{name}: pre-check loads bottom={b} <= top -> abort{tag}"),
                         Access::r(LOC_BOTTOM),
                         OpEvent::StealPhase(None),
                     )
                 } else {
                     set(self, attempts, ThiefPc::NatCas);
                     Self::out(
-                        format!("{name}: pre-check loads bottom={b} -> continue"),
+                        format!("{name}: pre-check loads bottom={b} -> continue{tag}"),
                         Access::r(LOC_BOTTOM),
                         OpEvent::Micro,
                     )
                 }
             }
             (ThiefPc::NatCas, _) => {
-                if self.lock == 0 {
-                    self.lock = 1;
+                let (_, ok) = self.mem.cas(ti, IDX_LOCK, 0, 1, ords.lock_cas);
+                if ok {
                     set(self, attempts, ThiefPc::NatL1);
                     Self::out(
-                        format!("{name}: CAS(lock 0->1) acquired"),
+                        format!(
+                            "{name}: CAS(lock 0->1) acquired ({}){}",
+                            ords.lock_cas.name(),
+                            ord_tag(ords.lock_cas, clean.lock_cas)
+                        ),
                         Access::rw(LOC_LOCK, LOC_LOCK),
                         OpEvent::LockTry { acquired: true },
                     )
@@ -799,16 +1184,24 @@ impl Sys {
                 }
             }
             (ThiefPc::NatL1, _) => {
-                let t = self.top;
+                let l = self.mem.load(ti, IDX_TOP, ords.locked_top, choice);
+                let t = l.val;
+                let tag = stale_tag(l, "top", self.top());
                 set(self, attempts, ThiefPc::NatL2 { t });
                 Self::out(
-                    format!("{name}: locked load top={t}"),
+                    format!("{name}: locked load top={t}{tag}"),
                     Access::r(LOC_TOP),
                     OpEvent::Micro,
                 )
             }
             (ThiefPc::NatL2 { t }, _) => {
-                let b = self.bottom;
+                let l = self.mem.load(ti, IDX_BOTTOM, ords.locked_bottom, choice);
+                let b = l.val;
+                let tag = format!(
+                    "{}{}",
+                    stale_tag(l, "bottom", self.bottom()),
+                    ord_tag(ords.locked_bottom, clean.locked_bottom)
+                );
                 if t >= b {
                     if sc.mutation == Mutation::SkipUnlockOnRacedEmpty {
                         set(self, attempts - 1, ThiefPc::Idle);
@@ -820,52 +1213,75 @@ impl Sys {
                     }
                     set(self, attempts, ThiefPc::NatUnlock { stole: false });
                     Self::out(
-                        format!("{name}: locked load bottom={b} <= top={t} -> empty"),
+                        format!("{name}: locked load bottom={b} <= top={t} -> empty{tag}"),
                         Access::r(LOC_BOTTOM),
                         OpEvent::Micro,
                     )
                 } else {
-                    set(self, attempts, ThiefPc::NatReadSlot { t });
+                    let k = sc.batch.min(b - t);
+                    set(self, attempts, ThiefPc::NatReadSlot { t, k, i: 0 });
+                    let batched = if sc.batch > 1 {
+                        format!(" (batch k={k})")
+                    } else {
+                        String::new()
+                    };
                     Self::out(
-                        format!("{name}: locked load bottom={b} -> entry at pos {t}"),
+                        format!("{name}: locked load bottom={b} -> entries at pos {t}..{}{batched}{tag}", t + k),
                         Access::r(LOC_BOTTOM),
                         OpEvent::Micro,
                     )
                 }
             }
-            (ThiefPc::NatReadSlot { t }, _) => {
-                let slot = self.slot_of(t);
-                let v = self.slots[slot];
+            (ThiefPc::NatReadSlot { t, k, i }, _) => {
+                let pos = t + i;
+                let slot = self.slot_of(pos);
                 // The value is kept at the read: the lock pins `top`,
-                // and the owner's strict fast-path bound means no other
-                // party can take position t (the checker verifies that
+                // and the owner's fast-path bound leaves positions
+                // `[t, t + batch)` alone (the checker verifies that
                 // claim via the double-claim invariant).
+                let l = self.mem.load(ti, idx_slot(slot), ords.slot_read, choice);
+                let v = l.val;
+                let tag = stale_tag(l, "slot", self.slot(slot as usize));
                 let (kept, dup) = self.keep(v);
-                set(self, attempts, ThiefPc::NatClaim { t });
+                let next_pc = if i + 1 < k {
+                    ThiefPc::NatReadSlot { t, k, i: i + 1 }
+                } else {
+                    ThiefPc::NatClaim { t, k }
+                };
+                set(self, attempts, next_pc);
                 StepOut {
-                    label: format!("{name}: locked read slot {slot} -> keeps v{v}"),
-                    acc: Access::r(loc_slot(slot as u64)),
+                    label: format!(
+                        "{name}: locked read slot {slot} (pos {pos}) -> keeps v{v}{tag}"
+                    ),
+                    acc: Access::r(loc_slot(slot)),
                     kept,
                     dup,
                     event: OpEvent::Micro,
                 }
             }
-            (ThiefPc::NatClaim { t }, _) => {
-                self.top = t + 1;
+            (ThiefPc::NatClaim { t, k }, _) => {
+                self.mem.store(ti, IDX_TOP, ords.claim_top, t + k);
                 set(self, attempts, ThiefPc::NatUnlock { stole: true });
                 Self::out(
-                    format!("{name}: publishes claim top={}", t + 1),
+                    format!(
+                        "{name}: publishes claim top={} ({}){}",
+                        t + k,
+                        ords.claim_top.name(),
+                        ord_tag(ords.claim_top, clean.claim_top)
+                    ),
                     Access::rw(0, LOC_TOP),
                     OpEvent::Micro,
                 )
             }
             (ThiefPc::NatUnlock { stole }, _) => {
-                self.lock = 0;
+                self.mem.store(ti, IDX_LOCK, ords.unlock, 0);
                 set(self, attempts - 1, ThiefPc::Idle);
                 Self::out(
                     format!(
-                        "{name}: releases lock (attempt {})",
-                        if stole { "stole" } else { "failed" }
+                        "{name}: releases lock (attempt {}, {}){}",
+                        if stole { "stole" } else { "failed" },
+                        ords.unlock.name(),
+                        ord_tag(ords.unlock, clean.unlock)
                     ),
                     Access::rw(0, LOC_LOCK),
                     OpEvent::Unlock,

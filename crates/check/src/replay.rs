@@ -75,7 +75,7 @@ fn replay_one(sc: &Scenario, sched: &[usize]) -> Result<(), String> {
         if !sys.enabled(t, sc) {
             return Err(format!("step {i}: schedule picks disabled thread {t}"));
         }
-        let out = sys.step(t, sc);
+        let out = sys.step(t, 0, sc);
         let thief = WorkerId(t as u32);
         let divergence = |got: &str| {
             Err(format!(
@@ -140,15 +140,15 @@ fn replay_one(sc: &Scenario, sched: &[usize]) -> Result<(), String> {
     let snap = deque
         .snapshot(&fabric)
         .map_err(|e| format!("snapshot: {e:?}"))?;
-    if (snap.lock, snap.top, snap.bottom) != (sys.lock, sys.top, sys.bottom) {
+    if (snap.lock, snap.top, snap.bottom) != (sys.lock(), sys.top(), sys.bottom()) {
         return Err(format!(
             "final state diverged: SimDeque (lock={} top={} bottom={}) vs model (lock={} top={} bottom={})",
-            snap.lock, snap.top, snap.bottom, sys.lock, sys.top, sys.bottom
+            snap.lock, snap.top, snap.bottom, sys.lock(), sys.top(), sys.bottom()
         ));
     }
     let real: Vec<u64> = snap.entries.iter().map(|e| e.task).collect();
-    let model: Vec<u64> = (sys.top..sys.bottom)
-        .map(|p| sys.slots[(p % sc.capacity) as usize])
+    let model: Vec<u64> = (sys.top()..sys.bottom())
+        .map(|p| sys.slot((p % sc.capacity) as usize))
         .collect();
     if real != model {
         return Err(format!(

@@ -1,5 +1,7 @@
-//! The standard scenario suite and the seeded-mutation demos.
+//! The standard scenario suite, the weak-memory (release/acquire)
+//! suite, and the seeded-mutation demos.
 
+use crate::memory::MemModel;
 use crate::model::{Family, Mutation, OwnerOp, Scenario};
 
 use OwnerOp::{Pop, Push};
@@ -8,7 +10,9 @@ fn sim(name: &'static str, capacity: u64, owner: Vec<OwnerOp>, thieves: Vec<u32>
     Scenario {
         name,
         family: Family::SimPhase,
+        mem_model: MemModel::Sc,
         capacity,
+        batch: 1,
         prologue: Vec::new(),
         owner,
         thieves,
@@ -20,6 +24,15 @@ fn native(name: &'static str, capacity: u64, owner: Vec<OwnerOp>, thieves: Vec<u
     Scenario {
         family: Family::NativeOp,
         ..sim(name, capacity, owner, thieves)
+    }
+}
+
+/// `NativeOp` under the release/acquire memory model: every load
+/// branches over the messages its declared ordering permits.
+fn ra(name: &'static str, capacity: u64, owner: Vec<OwnerOp>, thieves: Vec<u32>) -> Scenario {
+    Scenario {
+        mem_model: MemModel::Ra,
+        ..native(name, capacity, owner, thieves)
     }
 }
 
@@ -102,6 +115,60 @@ pub fn standard_suite() -> Vec<Scenario> {
                 vec![2],
             )
         },
+        // Batched steal (transfer-k, ROADMAP item 3) modeled ahead of
+        // its native implementation: a locked thief transfers up to two
+        // entries per critical section and the owner's fast-path bound
+        // widens to `top + 2 <= bottom - 1`. Still SC here; the RA suite
+        // re-runs it under weak memory.
+        Scenario {
+            batch: 2,
+            ..native(
+                "native/batch2",
+                3,
+                vec![Push(1), Push(2), Push(3), Pop],
+                vec![2],
+            )
+        },
+    ]
+}
+
+/// The weak-memory clean suite: the same `NativeOp` protocol explored
+/// under [`MemModel::Ra`], where every load branches over the messages
+/// its declared ordering permits. Every scenario must still report zero
+/// violations — together with the ordering-downgrade mutations this is
+/// the machine-checked argument that `NativeDeque`'s orderings are
+/// sufficient (see DESIGN.md §11).
+pub fn weak_suite() -> Vec<Scenario> {
+    vec![
+        ra("ra/1v1", 2, vec![Push(1), Push(2), Pop, Pop], vec![2]),
+        ra("ra/last-entry", 1, vec![Push(1), Pop], vec![2]),
+        ra("ra/two-thieves", 2, vec![Push(1), Push(2), Pop], vec![1, 1]),
+        ra("ra/push-race", 2, vec![Push(1), Pop, Push(2), Pop], vec![2]),
+        // The publication edge (push Release -> steal Acquire) exercised
+        // on wrapped, previously-occupied slots: a stale slot read here
+        // would surface old prologue values as phantom tasks.
+        Scenario {
+            prologue: wrap_prologue(3),
+            ..ra(
+                "ra/wraparound",
+                2,
+                vec![Push(1), Push(2), Pop, Pop],
+                vec![2],
+            )
+        },
+        // Deep drain with repeated steals: exercises the Dekker pairs
+        // (dip/locked-bottom and claim/re-read) across three claims.
+        ra("ra/drain", 3, vec![Push(1), Push(2), Push(3), Pop], vec![3]),
+        // Batched steal under weak memory.
+        Scenario {
+            batch: 2,
+            ..ra(
+                "ra/batch2",
+                3,
+                vec![Push(1), Push(2), Push(3), Pop],
+                vec![2],
+            )
+        },
     ]
 }
 
@@ -117,7 +184,9 @@ pub fn sleep_set_scenarios() -> &'static [&'static str] {
 }
 
 /// Demo scenarios for one seeded mutation: small systems where the
-/// checker must produce a counterexample trace.
+/// checker must produce a counterexample trace. Ordering-downgrade
+/// mutations come with RA scenarios (they are invisible under SC — the
+/// test suite checks both directions).
 pub fn mutation_demos(m: Mutation) -> Vec<Scenario> {
     assert_ne!(m, Mutation::None);
     let mut demos = match m {
@@ -140,6 +209,44 @@ pub fn mutation_demos(m: Mutation) -> Vec<Scenario> {
             native("native/last-entry", 1, vec![Push(1), Pop], vec![2]),
             native("native/1v1", 2, vec![Push(1), Push(2), Pop, Pop], vec![2]),
         ],
+        // A push whose bottom bump no longer carries the entry write:
+        // the thief's acquire pre-check synchronizes with nothing, so
+        // its locked slot read may see the slot's previous contents.
+        Mutation::PushPublishRelaxed => vec![ra("ra/publish", 2, vec![Push(1)], vec![1])],
+        // Both directions of the pop/steal Dekker handshake on `bottom`:
+        // the thief can read a pre-decrement bottom, walk past entries
+        // the owner's fast path is draining, and double-claim on the
+        // third attempt.
+        Mutation::PopPublishRelease | Mutation::StealBottomRelaxed => vec![ra(
+            "ra/drain",
+            3,
+            vec![Push(1), Push(2), Push(3), Pop],
+            vec![3],
+        )],
+        // The lock hand-off chain broken from either end: the next
+        // holder's relaxed locked re-reads see a stale `top` and take an
+        // entry the previous holder already kept.
+        Mutation::UnlockRelaxed | Mutation::LockCasRelaxed => vec![
+            ra("ra/last-entry", 1, vec![Push(1), Pop], vec![1]),
+            ra("ra/1v1", 2, vec![Push(1), Push(2), Pop, Pop], vec![2]),
+        ],
+        // A claim outside the SC order: the owner's SeqCst top re-read
+        // can miss it and fast-path into the thief's committed range.
+        Mutation::ClaimTopRelease => vec![ra("ra/claim", 3, vec![Push(1), Push(2), Pop], vec![2])],
+        // Batched steal with the un-widened k=1 owner bound: caught even
+        // under SC — the reason the bound must widen before native
+        // batching ships. Two entries make the popped position fall
+        // *inside* a locked thief's k=2 transfer range (with three, the
+        // narrow and widened bounds happen to agree).
+        Mutation::BatchNarrowOwnerBound => vec![Scenario {
+            batch: 2,
+            ..native(
+                "native/batch2-narrow",
+                3,
+                vec![Push(1), Push(2), Pop],
+                vec![1],
+            )
+        }],
         Mutation::None => unreachable!(),
     };
     for d in &mut demos {

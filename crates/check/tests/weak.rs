@@ -1,0 +1,172 @@
+//! The weak-memory explorer checking itself: the release/acquire suite
+//! must verify clean, every ordering-downgrade mutation must be caught
+//! with a readable counterexample trace, and — the other direction —
+//! those same downgrades must be *invisible* under SC, which is the
+//! machine-checked argument that the RA mode sees something the PR 3
+//! explorer could not.
+
+use uat_check::scenarios::{mutation_demos, weak_suite};
+use uat_check::{Explorer, MemModel, Mutation, ViolationKind};
+
+#[test]
+fn weak_clean_suite_has_zero_violations() {
+    let mut total_states = 0u64;
+    for sc in &weak_suite() {
+        let report = Explorer::new(sc, 0).run_exhaustive();
+        assert!(
+            report.violation.is_none(),
+            "{}: unexpected violation under RA:\n{}",
+            sc.name,
+            report.violation.as_ref().unwrap().render(sc.name)
+        );
+        assert!(
+            report.states > 0 && report.interleavings > 0,
+            "{}: empty exploration",
+            sc.name
+        );
+        total_states += report.states;
+    }
+    assert!(
+        total_states >= 1_000,
+        "weak suite coverage too small: {total_states} states"
+    );
+}
+
+/// RA explores strictly more behaviors than SC on the same scenario:
+/// every SC execution is the all-fresh-choices RA execution.
+#[test]
+fn ra_explores_a_superset_of_sc() {
+    for sc in &weak_suite() {
+        let ra = Explorer::new(sc, 0).run_exhaustive();
+        let mut sc_version = sc.clone();
+        sc_version.mem_model = MemModel::Sc;
+        let sc_run = Explorer::new(&sc_version, 0).run_exhaustive();
+        assert!(
+            ra.interleavings >= sc_run.interleavings,
+            "{}: RA found fewer executions ({}) than SC ({})",
+            sc.name,
+            ra.interleavings,
+            sc_run.interleavings
+        );
+    }
+}
+
+const WEAK_MUTATIONS: [Mutation; 6] = [
+    Mutation::PushPublishRelaxed,
+    Mutation::PopPublishRelease,
+    Mutation::StealBottomRelaxed,
+    Mutation::UnlockRelaxed,
+    Mutation::LockCasRelaxed,
+    Mutation::ClaimTopRelease,
+];
+
+#[test]
+fn every_ordering_downgrade_is_caught_with_a_trace() {
+    for m in WEAK_MUTATIONS {
+        let mut caught = 0;
+        for sc in &mutation_demos(m) {
+            let report = Explorer::new(sc, 0).run_exhaustive();
+            if let Some(v) = &report.violation {
+                caught += 1;
+                assert!(
+                    matches!(
+                        v.kind,
+                        ViolationKind::DoubleClaim { .. }
+                            | ViolationKind::PhantomValue { .. }
+                            | ViolationKind::LostValue { .. }
+                    ),
+                    "{} under {}: expected a safety violation, got: {}",
+                    sc.name,
+                    m.name(),
+                    v.kind.describe()
+                );
+                let rendered = v.render(sc.name);
+                assert!(rendered.contains("VIOLATION"), "trace missing verdict");
+                assert!(
+                    rendered.contains("MUTATED"),
+                    "{}: trace does not show the downgraded access:\n{rendered}",
+                    m.name()
+                );
+            }
+        }
+        assert!(
+            caught > 0,
+            "ordering downgrade {} produced no counterexample",
+            m.name()
+        );
+    }
+}
+
+/// The same downgrades are invisible under SC — orderings don't exist
+/// there. This is the gap the RA mode closes.
+#[test]
+fn ordering_downgrades_are_invisible_under_sc() {
+    for m in WEAK_MUTATIONS {
+        assert!(m.is_ordering_downgrade());
+        for sc in &mutation_demos(m) {
+            let mut sc_version = sc.clone();
+            sc_version.mem_model = MemModel::Sc;
+            let report = Explorer::new(&sc_version, 0).run_exhaustive();
+            assert!(
+                report.violation.is_none(),
+                "{} under SC unexpectedly caught {} — it is not an \
+                 ordering bug after all:\n{}",
+                sc.name,
+                m.name(),
+                report.violation.as_ref().unwrap().render(sc.name)
+            );
+        }
+    }
+}
+
+/// The batched-steal protocol bug (un-widened owner bound) is a
+/// *protocol* regression: caught already under SC, before any native
+/// batching ships (ROADMAP item 3).
+#[test]
+fn batch_narrow_owner_bound_is_caught_under_sc() {
+    let mut caught = 0;
+    for sc in &mutation_demos(Mutation::BatchNarrowOwnerBound) {
+        assert_eq!(sc.mem_model, MemModel::Sc);
+        let report = Explorer::new(sc, 0).run_exhaustive();
+        if let Some(v) = &report.violation {
+            caught += 1;
+            assert!(
+                matches!(v.kind, ViolationKind::DoubleClaim { .. }),
+                "{}: expected a double claim, got: {}",
+                sc.name,
+                v.kind.describe()
+            );
+            assert!(v.render(sc.name).contains("MUTATED"));
+        }
+    }
+    assert!(caught > 0, "batch-owner-bound produced no counterexample");
+}
+
+/// The push-publish audit (ISSUE 8 satellite): `Release` is the weakest
+/// safe ordering for the publishing bottom store. The clean RA suite
+/// (which runs `Release`, matching native.rs) passes — SeqCst is not
+/// needed — while the `Relaxed` downgrade loses the entry-write edge
+/// and is caught as a phantom/lost task.
+#[test]
+fn push_publish_release_is_proven_weakest_safe() {
+    // Safe side: covered by weak_clean_suite_has_zero_violations (the
+    // suite runs OrdSpec::native with push_publish = Release). Unsafe
+    // side: Relaxed must produce a stale-slot counterexample.
+    let mut phantom_or_lost = 0;
+    for sc in &mutation_demos(Mutation::PushPublishRelaxed) {
+        let report = Explorer::new(sc, 0).run_exhaustive();
+        if let Some(v) = &report.violation {
+            assert!(
+                matches!(
+                    v.kind,
+                    ViolationKind::PhantomValue { .. } | ViolationKind::LostValue { .. }
+                ),
+                "{}: expected a stale-slot manifestation, got: {}",
+                sc.name,
+                v.kind.describe()
+            );
+            phantom_or_lost += 1;
+        }
+    }
+    assert!(phantom_or_lost > 0);
+}

@@ -39,6 +39,53 @@ pub const fn loc_bit(off: u64) -> u32 {
     (off / WORD_BYTES) as u32
 }
 
+/// Memory orderings permitted on each control word, per operation:
+/// `(field, operation, allowed orderings)`.
+///
+/// This is the static face of the memory-model catalogue (DESIGN.md
+/// §11): the union, over every access site in `NativeDeque`, of the
+/// orderings the `uat-check` release/acquire explorer proved sufficient
+/// (clean RA suite) and necessary (each seeded downgrade outside this
+/// table produces a counterexample trace). The `uat-lint` tool scans
+/// `native.rs` and flags any atomic access on a THE-layout word whose
+/// ordering is not listed here; `uat-check` cross-checks its model's
+/// `OrdSpec::native()` against the same table, so the model, the code,
+/// and the lint cannot drift apart silently.
+///
+/// The table is per *(field, operation)*, not per call site: an ordering
+/// listed here is allowed anywhere that operation appears. Site-level
+/// sufficiency (e.g. that the *publishing* bottom store specifically
+/// must be at least `Release`, even though the locked take may be
+/// `Relaxed`) is the explorer's job, not the lint's.
+///
+/// `compare_exchange` lists both the success and failure orderings.
+pub const ORDERING_ALLOWLIST: &[(&str, &str, &[&str])] = &[
+    // TTAS spin probe only; the CAS carries the synchronization.
+    ("lock", "load", &["Relaxed"]),
+    // Acquire on success heads the lock hand-off chain (pairs with the
+    // previous holder's Release unlock); failure needs nothing.
+    ("lock", "compare_exchange", &["Acquire", "Relaxed"]),
+    // Release unlock: makes the critical section's writes visible to
+    // the next holder's Acquire CAS.
+    ("lock", "store", &["Release"]),
+    // Loads: Relaxed under the lock (writers locked out) and for the
+    // owner's advisory first read; Acquire for the thief pre-check and
+    // the owner's push capacity check; SeqCst for the owner's
+    // post-decrement re-read (the claim/re-read Dekker pair).
+    ("top", "load", &["Relaxed", "Acquire", "SeqCst"]),
+    // The thief's claim is the only top store and must stay SeqCst: it
+    // pairs with the owner's SeqCst re-read.
+    ("top", "store", &["SeqCst"]),
+    // Relaxed for the owner's own reads (single writer); Acquire for
+    // thief pre-checks and `len`; SeqCst for the locked thief's re-read
+    // (the dip/locked-bottom Dekker pair).
+    ("bottom", "load", &["Relaxed", "Acquire", "SeqCst"]),
+    // Relaxed for the locked take (lock orders it); Release for the
+    // push publish (carries the slot write); SeqCst for the pop's dip
+    // and restore (the dip side of the Dekker pair).
+    ("bottom", "store", &["Relaxed", "Release", "SeqCst"]),
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +99,31 @@ mod tests {
         assert_eq!(loc_bit(OFF_LOCK), 0);
         assert_eq!(loc_bit(OFF_TOP), 1);
         assert_eq!(loc_bit(OFF_BOTTOM), 2);
+    }
+
+    #[test]
+    fn allowlist_covers_exactly_the_control_words() {
+        let fields: std::collections::BTreeSet<&str> =
+            ORDERING_ALLOWLIST.iter().map(|(f, _, _)| *f).collect();
+        assert_eq!(
+            fields.into_iter().collect::<Vec<_>>(),
+            ["bottom", "lock", "top"]
+        );
+        for (field, op, allowed) in ORDERING_ALLOWLIST {
+            assert!(
+                matches!(*op, "load" | "store" | "compare_exchange"),
+                "{field}: unknown operation {op}"
+            );
+            assert!(!allowed.is_empty());
+            for ord in *allowed {
+                assert!(
+                    matches!(
+                        *ord,
+                        "Relaxed" | "Acquire" | "Release" | "AcqRel" | "SeqCst"
+                    ),
+                    "{field}.{op}: unknown ordering {ord}"
+                );
+            }
+        }
     }
 }

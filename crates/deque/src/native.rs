@@ -26,6 +26,14 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
+
+// Under `RUSTFLAGS="--cfg loom"` the control words become loom atomics
+// (real loom: exhaustively explored; the offline shim: schedule-stress
+// wrappers — see shims/loom). Both are `repr(transparent)` over the std
+// atomic, so the layout contract below keeps holding.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A fixed-capacity THE-protocol work-stealing deque.
@@ -54,10 +62,10 @@ const _: () = {
     assert!(std::mem::offset_of!(NativeDeque<u64>, bottom) as u64 == crate::layout::OFF_BOTTOM);
 };
 
-// SAFETY: all shared access to `slots` is mediated by the THE protocol as
+// SAFETY: [I1][I2][I3] all shared access to `slots` is mediated by the THE protocol as
 // documented in the module header; T itself crosses threads by copy.
 unsafe impl<T: Copy + Send> Sync for NativeDeque<T> {}
-// SAFETY: same argument as `Sync`; the deque owns its slot storage, so
+// SAFETY: [I3] same argument as `Sync`; the deque owns its slot storage, so
 // moving it to another thread moves only `Send` data.
 unsafe impl<T: Copy + Send> Send for NativeDeque<T> {}
 
@@ -120,15 +128,24 @@ impl<T: Copy> NativeDeque<T> {
             "native task queue overflow (capacity {})",
             self.slots.len()
         );
-        // SAFETY: position `b` is not visible to thieves until the bottom
+        // SAFETY: [I1][I2] position `b` is not visible to thieves until the bottom
         // store below, and the capacity check guarantees the slot's
         // previous occupant was consumed: reuse of a slot a thief is
         // reading (position `t + cap`) would need the loaded top to
         // exceed `t`, which cannot happen while that thief's critical
         // section holds top static at `t`.
         unsafe { (*self.slot(b)).write(value) };
-        // Publish: entry write happens-before the bottom bump.
-        self.bottom.store(b + 1, Ordering::SeqCst);
+        // Publish: entry write happens-before the bottom bump. Release
+        // (not SeqCst) suffices: the only reader that must see the slot
+        // write is a thief whose Acquire `bottom` load (pre-check) or
+        // SeqCst locked load pairs with this store, and push is not a
+        // side of the pop/steal Dekker handshake (only pop's decrement
+        // and the thief's locked bottom load need the SC order).
+        // uat-check's RA mode proves both directions: the clean suite
+        // passes with Release, and the `push-publish-weak` mutation
+        // (Relaxed) yields a stale-slot counterexample. See DESIGN.md
+        // section 11.
+        self.bottom.store(b + 1, Ordering::Release);
     }
 
     /// Owner-only: pop the youngest entry (THE protocol).
@@ -159,7 +176,7 @@ impl<T: Copy> NativeDeque<T> {
             // relaxed bound soundly only because engine events make the
             // whole pop atomic against whole steal phases.
             //
-            // SAFETY: no thief can consume or claim position nb (above),
+            // SAFETY: [I3] no thief can consume or claim position nb (above),
             // and slot reuse requires the position to be consumed first;
             // we own position nb exclusively.
             return Some(unsafe { (*self.slot(nb)).assume_init_read() });
@@ -175,7 +192,7 @@ impl<T: Copy> NativeDeque<T> {
             None
         } else {
             self.bottom.store(b - 1, Ordering::Relaxed);
-            // SAFETY: under the lock with top < b, position b-1 is ours.
+            // SAFETY: [I3][I4] under the lock with top < b, position b-1 is ours.
             Some(unsafe { (*self.slot(b - 1)).assume_init_read() })
         };
         self.release_lock();
@@ -216,7 +233,7 @@ impl<T: Copy> NativeDeque<T> {
             // ABA-broken anyway: a pop + re-push during our critical
             // section restores bottom while recycling the slot).
             //
-            // SAFETY: position t is live (t < b) and cannot be consumed
+            // SAFETY: [I2][I3][I4] position t is live (t < b) and cannot be consumed
             // or its slot reused while top == t (push at position t+cap
             // fails the capacity check until top advances), so the read
             // observes a fully initialised entry that only we will keep.
@@ -277,7 +294,7 @@ impl<T: Copy> NativeDeque<T> {
         let (result, outcome) = if t >= b {
             (None, StealAttemptOutcome::Raced)
         } else {
-            // SAFETY: identical critical section to `steal` — position t
+            // SAFETY: [I2][I3][I4] identical critical section to `steal` — position t
             // is live and held static by the lock we own (see the proof
             // comment there).
             let v = unsafe { (*self.slot(t)).assume_init_read() };

@@ -1,0 +1,134 @@
+//! Loom harness for `NativeDeque` (ISSUE 8 satellite). Compiled and run
+//! only under `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p uat-deque --test loom --release
+//! ```
+//!
+//! With the registry `loom` these are exhaustive bounded explorations of
+//! the real atomics under the C11 model. With the offline shim
+//! (shims/loom) they are deterministic seeded-schedule stress — every
+//! atomic access is a perturbation point — which reliably reproduces
+//! known protocol breaks but proves nothing exhaustively; the exhaustive
+//! story for this protocol lives in `uat-check` (SC and release/acquire
+//! modes). The scenarios mirror the checker's suite so a real-loom
+//! upgrade immediately re-verifies the same races on real code.
+
+#![cfg(loom)]
+
+use loom::sync::Arc;
+use loom::thread;
+use uat_deque::NativeDeque;
+
+/// The last-entry race: one entry, owner pop vs thief steal; exactly one
+/// side may keep it (the race `uat-check` catches in 12 steps when the
+/// owner's fast-path bound is relaxed to `t <= nb`).
+#[test]
+fn last_entry_exactly_one_winner() {
+    loom::model(|| {
+        let d = Arc::new(NativeDeque::new(2));
+        d.push(7u64);
+        let thief = {
+            let d = Arc::clone(&d);
+            thread::spawn(move || d.steal())
+        };
+        let popped = d.pop();
+        let stolen = thief.join().unwrap();
+        assert!(
+            popped.is_some() != stolen.is_some(),
+            "last entry claimed by both sides or lost: popped={popped:?} stolen={stolen:?}"
+        );
+        assert_eq!(popped.or(stolen), Some(7));
+    });
+}
+
+/// The publication edge: a steal racing the pushes must only ever see
+/// fully published entries, and conservation holds across pop + steal.
+#[test]
+fn publish_steal_conservation() {
+    loom::model(|| {
+        let d = Arc::new(NativeDeque::new(3));
+        let thief = {
+            let d = Arc::clone(&d);
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..2 {
+                    if let Some(v) = d.steal() {
+                        got.push(v);
+                    }
+                }
+                got
+            })
+        };
+        d.push(1u64);
+        d.push(2);
+        let mut kept = Vec::new();
+        while let Some(v) = d.pop() {
+            kept.push(v);
+        }
+        let mut all = thief.join().unwrap();
+        all.extend(kept);
+        all.sort_unstable();
+        assert_eq!(all, [1, 2], "value lost or duplicated: {all:?}");
+        for v in &all {
+            assert!((1..=2).contains(v), "phantom value {v} (stale slot read)");
+        }
+    });
+}
+
+/// Two thieves contending on the lock while the owner drains: every
+/// entry consumed exactly once, lock hand-off included.
+#[test]
+fn two_thieves_drain() {
+    loom::model(|| {
+        let d = Arc::new(NativeDeque::new(3));
+        d.push(1u64);
+        d.push(2);
+        let spawn_thief = |d: &Arc<NativeDeque<u64>>| {
+            let d = Arc::clone(d);
+            thread::spawn(move || d.steal())
+        };
+        let t1 = spawn_thief(&d);
+        let t2 = spawn_thief(&d);
+        let mut all: Vec<u64> = [t1.join().unwrap(), t2.join().unwrap(), d.pop(), d.pop()]
+            .into_iter()
+            .flatten()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, [1, 2], "conservation violated: {all:?}");
+    });
+}
+
+/// Wraparound slot reuse under racing steals: positions recycle through
+/// a 2-slot buffer while a thief reads — the scenario where a premature
+/// slot reuse (capacity-check bug) would hand the thief a new value at
+/// an old position.
+#[test]
+fn wraparound_reuse_race() {
+    loom::model(|| {
+        let d = Arc::new(NativeDeque::new(2));
+        let thief = {
+            let d = Arc::clone(&d);
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..3 {
+                    if let Some(v) = d.steal() {
+                        got.push(v);
+                    }
+                }
+                got
+            })
+        };
+        let mut kept = Vec::new();
+        for round in 0..3u64 {
+            d.push(round + 1);
+            if let Some(v) = d.pop() {
+                kept.push(v);
+            }
+        }
+        let mut all = thief.join().unwrap();
+        all.extend(kept);
+        all.sort_unstable();
+        assert_eq!(all, [1, 2, 3], "conservation violated: {all:?}");
+    });
+}

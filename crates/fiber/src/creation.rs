@@ -57,7 +57,7 @@ struct UniArgs<'a> {
 
 /// Figure 4's `do_create_thread`, specialized to the benchmark child.
 unsafe extern "C" fn do_create_uniaddr(ctx: *mut Context, arg: *mut c_void) {
-    // SAFETY: arg is the UniArgs the caller stack-allocated and it
+    // SAFETY: [I8] arg is the UniArgs the caller stack-allocated and it
     // outlives this call (save_context_and_call is synchronous here).
     let args = unsafe { &mut *(arg as *mut UniArgs<'_>) };
     // Push the parent thread (taskq entry = the context pointer).
@@ -78,20 +78,20 @@ struct PoolArgs<'a> {
 }
 
 unsafe extern "C" fn pool_child_main(arg: *mut c_void) -> ! {
-    // SAFETY: arg outlives the child (parent frame is suspended).
+    // SAFETY: [I8] arg outlives the child (parent frame is suspended).
     let args = unsafe { &*(arg as *mut PoolArgs<'_>) };
-    // SAFETY: counter points at the measuring frame's live u64.
+    // SAFETY: [I8] counter points at the measuring frame's live u64.
     child_body(unsafe { &mut *args.counter });
     let parent = args.deque.pop().expect("parent not stolen in microbench");
-    // SAFETY: the parent context is intact on its own stack.
+    // SAFETY: [I5] the parent context is intact on its own stack.
     unsafe { resume_context(parent as *mut Context) }
 }
 
 unsafe extern "C" fn do_create_pool(ctx: *mut Context, arg: *mut c_void) {
-    // SAFETY: as above.
+    // SAFETY: [I8] as above.
     let args = unsafe { &mut *(arg as *mut PoolArgs<'_>) };
     args.deque.push(ctx as u64);
-    // SAFETY: child_top is the top of a live pooled stack and
+    // SAFETY: [I6][I9] child_top is the top of a live pooled stack and
     // pool_child_main never returns.
     unsafe { switch_stack_and_call(args.child_top, pool_child_main, arg) }
 }
@@ -118,7 +118,7 @@ pub fn measure_creation(strategy: CreationStrategy, batch: u64, reps: u64) -> f6
                     deque: &deque,
                     counter: &mut counter,
                 };
-                // SAFETY: do_create_uniaddr returns normally (single
+                // SAFETY: [I5][I8] do_create_uniaddr returns normally (single
                 // worker, no theft) and args outlives the call.
                 unsafe {
                     save_context_and_call(
@@ -142,7 +142,7 @@ pub fn measure_creation(strategy: CreationStrategy, batch: u64, reps: u64) -> f6
                         counter: &mut counter,
                         child_top: stack.top(),
                     };
-                    // SAFETY: the child jumps back via the saved context;
+                    // SAFETY: [I5][I8] the child jumps back via the saved context;
                     // args outlives the round trip.
                     unsafe {
                         save_context_and_call(

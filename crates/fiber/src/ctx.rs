@@ -158,7 +158,7 @@ mod tests {
         static HIT: AtomicU64 = AtomicU64::new(0);
         unsafe extern "C" fn f(ctx: *mut Context, arg: *mut c_void) {
             HIT.store(arg as u64, Ordering::Relaxed);
-            // SAFETY: ctx points at the record save_context_and_call just
+            // SAFETY: [I5] ctx points at the record save_context_and_call just
             // built on the caller's stack, live until f returns.
             unsafe {
                 // The context records this very stack: rsp == ctx.
@@ -166,7 +166,7 @@ mod tests {
                 assert!((*ctx).rip != 0);
             }
         }
-        // SAFETY: f returns normally, so this behaves as a plain call.
+        // SAFETY: [I5] f returns normally, so this behaves as a plain call.
         unsafe {
             save_context_and_call(std::ptr::null_mut(), f, 42usize as *mut c_void);
         }
@@ -175,7 +175,7 @@ mod tests {
         // the test simply not crashing, but exercise some register
         // pressure to be sure).
         let vals: Vec<u64> = (0..64).collect();
-        // SAFETY: as above; f returns normally.
+        // SAFETY: [I5] as above; f returns normally.
         unsafe {
             save_context_and_call(std::ptr::null_mut(), f, 7 as *mut c_void);
         }
@@ -190,11 +190,11 @@ mod tests {
         static STAGE: AtomicU64 = AtomicU64::new(0);
         unsafe extern "C" fn f(ctx: *mut Context, _arg: *mut c_void) {
             STAGE.store(1, Ordering::Relaxed);
-            // SAFETY: ctx is the caller's live continuation, resumed
+            // SAFETY: [I5] ctx is the caller's live continuation, resumed
             // exactly once, with only Copy locals live in f.
             unsafe { resume_context(ctx) }
         }
-        // SAFETY: f diverges into the saved context; control returns
+        // SAFETY: [I5] f diverges into the saved context; control returns
         // here exactly once via that resume.
         unsafe {
             save_context_and_call(std::ptr::null_mut(), f, std::ptr::null_mut());
@@ -210,14 +210,14 @@ mod tests {
     #[test]
     fn parent_pointer_stored() {
         unsafe extern "C" fn f(ctx: *mut Context, arg: *mut c_void) {
-            // SAFETY: ctx is the live record on the caller's stack; the
+            // SAFETY: [I5] ctx is the live record on the caller's stack; the
             // parent field is only compared, never dereferenced.
             unsafe {
                 assert_eq!((*ctx).parent, arg as *mut Context);
             }
         }
         let fake_parent = 0x1234_5678usize as *mut Context;
-        // SAFETY: f returns normally; the fake parent pointer is stored
+        // SAFETY: [I5] f returns normally; the fake parent pointer is stored
         // in the record but never dereferenced.
         unsafe {
             save_context_and_call(fake_parent, f, fake_parent as *mut c_void);
@@ -229,7 +229,7 @@ mod tests {
     fn nested_contexts() {
         static mut TRACE: Vec<u32> = Vec::new();
         unsafe extern "C" fn inner(ctx: *mut Context, _arg: *mut c_void) {
-            // SAFETY: single-threaded test, so the static TRACE has no
+            // SAFETY: [I5] single-threaded test, so the static TRACE has no
             // concurrent access; ctx is outer's live continuation,
             // resumed exactly once.
             unsafe {
@@ -238,7 +238,7 @@ mod tests {
             }
         }
         unsafe extern "C" fn outer(ctx: *mut Context, _arg: *mut c_void) {
-            // SAFETY: same single-threaded TRACE access; the nested save
+            // SAFETY: [I5] same single-threaded TRACE access; the nested save
             // returns here via inner's resume, then ctx (the test body's
             // continuation) is resumed exactly once.
             unsafe {
@@ -248,7 +248,7 @@ mod tests {
                 resume_context(ctx);
             }
         }
-        // SAFETY: outer diverges into the saved context; TRACE is only
+        // SAFETY: [I5] outer diverges into the saved context; TRACE is only
         // touched from this one thread.
         unsafe {
             save_context_and_call(std::ptr::null_mut(), outer, std::ptr::null_mut());

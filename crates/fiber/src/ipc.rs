@@ -104,7 +104,7 @@ pub fn expected_result() -> u64 {
 /// array + a pointer to it), publishes its continuation, and — once
 /// resumed, *in whichever process* — computes from that stack state.
 unsafe extern "C" fn migrating_thread(arg: *mut c_void) -> ! {
-    // SAFETY: arg is the VictimArgs the victim entry passed through
+    // SAFETY: [I8] arg is the VictimArgs the victim entry passed through
     // switch_stack_and_call; the Shared block it points to is the
     // process-shared mapping, live for the whole run.
     let shared = unsafe { &*((*(arg as *mut VictimArgs)).shared) };
@@ -120,7 +120,7 @@ unsafe extern "C" fn migrating_thread(arg: *mut c_void) -> ! {
 
     // "spawn": save the continuation and run the child part, which
     // publishes the parent for stealing (Figure 4's do_create_thread).
-    // SAFETY: we are on the uni-address region's stack; the callee
+    // SAFETY: [I5] we are on the uni-address region's stack; the callee
     // either returns normally (not stolen) or never returns here.
     unsafe {
         save_context_and_call(
@@ -136,14 +136,14 @@ unsafe extern "C" fn migrating_thread(arg: *mut c_void) -> ! {
 
     // Hand control back to this process's scheduler context.
     let ret = RETURN_CTX.load(Ordering::Acquire) as *mut Context;
-    // SAFETY: RETURN_CTX was stored by whichever scheduler context
+    // SAFETY: [I5] RETURN_CTX was stored by whichever scheduler context
     // (victim_entry or thief_tramp) resumed us, and that context's stack
     // frame is still live — it is blocked inside save_context_and_call.
     unsafe { resume_context(ret) }
 }
 
 unsafe extern "C" fn publish_and_run_child(ctx: *mut Context, arg: *mut c_void) {
-    // SAFETY: arg is the Shared pointer migrating_thread passed in; the
+    // SAFETY: [I8] arg is the Shared pointer migrating_thread passed in; the
     // shared mapping outlives both processes' use of it.
     let shared = unsafe { &*(arg as *const Shared) };
     // Publish: frames = [ctx, top of region).
@@ -183,7 +183,7 @@ unsafe extern "C" fn publish_and_run_child(ctx: *mut Context, arg: *mut c_void) 
             while shared.done.load(Ordering::Acquire) == 0 {
                 std::hint::spin_loop();
             }
-            // SAFETY: _exit is async-signal-safe; it skips atexit
+            // SAFETY: [I10] _exit is async-signal-safe; it skips atexit
             // handlers and destructors, which is exactly what a
             // post-fork child that must not touch the allocator wants.
             unsafe { libc::_exit(0) }
@@ -197,7 +197,7 @@ unsafe extern "C" fn publish_and_run_child(ctx: *mut Context, arg: *mut c_void) 
 // ----------------------------------------------------------------------
 
 fn map_shared() -> *const Shared {
-    // SAFETY: fresh memfd + MAP_SHARED mapping, checked below.
+    // SAFETY: [I10] fresh memfd + MAP_SHARED mapping, checked below.
     unsafe {
         let fd = libc::syscall(libc::SYS_memfd_create, c"uat-ipc".as_ptr(), 0u32) as i32;
         assert!(fd >= 0, "memfd_create failed");
@@ -217,7 +217,7 @@ fn map_shared() -> *const Shared {
 }
 
 fn map_uni_region() {
-    // SAFETY: fixed mapping at an address chosen to be free; NOREPLACE
+    // SAFETY: [I10] fixed mapping at an address chosen to be free; NOREPLACE
     // makes a collision an error instead of a clobber.
     unsafe {
         let p = libc::mmap(
@@ -237,7 +237,7 @@ fn map_uni_region() {
 
 unsafe extern "C" fn thief_tramp(sched: *mut Context, arg: *mut c_void) {
     RETURN_CTX.store(sched as u64, Ordering::Release);
-    // SAFETY: arg is the stolen thread's context, freshly installed at
+    // SAFETY: [I5] arg is the stolen thread's context, freshly installed at
     // its original address.
     unsafe { resume_context(arg as *mut Context) }
 }
@@ -245,7 +245,7 @@ unsafe extern "C" fn thief_tramp(sched: *mut Context, arg: *mut c_void) {
 unsafe extern "C" fn victim_entry(sched: *mut Context, arg: *mut c_void) {
     RETURN_CTX.store(sched as u64, Ordering::Release);
     let top = (UNI_BASE + UNI_SIZE) as *mut u8;
-    // SAFETY: the uni region is mapped; migrating_thread diverges.
+    // SAFETY: [I6][I9] the uni region is mapped; migrating_thread diverges.
     unsafe { switch_stack_and_call(top, migrating_thread, arg) }
 }
 
@@ -261,10 +261,10 @@ unsafe extern "C" fn victim_entry(sched: *mut Context, arg: *mut c_void) {
 pub fn steal_between_processes() -> Result<IpcStealOutcome, String> {
     map_uni_region();
     let shared_ptr = map_shared();
-    // SAFETY: the mapping is zeroed; Shared is all atomics (valid at 0).
+    // SAFETY: [I8][I10] the mapping is zeroed; Shared is all atomics (valid at 0).
     let shared = unsafe { &*shared_ptr };
 
-    // SAFETY: fork; the child touches no allocator/locks (see module
+    // SAFETY: [I10] fork; the child touches no allocator/locks (see module
     // docs) and exits via _exit.
     let child = unsafe { libc::fork() };
     assert!(child >= 0, "fork failed");
@@ -272,7 +272,7 @@ pub fn steal_between_processes() -> Result<IpcStealOutcome, String> {
         // ----- victim process -----
         shared.child_up.store(1, Ordering::Release);
         let mut args = VictimArgs { shared: shared_ptr };
-        // SAFETY: victim_entry diverges into the migrating thread.
+        // SAFETY: [I5] victim_entry diverges into the migrating thread.
         unsafe {
             save_context_and_call(
                 std::ptr::null_mut(),
@@ -282,7 +282,7 @@ pub fn steal_between_processes() -> Result<IpcStealOutcome, String> {
         }
         // Reached only on the TAKEN_LOCAL (never-stolen) path, where the
         // thread finishes in-process and resumes our scheduler context.
-        // SAFETY: _exit is async-signal-safe and touches no allocator
+        // SAFETY: [I10] _exit is async-signal-safe and touches no allocator
         // state — required in a post-fork child of a threaded process.
         unsafe { libc::_exit(0) }
     }
@@ -312,7 +312,7 @@ pub fn steal_between_processes() -> Result<IpcStealOutcome, String> {
 
     // Phase 3: one-sided stack transfer into the same virtual address.
     let t_xfer = std::time::Instant::now();
-    // SAFETY: both iovecs cover mapped memory — [frame_base,
+    // SAFETY: [I10] both iovecs cover mapped memory — [frame_base,
     // frame_base+frame_size) is inside the uni region in both address
     // spaces (asserted above) — and the victim's code is not involved
     // (the kernel performs the copy).
@@ -331,7 +331,7 @@ pub fn steal_between_processes() -> Result<IpcStealOutcome, String> {
         let err = std::io::Error::last_os_error();
         // Let the victim exit, reap it, and report.
         shared.done.store(1, Ordering::Release);
-        // SAFETY: reaping our own child; a null status pointer is
+        // SAFETY: [I10] reaping our own child; a null status pointer is
         // explicitly allowed by waitpid.
         unsafe { libc::waitpid(child, std::ptr::null_mut(), 0) };
         return Err(format!("process_vm_readv not permitted here: {err}"));
@@ -340,7 +340,7 @@ pub fn steal_between_processes() -> Result<IpcStealOutcome, String> {
     assert_eq!(copied as usize, frame_size, "short stack transfer");
 
     // Phase 4: resume the stolen thread at its original address.
-    // SAFETY: the frames (including the Context record at frame_base)
+    // SAFETY: [I5] the frames (including the Context record at frame_base)
     // are installed; thief_tramp stores our return context first.
     unsafe {
         save_context_and_call(std::ptr::null_mut(), thief_tramp, frame_base as *mut c_void);
@@ -351,7 +351,7 @@ pub fn steal_between_processes() -> Result<IpcStealOutcome, String> {
 
     shared.done.store(1, Ordering::Release);
     let mut status = 0;
-    // SAFETY: reaping our own child.
+    // SAFETY: [I10] reaping our own child.
     unsafe { libc::waitpid(child, &mut status, 0) };
 
     Ok(IpcStealOutcome {

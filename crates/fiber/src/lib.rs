@@ -57,6 +57,6 @@ pub use interp::{NativeRunStats, NativeRunner};
 pub use ipc::steal_between_processes;
 #[cfg(feature = "trace")]
 pub use ntrace::{NativeTrace, DEFAULT_RING_CAPACITY};
-pub use runtime::{spawn, JoinHandle, Runtime, SchedStats};
+pub use runtime::{current_worker_id, spawn, JoinHandle, Runtime, SchedStats};
 pub use stack::{Stack, StackPool};
 pub use tsc::{ClockSource, RunClock};

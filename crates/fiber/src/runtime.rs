@@ -140,12 +140,32 @@ fn current() -> *mut Worker {
     w
 }
 
+/// The id (0-based, `< nworkers`) of the worker executing the calling
+/// fiber *right now*.
+///
+/// Routed through the never-inlined [`current`] lookup above, so the
+/// answer is re-derived from TLS on whichever OS thread is actually
+/// executing — calling this before and after a suspension point
+/// (`join`) observes real fiber migration. The
+/// `tls_rederivation` regression test pins exactly that; if this
+/// accessor ever returns a cached pre-suspension worker, that test (and
+/// `uat-lint`'s tls rules) catch the regression.
+///
+/// Panics outside a worker thread.
+pub fn current_worker_id() -> usize {
+    let w = current();
+    // SAFETY: [I7] `current()` returned non-null, so this thread is a
+    // worker thread and `w` points at its live Worker; the shared borrow
+    // reads one immutable field and ends before any switch.
+    unsafe { (*w).id }
+}
+
 /// Free the stack retired by the previously completed thread, if any.
 /// Must run at every point control can land after a completion.
 #[inline]
 fn collect_retired() {
     let w = current();
-    // SAFETY: only the owning OS thread touches its Worker, and no other
+    // SAFETY: [I7] only the owning OS thread touches its Worker, and no other
     // borrow is live across this call.
     let w = unsafe { &mut *w };
     if let Some(s) = w.pending_retire.take() {
@@ -178,7 +198,7 @@ where
         *r2.lock().unwrap() = Some(f());
     });
     let w = current();
-    // SAFETY: exclusive access by the owning thread; short borrow.
+    // SAFETY: [I7] exclusive access by the owning thread; short borrow.
     let (stack, task_id) = unsafe {
         let wr = &mut *w;
         let stack = wr.pool.take();
@@ -193,13 +213,13 @@ where
         stack: Some(stack),
         task_id,
     });
-    // SAFETY: shared is alive for the runtime's duration; the reference
+    // SAFETY: [I8] shared is alive for the runtime's duration; the reference
     // is dropped before the context switch below.
     unsafe {
         let wr = &*w;
         wr.shared.live.fetch_add(1, Ordering::AcqRel);
     }
-    // SAFETY: spawn_tramp never returns normally; the continuation saved
+    // SAFETY: [I5] spawn_tramp never returns normally; the continuation saved
     // here is resumed exactly once (by the child's pop or by a thief).
     unsafe {
         save_context_and_call(
@@ -210,7 +230,7 @@ where
     }
     // Resumed — possibly on a different worker thread.
     collect_retired();
-    // SAFETY: exclusive worker access; scoped borrow.
+    // SAFETY: [I7] exclusive worker access; scoped borrow.
     unsafe {
         (*current()).trace.on_resumed();
     }
@@ -220,7 +240,7 @@ where
 unsafe extern "C" fn spawn_tramp(ctx: *mut Context, arg: *mut c_void) {
     let w = current();
     // Push the parent thread's continuation: stealable from now on.
-    // SAFETY: worker structures outlive all tasks; references end before
+    // SAFETY: [I5][I7] worker structures outlive all tasks; references end before
     // the stack switch.
     let top = unsafe {
         let wr = &mut *w;
@@ -236,19 +256,19 @@ unsafe extern "C" fn spawn_tramp(ctx: *mut Context, arg: *mut c_void) {
             .expect("stack present at start")
             .top()
     };
-    // SAFETY: fresh pooled stack; child_main diverges.
+    // SAFETY: [I6][I9] fresh pooled stack; child_main diverges.
     unsafe { switch_stack_and_call(top, child_main, arg) }
 }
 
 unsafe extern "C" fn child_main(arg: *mut c_void) -> ! {
     {
-        // SAFETY: sole owner of the payload from here.
+        // SAFETY: [I8] sole owner of the payload from here.
         let mut payload = unsafe { Box::from_raw(arg as *mut Payload) };
         let body = payload.body.take().expect("body present");
         let task = payload.task_id;
         // Trace: the fiber body starts here; `born` is a Copy local so it
         // survives any migration of this stack between workers.
-        // SAFETY: exclusive worker access on this thread; scoped borrow.
+        // SAFETY: [I7] exclusive worker access on this thread; scoped borrow.
         let born = unsafe { (*current()).trace.on_task_begin(task) };
         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).is_err() {
             // Unwinding across a context switch is UB; mirror the paper's
@@ -258,7 +278,7 @@ unsafe extern "C" fn child_main(arg: *mut c_void) -> ! {
         }
         let w = current();
         // Retire our own stack; freed once control is off it.
-        // SAFETY: exclusive worker access on this thread; the borrow is
+        // SAFETY: [I6][I7] exclusive worker access on this thread; the borrow is
         // scoped to this block.
         unsafe {
             let wr = &mut *w;
@@ -273,7 +293,7 @@ unsafe extern "C" fn child_main(arg: *mut c_void) -> ! {
             // Trace: name the join edge and register the waiter's
             // continuation *before* the push makes it stealable.
             #[cfg(feature = "trace")]
-            // SAFETY: exclusive worker access on this thread.
+            // SAFETY: [I7] exclusive worker access on this thread.
             unsafe {
                 let wr = &mut *w;
                 if wr.trace.enabled() {
@@ -283,14 +303,14 @@ unsafe extern "C" fn child_main(arg: *mut c_void) -> ! {
                     wr.trace.on_publish(prev, parent);
                 }
             }
-            // SAFETY: prev is a parked continuation, claimed exactly here;
+            // SAFETY: [I5] prev is a parked continuation, claimed exactly here;
             // pushing it makes it runnable (and stealable).
             unsafe {
                 let wr = &*w;
                 wr.shared.deques[wr.id].push(prev);
             }
         }
-        // SAFETY: w points at this worker's thread-local Worker, alive
+        // SAFETY: [I7][I8] w points at this worker's thread-local Worker, alive
         // for the whole worker loop.
         unsafe {
             let wr = &*w;
@@ -300,7 +320,7 @@ unsafe extern "C" fn child_main(arg: *mut c_void) -> ! {
     let w = current();
     // Figure 4 lines 13-15: pop the parent continuation; if stolen, go
     // to the scheduler.
-    // SAFETY: worker alive; contexts in the deque are live by protocol.
+    // SAFETY: [I5][I7] worker alive; contexts in the deque are live by protocol.
     let target = unsafe {
         let wr = &mut *w;
         match wr.shared.deques[wr.id].pop() {
@@ -311,7 +331,7 @@ unsafe extern "C" fn child_main(arg: *mut c_void) -> ! {
             None => wr.sched_ctx,
         }
     };
-    // SAFETY: target is resumed exactly once; only Copy locals live here.
+    // SAFETY: [I5] target is resumed exactly once; only Copy locals live here.
     unsafe { resume_context(target) }
 }
 
@@ -323,11 +343,11 @@ impl<T> JoinHandle<T> {
         if !self.core.done.load(Ordering::Acquire) {
             let core_ptr: *const JoinCore = &*self.core;
             // Trace: charge the park attempt to the suspend bucket.
-            // SAFETY: exclusive worker access on this thread.
+            // SAFETY: [I7] exclusive worker access on this thread.
             unsafe {
                 (*current()).trace.on_suspend();
             }
-            // SAFETY: join_tramp either parks this continuation (resumed
+            // SAFETY: [I5] join_tramp either parks this continuation (resumed
             // exactly once by the completer) or resumes it inline.
             unsafe {
                 save_context_and_call(std::ptr::null_mut(), join_tramp, core_ptr as *mut c_void);
@@ -337,7 +357,7 @@ impl<T> JoinHandle<T> {
             // (the child that sealed the slot recorded itself as the
             // enabler); an inline resume just reopens the work slice.
             #[cfg(feature = "trace")]
-            // SAFETY: exclusive worker access on this (possibly new)
+            // SAFETY: [I7] exclusive worker access on this (possibly new)
             // thread.
             unsafe {
                 let wr = &mut *current();
@@ -372,7 +392,7 @@ unsafe extern "C" fn join_tramp(ctx: *mut Context, arg: *mut c_void) {
     // Trace: record who is about to park *before* the CAS can expose the
     // slot to the completing child (which reads it to name `JoinReady`).
     #[cfg(feature = "trace")]
-    // SAFETY: core outlives the join; exclusive worker access.
+    // SAFETY: [I7][I8] core outlives the join; exclusive worker access.
     unsafe {
         let wr = &mut *current();
         if wr.trace.enabled() {
@@ -382,7 +402,7 @@ unsafe extern "C" fn join_tramp(ctx: *mut Context, arg: *mut c_void) {
         }
     }
     // Park this continuation unless the child already finished.
-    // SAFETY: core outlives the join (the handle holds the Arc).
+    // SAFETY: [I8] core outlives the join (the handle holds the Arc).
     let parked = unsafe {
         (*core)
             .waiter
@@ -396,13 +416,13 @@ unsafe extern "C" fn join_tramp(ctx: *mut Context, arg: *mut c_void) {
     };
     if !parked {
         // Lost the race: the child sealed the slot. Continue immediately.
-        // SAFETY: our own just-saved context.
+        // SAFETY: [I5] our own just-saved context.
         unsafe { resume_context(ctx) }
     }
     // Parked: find other work — local pop first, else the scheduler
     // (which steals). Only Copy locals are live past this point.
     let w = current();
-    // SAFETY: as in child_main.
+    // SAFETY: [I5][I7] as in child_main.
     let target = unsafe {
         let wr = &mut *w;
         match wr.shared.deques[wr.id].pop() {
@@ -413,7 +433,7 @@ unsafe extern "C" fn join_tramp(ctx: *mut Context, arg: *mut c_void) {
             None => wr.sched_ctx,
         }
     };
-    // SAFETY: target is either a live context popped from our own deque
+    // SAFETY: [I5] target is either a live context popped from our own deque
     // or this worker's scheduler context, which is parked in its loop.
     unsafe { resume_context(target) }
 }
@@ -623,7 +643,7 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
     let mut parked = false;
     loop {
         collect_retired();
-        // SAFETY: exclusive worker access on this thread (each borrow
+        // SAFETY: [I7] exclusive worker access on this thread (each borrow
         // below is scoped to its statement).
         unsafe {
             (*w).trace.on_idle();
@@ -632,7 +652,7 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
         let target = shared.deques[id]
             .pop()
             .inspect(|&c| {
-                // SAFETY: as above.
+                // SAFETY: [I7] as above.
                 unsafe {
                     (*w).trace.on_local_pop(c);
                 }
@@ -642,7 +662,7 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
                 if n == 1 {
                     return None;
                 }
-                // SAFETY: as above.
+                // SAFETY: [I7] as above.
                 let mut v = unsafe { (*w).rng.below(n as u64 - 1) as usize };
                 if v >= id {
                     v += 1;
@@ -650,11 +670,11 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
                 // Traced runs take the phase-stamped steal so lock/entry
                 // time lands in the right buckets; untraced runs keep the
                 // bare protocol.
-                // SAFETY: as above.
+                // SAFETY: [I7] as above.
                 let got = match unsafe { (*w).trace.clock() } {
                     Some(clk) => {
                         let (got, ph) = shared.deques[v].steal_phased(|| clk.now_cycles());
-                        // SAFETY: as above.
+                        // SAFETY: [I7] as above.
                         unsafe {
                             (*w).trace.on_steal_attempt(v, got, &ph);
                         }
@@ -673,7 +693,7 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
                 if parked {
                     parked = false;
                     shared.unparks.fetch_add(1, Ordering::Relaxed);
-                    // SAFETY: as above.
+                    // SAFETY: [I7] as above.
                     unsafe {
                         (*w).trace.on_unpark();
                     }
@@ -689,7 +709,7 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
                     if !parked {
                         parked = true;
                         shared.parks.fetch_add(1, Ordering::Relaxed);
-                        // SAFETY: as above.
+                        // SAFETY: [I7] as above.
                         unsafe {
                             (*w).trace.on_park();
                         }
@@ -702,7 +722,7 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
         }
     }
     // Deposit this worker's timeline (no-op when untraced).
-    // SAFETY: as above.
+    // SAFETY: [I7] as above.
     unsafe {
         (*w).trace.finish();
     }
@@ -712,7 +732,7 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
 /// Run a ready continuation, saving the scheduler's own context so tasks
 /// can bail back to this loop.
 fn run_ctx(target: *mut Context) {
-    // SAFETY: run_tramp diverges into `target`; the saved scheduler
+    // SAFETY: [I5] run_tramp diverges into `target`; the saved scheduler
     // context is resumed exactly once (by whichever task runs out of
     // local work on this worker).
     unsafe {
@@ -723,17 +743,17 @@ fn run_ctx(target: *mut Context) {
 
 unsafe extern "C" fn run_tramp(sched_ctx: *mut Context, arg: *mut c_void) {
     let w = current();
-    // SAFETY: exclusive worker access; borrow scoped.
+    // SAFETY: [I7] exclusive worker access; borrow scoped.
     unsafe {
         (&mut *w).sched_ctx = sched_ctx;
     }
-    // SAFETY: arg is a live continuation handed to us by the deque.
+    // SAFETY: [I5] arg is a live continuation handed to us by the deque.
     unsafe { resume_context(arg as *mut Context) }
 }
 
 /// Start a brand-new thread (no saved context yet) from the scheduler.
 fn run_fresh(payload: Box<Payload>) {
-    // SAFETY: fresh_tramp diverges into the task; scheduler context saved
+    // SAFETY: [I5] fresh_tramp diverges into the task; scheduler context saved
     // as in run_ctx.
     unsafe {
         save_context_and_call(
@@ -747,13 +767,13 @@ fn run_fresh(payload: Box<Payload>) {
 
 unsafe extern "C" fn fresh_tramp(sched_ctx: *mut Context, arg: *mut c_void) {
     let w = current();
-    // SAFETY: exclusive worker access; stack/top live in the payload.
+    // SAFETY: [I7][I8] exclusive worker access; stack/top live in the payload.
     let top = unsafe {
         (&mut *w).sched_ctx = sched_ctx;
         let payload = &*(arg as *mut Payload);
         payload.stack.as_ref().expect("stack present").top()
     };
-    // SAFETY: fresh stack, child_main diverges.
+    // SAFETY: [I6][I9] fresh stack, child_main diverges.
     unsafe { switch_stack_and_call(top, child_main, arg) }
 }
 

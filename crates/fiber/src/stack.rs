@@ -17,7 +17,7 @@ pub struct Stack {
     len: usize,
 }
 
-// SAFETY: a Stack is just an owned memory range; moving it between
+// SAFETY: [I6] a Stack is just an owned memory range; moving it between
 // threads is fine (the runtime hands stacks to whichever worker runs the
 // task).
 unsafe impl Send for Stack {}
@@ -28,7 +28,7 @@ impl Stack {
         let page = 4096usize;
         let usable = usable.div_ceil(page) * page;
         let len = usable + page;
-        // SAFETY: plain anonymous private mapping; we check the result.
+        // SAFETY: [I10] plain anonymous private mapping; we check the result.
         let base = unsafe {
             libc::mmap(
                 std::ptr::null_mut(),
@@ -41,7 +41,7 @@ impl Stack {
         };
         assert!(base != libc::MAP_FAILED, "mmap failed for a task stack");
         // Guard page at the low end (stacks grow down).
-        // SAFETY: base..base+page is inside our fresh mapping.
+        // SAFETY: [I10] base..base+page is inside our fresh mapping.
         let rc = unsafe { libc::mprotect(base, page, libc::PROT_NONE) };
         assert_eq!(rc, 0, "mprotect(guard) failed");
         Stack {
@@ -71,7 +71,7 @@ impl Stack {
 
 impl Drop for Stack {
     fn drop(&mut self) {
-        // SAFETY: unmapping exactly what we mapped.
+        // SAFETY: [I6][I10] unmapping exactly what we mapped.
         unsafe {
             libc::munmap(self.base.as_ptr() as *mut libc::c_void, self.len);
         }
@@ -122,7 +122,7 @@ mod tests {
         assert_eq!(s.top() as usize % 16, 0);
         // Write across the usable range.
         let limit = s.limit();
-        // SAFETY: [limit, top) is our mapping's RW span.
+        // SAFETY: [I6] [limit, top) is our mapping's RW span.
         unsafe {
             std::ptr::write_bytes(limit, 0xAB, s.usable());
             assert_eq!(*limit, 0xAB);

@@ -28,7 +28,7 @@ fn instant_nanos() -> u64 {
 #[cfg(target_arch = "x86_64")]
 #[inline]
 pub fn start() -> u64 {
-    // SAFETY: cpuid and rdtsc are unprivileged and have no memory
+    // SAFETY: [I11] cpuid and rdtsc are unprivileged and have no memory
     // operands; this crate only builds on x86_64.
     unsafe {
         // CPUID serializes the pipeline so earlier instructions cannot
@@ -50,7 +50,7 @@ pub fn start() -> u64 {
 #[cfg(target_arch = "x86_64")]
 #[inline]
 pub fn stop() -> u64 {
-    // SAFETY: rdtscp writes only through the provided aux pointer, which
+    // SAFETY: [I11] rdtscp writes only through the provided aux pointer, which
     // points at a local; cpuid has no memory operands.
     unsafe {
         let mut aux = 0u32;
@@ -73,7 +73,7 @@ pub fn stop() -> u64 {
 #[cfg(target_arch = "x86_64")]
 #[inline]
 pub fn now() -> u64 {
-    // SAFETY: rdtsc is unprivileged and has no memory operands; this
+    // SAFETY: [I11] rdtsc is unprivileged and has no memory operands; this
     // crate only builds on x86_64.
     unsafe { _rdtsc() }
 }

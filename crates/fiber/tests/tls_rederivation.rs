@@ -1,0 +1,88 @@
+//! Regression lock for the TLS-across-context-switch bug (DESIGN.md
+//! §10.3): `current()` reads a thread-local `Worker` pointer on both
+//! sides of suspension points, and a resumed fiber may be on a
+//! *different* OS thread. When the TLS lookup inlined into the
+//! suspending frame, LLVM CSE'd the post-resume lookup into the
+//! pre-suspend address — handing resumed code the previous thread's
+//! worker, which retired stacks into the wrong pool and eventually
+//! resumed a fiber onto reused stack memory.
+//!
+//! The fix is `#[inline(never)]` on `current()`. The static side of
+//! the lock is `uat-lint`'s `tls-in-crossing-fn` / `tls-helper-inlinable`
+//! rules (CI gates the real tree). This file is the dynamic side: under
+//! multi-worker churn, worker identity observed *after* a join must be
+//! re-derived fresh — so across many suspensions we must observe
+//! migration (post-resume id differing from pre-suspend id), which a
+//! cached pre-suspend lookup can never report, while every id stays in
+//! range and the computation stays correct.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use uat_fiber::{current_worker_id, spawn, Runtime};
+
+/// Fork-join churn that records worker identity around every join.
+fn churn(depth: u32, migrations: &Arc<AtomicUsize>, nworkers: usize) -> u64 {
+    if depth == 0 {
+        return 1;
+    }
+    let m = Arc::clone(migrations);
+    let child = spawn(move || churn(depth - 1, &m, nworkers));
+    let local = churn(depth - 1, migrations, nworkers);
+
+    let before = current_worker_id();
+    assert!(before < nworkers, "worker id {before} out of range");
+    let stolen = child.join(); // suspension point: may resume elsewhere
+    let after = current_worker_id();
+    assert!(
+        after < nworkers,
+        "post-resume worker id {after} out of range (stale TLS?)"
+    );
+    if after != before {
+        migrations.fetch_add(1, Ordering::Relaxed);
+    }
+    local + stolen
+}
+
+#[test]
+fn worker_identity_is_rederived_after_every_resume() {
+    let nworkers = 4;
+    let rt = Runtime::new(nworkers);
+    let migrations = Arc::new(AtomicUsize::new(0));
+    // Repeat runs until migration is observed: each run performs 2^12-ish
+    // joins across 4 workers, so a single run nearly always suffices; the
+    // retry bound keeps the test deterministic-ish without flakiness.
+    let mut seen = 0;
+    for round in 0..10 {
+        let m = Arc::clone(&migrations);
+        let total = rt.run(move || churn(12, &m, nworkers));
+        assert_eq!(total, 1 << 12, "fork-join result corrupted (round {round})");
+        seen = migrations.load(Ordering::Relaxed);
+        if seen > 0 {
+            break;
+        }
+    }
+    // The load-bearing assertion: a CSE'd (stale) TLS lookup reports the
+    // pre-suspend worker forever, so migrations would read 0 under any
+    // amount of churn. Fresh re-derivation observes stealing.
+    assert!(
+        seen > 0,
+        "no fiber ever observed migration across {nworkers} workers — \
+         post-resume worker lookup appears cached (the DESIGN.md §10.3 bug)"
+    );
+}
+
+/// Single-worker sanity: with one worker there is nowhere to migrate,
+/// and the id must be identically 0 on both sides of every suspension.
+#[test]
+fn single_worker_identity_is_stable() {
+    let rt = Runtime::new(1);
+    let migrations = Arc::new(AtomicUsize::new(0));
+    let m = Arc::clone(&migrations);
+    let total = rt.run(move || churn(8, &m, 1));
+    assert_eq!(total, 1 << 8);
+    assert_eq!(
+        migrations.load(Ordering::Relaxed),
+        0,
+        "phantom migration with a single worker"
+    );
+}

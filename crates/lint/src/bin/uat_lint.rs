@@ -1,0 +1,50 @@
+//! CLI for the fiber-hazard lint suite.
+//!
+//! ```text
+//! uat_lint crates/fiber/src crates/deque/src     # lint these trees
+//! uat_lint --no-safety crates/check/src          # skip rule C
+//! ```
+//!
+//! Exit 0 when clean, 1 when any finding fires (CI gates on this).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use uat_lint::{lint_paths, RuleSet};
+
+fn main() -> ExitCode {
+    let mut rules = RuleSet::all();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--no-tls" => rules.tls = false,
+            "--no-ordering" => rules.ordering = false,
+            "--no-safety" => rules.safety = false,
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: uat_lint [--no-tls|--no-ordering|--no-safety] <path>...");
+        return ExitCode::FAILURE;
+    }
+    match lint_paths(&paths, rules) {
+        Err(e) => {
+            eprintln!("uat_lint: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(findings) if findings.is_empty() => {
+            println!("uat_lint: clean ({} path roots)", paths.len());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("uat_lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Seeded-bad fixture for the TLS-across-suspension lint (rule A).
+//!
+//! This file reproduces the PR 6 bug class in miniature: a function
+//! touches a thread-local on both sides of a suspension point
+//! (`save_context_and_call`), and its TLS helper is inlinable. On a
+//! resume that lands on a different OS thread, LLVM's CSE of the TLS
+//! address hands the code the *previous* thread's state. The lint must
+//! flag both the direct access (tls-in-crossing-fn) and the inlinable
+//! helper (tls-helper-inlinable).
+//!
+//! NOT compiled into the crate — parsed by tests/lint.rs only.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT_WORKER: Cell<*mut u8> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+// BAD: no #[inline(never)] — the TLS access can be inlined into a
+// frame that survives a context switch.
+fn current() -> *mut u8 {
+    CURRENT_WORKER.with(|c| c.get())
+}
+
+unsafe extern "C" {
+    fn save_context_and_call(ctx: *mut u8, f: extern "C" fn(*mut u8), arg: *mut u8);
+}
+
+extern "C" fn tramp(_arg: *mut u8) {}
+
+/// BAD twice over: reads the thread-local directly before and after the
+/// suspension point, and also goes through the inlinable helper.
+pub fn suspend_and_touch_tls() {
+    let before = CURRENT_WORKER.with(|c| c.get());
+    let mut ctx = 0u8;
+    // SAFETY: [I5] fixture only; never executed.
+    unsafe { save_context_and_call(&mut ctx, tramp, before) };
+    // May run on a different OS thread now — both lookups below can be
+    // CSE'd into the pre-switch address.
+    let after = current();
+    let direct = CURRENT_WORKER.with(|c| c.get());
+    assert_eq!(after, direct);
+}

@@ -1,0 +1,74 @@
+//! Integration tests: the lint suite flags the seeded-bad fixture and
+//! passes the real tree (the CI contract, pinned here so a lint
+//! regression in either direction fails `cargo test`).
+
+use std::path::{Path, PathBuf};
+use uat_lint::{lint_paths, Rule, RuleSet};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn real_tree() -> Vec<PathBuf> {
+    let crates = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap();
+    vec![
+        crates.join("fiber").join("src"),
+        crates.join("deque").join("src"),
+    ]
+}
+
+#[test]
+fn seeded_tls_fixture_is_flagged_by_both_tls_rules() {
+    let findings = lint_paths(&[fixture("tls_across_switch.rs")], RuleSet::all()).unwrap();
+    // The crossing function touches the thread-local directly.
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::TlsInCrossingFn
+            && f.message.contains("suspend_and_touch_tls")),
+        "missing tls-in-crossing-fn for suspend_and_touch_tls: {findings:#?}"
+    );
+    // The inlinable helper is reachable from the crossing function.
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == Rule::TlsHelperInlinable && f.message.contains("current")),
+        "missing tls-helper-inlinable for current(): {findings:#?}"
+    );
+    // The fixture's SAFETY comment is tagged, so rule C stays quiet —
+    // every finding must be a TLS finding.
+    assert!(
+        findings
+            .iter()
+            .all(|f| matches!(f.rule, Rule::TlsInCrossingFn | Rule::TlsHelperInlinable)),
+        "unexpected non-TLS findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn real_fiber_and_deque_trees_are_clean() {
+    let findings = lint_paths(&real_tree(), RuleSet::all()).unwrap();
+    assert!(
+        findings.is_empty(),
+        "uat-fiber/uat-deque sources must lint clean:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn rule_selection_flags_are_honored() {
+    let only_safety = RuleSet {
+        tls: false,
+        ordering: false,
+        safety: true,
+    };
+    let findings = lint_paths(&[fixture("tls_across_switch.rs")], only_safety).unwrap();
+    assert!(
+        findings.is_empty(),
+        "TLS rules disabled, fixture's SAFETY comment is tagged: {findings:#?}"
+    );
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! This build environment has no crates-registry access, so the real
+//! `loom` cannot be pulled in. This shim keeps the same API surface —
+//! `loom::model`, `loom::thread`, `loom::sync::Arc`,
+//! `loom::sync::atomic::*` — so the `cfg(loom)` tests in `uat-deque`
+//! compile unchanged against either implementation. Restore the
+//! registry version in the workspace manifest to get real exhaustive
+//! exploration.
+//!
+//! # What this shim actually does (and does not)
+//!
+//! The real loom runs the closure under a cooperative scheduler and
+//! exhaustively enumerates every interleaving (bounded by preemption
+//! count), checking the C11 memory model as it goes. This shim is
+//! **seeded-schedule stress, not exhaustive exploration**: `model(f)`
+//! runs `f` many times on real OS threads, and every shimmed atomic
+//! access runs through a deterministic per-iteration schedule
+//! perturbation (yield / spin / pass, chosen by a splitmix64 stream) so
+//! successive iterations push the race windows around. It can therefore
+//! *find* interleaving bugs with useful probability — the perturbation
+//! reliably reproduces the known last-entry double-claim when the
+//! protocol is broken — but a clean run proves nothing exhaustively.
+//! Exhaustive coverage of this deque lives in `uat-check` (which
+//! explores the protocol model, SC and release/acquire, completely);
+//! the loom harness exists so the *real* loom can be dropped in with a
+//! one-line manifest change, and meanwhile adds schedule-stress on the
+//! real atomics as a cheap extra net. ThreadSanitizer (CI `tsan` job)
+//! covers the data-race side on real code.
+//!
+//! Iteration count: `LOOM_SHIM_ITERS` (default 1000).
+
+use std::sync::atomic::AtomicU64 as StdAtomicU64;
+use std::sync::atomic::Ordering as StdOrdering;
+
+/// Global schedule-perturbation state: a per-`model` seed and a global
+/// access counter. Both are plain atomics — the *stream* each access
+/// draws from is deterministic given the seed, while the interleaving
+/// of draws is exactly the nondeterminism under test.
+static SEED: StdAtomicU64 = StdAtomicU64::new(0);
+static TICK: StdAtomicU64 = StdAtomicU64::new(0);
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The yield point injected before every shimmed atomic access.
+fn pause() {
+    let n = TICK.fetch_add(1, StdOrdering::Relaxed);
+    let h = splitmix64(SEED.load(StdOrdering::Relaxed) ^ n);
+    match h % 8 {
+        0 | 1 => std::thread::yield_now(),
+        2 => {
+            for _ in 0..(h >> 3) % 64 {
+                std::hint::spin_loop();
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Run `f` under the stress scheduler (see the module docs for how this
+/// differs from the real loom's exhaustive exploration).
+pub fn model<F: Fn() + Sync + Send + 'static>(f: F) {
+    let iters: u64 = std::env::var("LOOM_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    for i in 0..iters {
+        SEED.store(splitmix64(i), StdOrdering::Relaxed);
+        f();
+    }
+}
+
+pub mod thread {
+    //! Mirrors `loom::thread` on real OS threads.
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+pub mod sync {
+    //! Mirrors `loom::sync`.
+    pub use std::sync::Arc;
+
+    pub mod atomic {
+        //! Atomics that inject a schedule-perturbation point before
+        //! every access, then defer to the real `std` atomic with the
+        //! caller's ordering (so TSan and the hardware still see the
+        //! declared orderings, unchanged).
+        pub use std::sync::atomic::{fence, Ordering};
+
+        macro_rules! shim_atomic {
+            ($name:ident, $std:path, $ty:ty) => {
+                /// Schedule-perturbing wrapper around the std atomic.
+                /// `repr(transparent)` so `repr(C)` layouts built from
+                /// it (the THE deque header) keep their offsets.
+                #[repr(transparent)]
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    pub fn new(v: $ty) -> Self {
+                        Self(<$std>::new(v))
+                    }
+                    pub fn load(&self, o: Ordering) -> $ty {
+                        crate::pause();
+                        self.0.load(o)
+                    }
+                    pub fn store(&self, v: $ty, o: Ordering) {
+                        crate::pause();
+                        self.0.store(v, o);
+                    }
+                    pub fn compare_exchange(
+                        &self,
+                        cur: $ty,
+                        new: $ty,
+                        succ: Ordering,
+                        fail: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        crate::pause();
+                        self.0.compare_exchange(cur, new, succ, fail)
+                    }
+                    pub fn fetch_add(&self, v: $ty, o: Ordering) -> $ty {
+                        crate::pause();
+                        self.0.fetch_add(v, o)
+                    }
+                }
+            };
+        }
+
+        shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        /// Schedule-perturbing `AtomicBool` (separate from the macro:
+        /// no `fetch_add`).
+        #[repr(transparent)]
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            pub fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+            pub fn load(&self, o: Ordering) -> bool {
+                crate::pause();
+                self.0.load(o)
+            }
+            pub fn store(&self, v: bool, o: Ordering) {
+                crate::pause();
+                self.0.store(v, o);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn model_runs_and_atomics_work() {
+        std::env::set_var("LOOM_SHIM_ITERS", "4");
+        static HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        super::model(|| {
+            let a = AtomicU64::new(1);
+            a.store(2, Ordering::Release);
+            assert_eq!(a.load(Ordering::Acquire), 2);
+            a.fetch_add(3, Ordering::SeqCst);
+            assert_eq!(
+                a.compare_exchange(5, 9, Ordering::AcqRel, Ordering::Relaxed),
+                Ok(5)
+            );
+            HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(HITS.load(std::sync::atomic::Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn splitmix_streams_differ_by_seed() {
+        assert_ne!(super::splitmix64(1), super::splitmix64(2));
+    }
+}
