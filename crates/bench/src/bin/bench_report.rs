@@ -142,51 +142,195 @@ where
     ])
 }
 
+/// Best-of rates and the robust overhead estimate of an instrumented
+/// configuration over its baseline.
+#[cfg(any(feature = "trace", feature = "metrics"))]
+struct Paired {
+    base_best: f64,
+    with_best: f64,
+    overhead_pct: f64,
+}
+
+/// Measure `with`'s throughput cost over `base` (both return a rate) in
+/// a way that survives the host-speed drift and scheduling spikes of
+/// small shared hosts, where sequential batches drift apart by more
+/// than the effect being measured. Each rep runs base-with-with-base —
+/// each side once per half, symmetric around the rep's midpoint, so
+/// drift within the rep cancels instead of always penalizing whichever
+/// side runs second — and compares each side's better run (spike
+/// rejection); the reported overhead is the median rep ratio (quiet- or
+/// loud-window rejection). Comparing global best-of rates instead
+/// proved bimodal: whichever configuration caught the one quiet window
+/// "won" by several percent.
+#[cfg(any(feature = "trace", feature = "metrics"))]
+fn paired_overhead(
+    reps: usize,
+    mut base: impl FnMut() -> f64,
+    mut with: impl FnMut() -> f64,
+) -> Paired {
+    let mut base_best = f64::MIN;
+    let mut with_best = f64::MIN;
+    let mut ratios = Vec::new();
+    for _ in 0..reps {
+        let b1 = base();
+        let w1 = with();
+        let w2 = with();
+        let b2 = base();
+        base_best = base_best.max(b1.max(b2));
+        with_best = with_best.max(w1.max(w2));
+        ratios.push(100.0 * (b1.max(b2) / w1.max(w2) - 1.0));
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    Paired {
+        base_best,
+        with_best,
+        overhead_pct: ratios[ratios.len() / 2],
+    }
+}
+
 /// Traced-vs-untraced native throughput on one pinned case, single
 /// worker for determinism (no steal races in the comparison). The
 /// untraced side still compiles the hooks — this build has the `trace`
 /// feature on but installs no sink, so it measures the dormant-hook
 /// path the tentpole promises is near-free. Gated: installing the sink
-/// may cost at most 5% tasks/sec over best-of-N runs.
+/// may cost at most 5% tasks/sec (pairwise median over N reps). A trip
+/// is reported to `main`, which still writes the artifacts — the
+/// measurement is the evidence — before exiting non-zero.
 #[cfg(feature = "trace")]
-fn hook_overhead_entry(quick: bool) -> Json {
+fn hook_overhead_entry(quick: bool) -> (Json, Option<String>) {
     let reps = if quick { 5 } else { 9 };
-    let runner = NativeRunner::new(1);
+    // Size the ring to the case: nqueens7 on one worker is a ~12ms run
+    // emitting a few thousand events, and first-touching the default
+    // multi-megabyte ring inside that window would charge the allocator,
+    // not the hooks, several percent. Drop-freedom is still asserted.
+    let runner = NativeRunner::new(1).with_tracing(1 << 14);
     let rate = |tasks: u64, wall: std::time::Duration| tasks as f64 / wall.as_secs_f64();
-    let mut untraced = f64::MIN;
-    let mut traced = f64::MIN;
-    for _ in 0..reps {
-        let s = runner.run(NQueens::new(7));
-        untraced = untraced.max(rate(s.total_tasks, s.wall));
-        let (s, t) = runner.run_traced(NQueens::new(7));
-        assert_eq!(s.trace_dropped, 0, "overhead case must not drop events");
-        assert!(
-            t.data.makespan.get() > 0,
-            "traced overhead case produced an empty trace"
-        );
-        traced = traced.max(rate(s.total_tasks, s.wall));
-    }
-    let overhead_pct = 100.0 * (untraced / traced - 1.0);
-    println!(
-        "hook_overhead: nqueens7 w=1 untraced={untraced:.0}/s traced={traced:.0}/s overhead={overhead_pct:+.2}%"
+    let p = paired_overhead(
+        reps,
+        || {
+            let s = runner.run(NQueens::new(7));
+            rate(s.total_tasks, s.wall)
+        },
+        || {
+            let (s, t) = runner.run_traced(NQueens::new(7));
+            assert_eq!(s.trace_dropped, 0, "overhead case must not drop events");
+            assert!(
+                t.data.makespan.get() > 0,
+                "traced overhead case produced an empty trace"
+            );
+            rate(s.total_tasks, s.wall)
+        },
     );
-    if overhead_pct > 5.0 {
-        eprintln!(
-            "error: installing the trace sink costs {overhead_pct:.2}% tasks/sec (budget 5%)"
-        );
-        std::process::exit(1);
-    }
-    Json::obj([
+    let overhead_pct = p.overhead_pct;
+    println!(
+        "hook_overhead: nqueens7 w=1 untraced={:.0}/s traced={:.0}/s overhead={overhead_pct:+.2}%",
+        p.base_best, p.with_best
+    );
+    let fail = (overhead_pct > 5.0).then(|| {
+        format!("installing the trace sink costs {overhead_pct:.2}% tasks/sec (budget 5%)")
+    });
+    let entry = Json::obj([
         ("case", Json::str("nqueens7_w1")),
-        ("untraced_tasks_per_sec", Json::Num(untraced)),
-        ("traced_tasks_per_sec", Json::Num(traced)),
+        ("untraced_tasks_per_sec", Json::Num(p.base_best)),
+        ("traced_tasks_per_sec", Json::Num(p.with_best)),
         ("overhead_pct", Json::Num(overhead_pct)),
-    ])
+    ]);
+    (entry, fail)
 }
 
 #[cfg(not(feature = "trace"))]
-fn hook_overhead_entry(_quick: bool) -> Json {
-    Json::Null
+fn hook_overhead_entry(_quick: bool) -> (Json, Option<String>) {
+    (Json::Null, None)
+}
+
+/// Metered-vs-plain throughput with the live-metrics layer on, both
+/// backends: the native runner with the timed tier plus a sampler at
+/// the default interval (uts11, one worker — deterministic, no steal
+/// races), and the sim engine streaming the pinned `uts11_60w` case
+/// into a registry. Configurations interleave within each rep so
+/// host-speed drift cancels instead of biasing whichever batch ran
+/// last; the gate compares the pairwise-median ratio, like
+/// `hook_overhead`. Gated: the native hooks + sampler may cost at most
+/// 5% tasks/sec. The sim side is recorded but ungated — the
+/// simulator's single-threaded event loop is ~2x noisier than its
+/// metrics cost.
+#[cfg(feature = "metrics")]
+fn metrics_overhead_entry(quick: bool) -> (Json, Option<String>) {
+    let reps = if quick { 3 } else { 5 };
+    let rate = |n: u64, wall_s: f64| n as f64 / wall_s;
+    let native = paired_overhead(
+        reps,
+        || {
+            let s = NativeRunner::new(1).run(Uts::geometric(11));
+            rate(s.total_tasks, s.wall.as_secs_f64())
+        },
+        || {
+            let (s, snap) = NativeRunner::new(1)
+                .with_sampler(uat_fiber::nmetrics::DEFAULT_SAMPLE_INTERVAL)
+                .run_metered(Uts::geometric(11));
+            assert_eq!(
+                snap.total(uat_metrics::names::TASKS),
+                s.total_tasks,
+                "metered native run lost task counts"
+            );
+            rate(s.total_tasks, s.wall.as_secs_f64())
+        },
+    );
+    let sim = paired_overhead(
+        reps,
+        || {
+            let t0 = Instant::now();
+            let stats = Engine::new(SimConfig::fx10(4), Uts::geometric(11)).run();
+            rate(stats.events, t0.elapsed().as_secs_f64())
+        },
+        || {
+            let cfg = SimConfig::fx10(4);
+            let registry =
+                std::sync::Arc::new(uat_metrics::Registry::new(cfg.topo.total_workers() as usize));
+            let t0 = Instant::now();
+            let stats = Engine::new(cfg, Uts::geometric(11))
+                .with_metrics(&registry)
+                .run();
+            let wall = t0.elapsed().as_secs_f64();
+            assert_eq!(
+                registry.snapshot().total(uat_metrics::names::TASKS),
+                stats.total_tasks,
+                "sim registry lost task counts"
+            );
+            rate(stats.events, wall)
+        },
+    );
+    let native_pct = native.overhead_pct;
+    let sim_pct = sim.overhead_pct;
+    println!(
+        "metrics_overhead: uts11 w=1 plain={:.0}/s metered+sampler={:.0}/s \
+         overhead={native_pct:+.2}%",
+        native.base_best, native.with_best
+    );
+    println!(
+        "metrics_overhead: uts11_60w sim plain={:.0}ev/s metered={:.0}ev/s \
+         overhead={sim_pct:+.2}%",
+        sim.base_best, sim.with_best
+    );
+    let fail = (native_pct > 5.0).then(|| {
+        format!("the native metrics tier + sampler costs {native_pct:.2}% tasks/sec (budget 5%)")
+    });
+    let entry = Json::obj([
+        ("native_case", Json::str("uts11_w1")),
+        ("plain_tasks_per_sec", Json::Num(native.base_best)),
+        ("metered_tasks_per_sec", Json::Num(native.with_best)),
+        ("overhead_pct", Json::Num(native_pct)),
+        ("sim_case", Json::str("uts11_60w")),
+        ("sim_plain_events_per_sec", Json::Num(sim.base_best)),
+        ("sim_metered_events_per_sec", Json::Num(sim.with_best)),
+        ("sim_overhead_pct", Json::Num(sim_pct)),
+    ]);
+    (entry, fail)
+}
+
+#[cfg(not(feature = "metrics"))]
+fn metrics_overhead_entry(_quick: bool) -> (Json, Option<String>) {
+    (Json::Null, None)
 }
 
 /// The native-backend section of the engine artifact: the same `Action`
@@ -195,7 +339,7 @@ fn hook_overhead_entry(_quick: bool) -> Json {
 /// diffs can compare hook-free and hooked builds of the same cases (the
 /// zero-cost-stub check); `hook_overhead` gates the in-build cost of
 /// actually installing a sink.
-fn native_section(quick: bool, host_threads: usize) -> Json {
+fn native_section(quick: bool, host_threads: usize, gates: &mut Vec<String>) -> Json {
     // Steal dynamics need >1 worker even on single-CPU hosts.
     let workers = host_threads.clamp(2, 4);
     let fib = if quick { 16 } else { 20 };
@@ -206,10 +350,12 @@ fn native_section(quick: bool, host_threads: usize) -> Json {
         native_case("nqueens7_native", workers, NQueens::new(7)),
         native_case("chain_native", workers, Chain::fig10(rounds)),
     ]);
+    let (hook_overhead, fail) = hook_overhead_entry(quick);
+    gates.extend(fail);
     Json::obj([
         ("hooks", Json::Bool(cfg!(feature = "trace"))),
         ("cases", cases),
-        ("hook_overhead", hook_overhead_entry(quick)),
+        ("hook_overhead", hook_overhead),
     ])
 }
 
@@ -381,7 +527,13 @@ fn main() {
     );
 
     // --- native fiber backend ---
-    let native = native_section(quick, host_threads);
+    // Overhead gates report failures here instead of exiting on the
+    // spot: the artifacts are the evidence for diagnosing a trip, so
+    // they are always written before the process exits non-zero.
+    let mut gates = Vec::new();
+    let native = native_section(quick, host_threads, &mut gates);
+    let (metrics_overhead, fail) = metrics_overhead_entry(quick);
+    gates.extend(fail);
 
     // --- artifacts ---
     let engine_path = out_dir.join("BENCH_engine.json");
@@ -394,6 +546,7 @@ fn main() {
             Json::Arr(cases.iter().map(CaseResult::to_json).collect()),
         ),
         ("native", native),
+        ("metrics_overhead", metrics_overhead),
         ("critical_path", critical_path_entry()),
     ]);
     let fig11_path = out_dir.join("BENCH_fig11.json");
@@ -432,8 +585,13 @@ fn main() {
         fig11_entry,
     );
 
+    for g in &gates {
+        eprintln!("error: {g}");
+    }
     if regressed > 0 {
         eprintln!("error: {regressed} case(s) regressed >20% vs baseline");
+    }
+    if !gates.is_empty() || regressed > 0 {
         std::process::exit(1);
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Usage: `differential_profile [fib|btc1|btc2|uts|nqueens|chain]
 //! [--size S] [--workers W] [--ring CAP] [--divisor D]
-//! [--trace <path>] [--json <path>]`
+//! [--trace <path>] [--json <path>] [--metrics] [--metrics-json <path>]`
 //!
 //! Runs the same backend-neutral `Workload` through the deterministic
 //! simulator (`uat-cluster`, 1 node × W workers, simulated cycles) and
@@ -27,7 +27,9 @@
 //! always charges the full `c`); the default 1 is the faithful setting.
 //! `--trace` writes the *native* flow-annotated Chrome trace (steal
 //! arrows across worker tracks); `--json` a machine-readable JSONL
-//! summary of both profiles.
+//! summary of both profiles. `--metrics`/`--metrics-json` attach one
+//! registry to each backend (same metric names, different clock
+//! domains) and export both final snapshots side by side.
 
 #[cfg(feature = "trace")]
 use uat_base::json::{Json, ToJson};
@@ -110,6 +112,7 @@ fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
 #[cfg(feature = "trace")]
 fn real_main() {
     let flags = OutFlags::parse();
+    uat_bench::require_metrics_feature(&flags);
     let a = match parse_args(&flags.rest) {
         Ok(a) => a,
         Err(e) => {
@@ -204,14 +207,29 @@ where
         w = a.workers
     );
 
+    // One registry per backend: the metric names are shared, so merging
+    // them into one registry would conflate the two clock domains.
+    #[cfg(feature = "metrics")]
+    let (sim_reg, nat_reg) = {
+        let mk = || std::sync::Arc::new(uat_metrics::Registry::new(a.workers as usize));
+        match uat_bench::wants_metrics(flags) {
+            true => (Some(mk()), Some(mk())),
+            false => (None, None),
+        }
+    };
+
     // --- simulator run ---
     let sim_ring = a.ring.unwrap_or(1 << 20);
     let mut cfg = SimConfig::tiny(a.workers);
     cfg.core.iso_stacks_per_worker = 512;
     cfg.max_events = 100_000_000;
-    let (sim_stats, sim_trace) = uat_cluster::Engine::new(cfg, w.clone())
-        .with_tracing(sim_ring)
-        .run_traced();
+    let sim_engine = uat_cluster::Engine::new(cfg, w.clone());
+    #[cfg(feature = "metrics")]
+    let sim_engine = match &sim_reg {
+        Some(r) => sim_engine.with_metrics(r),
+        None => sim_engine,
+    };
+    let (sim_stats, sim_trace) = sim_engine.with_tracing(sim_ring).run_traced();
     println!(
         "sim    : makespan {:>14} cycles ({} @ {:.3e} Hz)  tasks={} steals={}",
         sim_stats.makespan.get(),
@@ -223,10 +241,15 @@ where
 
     // --- native run ---
     let native_ring = a.ring.unwrap_or(uat_fiber::DEFAULT_RING_CAPACITY);
-    let (nat_stats, nat_trace) = uat_fiber::NativeRunner::new(a.workers as usize)
+    let runner = uat_fiber::NativeRunner::new(a.workers as usize)
         .with_work_divisor(a.divisor)
-        .with_tracing(native_ring)
-        .run_traced(w);
+        .with_tracing(native_ring);
+    #[cfg(feature = "metrics")]
+    let runner = match &nat_reg {
+        Some(r) => runner.with_metrics(std::sync::Arc::clone(r)),
+        None => runner,
+    };
+    let (nat_stats, nat_trace) = runner.run_traced(w);
     println!(
         "native : makespan {:>14} cycles ({} @ {:.3e} Hz)  tasks={} steals={} parks={} drop={}",
         nat_trace.data.makespan.get(),
@@ -410,5 +433,9 @@ where
             &uat_trace::chrome_trace_json(&nat_trace.data),
             "native Chrome trace",
         );
+    }
+    #[cfg(feature = "metrics")]
+    if let (Some(s), Some(n)) = (&sim_reg, &nat_reg) {
+        uat_bench::emit_metrics(flags, &[("sim", s.snapshot()), ("native", n.snapshot())]);
     }
 }

@@ -8,7 +8,10 @@
 
 use uat_base::json::ToJson;
 use uat_base::{CostModel, Cycles, Topology};
-use uat_bench::{deviation, kcycles, paper, require_trace_feature, write_output, OutFlags};
+use uat_bench::{
+    deviation, kcycles, paper, require_metrics_feature, require_trace_feature, write_output,
+    OutFlags,
+};
 use uat_cluster::{Engine, SimConfig};
 use uat_core::StealPhase;
 use uat_workloads::Chain;
@@ -16,12 +19,22 @@ use uat_workloads::Chain;
 fn main() {
     let flags = OutFlags::parse();
     require_trace_feature(&flags);
+    require_metrics_feature(&flags);
     // The paper's setup: *inter-node* work stealing, one worker per node.
     let mut cfg = SimConfig::fx10(2);
     cfg.topo = Topology::new(2, 1);
     cfg.core.verify_stack_bytes = true;
     let links = 2_000;
+    #[cfg(feature = "metrics")]
+    let registry = uat_bench::wants_metrics(&flags).then(|| {
+        std::sync::Arc::new(uat_metrics::Registry::new(cfg.topo.total_workers() as usize))
+    });
     let engine = Engine::new(cfg, Chain::fig10(links));
+    #[cfg(feature = "metrics")]
+    let engine = match &registry {
+        Some(r) => engine.with_metrics(r),
+        None => engine,
+    };
 
     #[cfg(feature = "trace")]
     let (stats, trace) = if flags.trace.is_some() {
@@ -134,5 +147,9 @@ fn main() {
     }
     if let Some(path) = &flags.json {
         write_output(path, &uat_trace::jsonl([stats.to_json()]), "JSONL results");
+    }
+    #[cfg(feature = "metrics")]
+    if let Some(r) = &registry {
+        uat_bench::emit_metrics(&flags, &[("sim", r.snapshot())]);
     }
 }

@@ -3,13 +3,15 @@
 //! point (the paper reports efficiency relative to 480 cores).
 //!
 //! Usage: `fig11_scaling [btc1|btc2|uts|nqueens|all] [--big]
-//! [--json <path>] [--trace <path>]`
+//! [--json <path>] [--trace <path>] [--metrics] [--metrics-json <path>]`
 //!
 //! `--json` writes one JSONL line per sweep point (benchmark, problem
 //! size, worker count, efficiency, full `RunStats`). `--trace` writes a
 //! Chrome trace of one representative run — the first selected
 //! benchmark at its small size on the smallest machine of the sweep —
-//! openable at `ui.perfetto.dev`.
+//! openable at `ui.perfetto.dev`. `--metrics`/`--metrics-json` export
+//! the final registry snapshot of a representative run chosen the same
+//! way (Prometheus text to stderr, JSON to the given path).
 //!
 //! Like the paper's figures, each benchmark is run at **two problem
 //! sizes**: efficiency at the top of the sweep improves with problem
@@ -55,6 +57,19 @@ fn run_pair<W: Workload + Send, F: Fn(u32) -> W + Sync>(
     }
 }
 
+/// One metered run of the sweep's smallest machine; its final registry
+/// snapshot is what `--metrics`/`--metrics-json` export.
+#[cfg(feature = "metrics")]
+fn metered_run<W: Workload>(flags: &OutFlags, nodes: u32, w: W) {
+    let cfg = compact_config(nodes);
+    let registry =
+        std::sync::Arc::new(uat_metrics::Registry::new(cfg.topo.total_workers() as usize));
+    uat_cluster::Engine::new(cfg, w)
+        .with_metrics(&registry)
+        .run();
+    uat_bench::emit_metrics(flags, &[("sim", registry.snapshot())]);
+}
+
 /// One traced run of the sweep's smallest machine, exported for
 /// Perfetto.
 #[cfg(feature = "trace")]
@@ -71,6 +86,7 @@ fn write_trace<W: Workload>(path: &std::path::Path, nodes: u32, w: W) {
 fn main() {
     let flags = OutFlags::parse();
     require_trace_feature(&flags);
+    uat_bench::require_metrics_feature(&flags);
     let which = flags
         .rest
         .iter()
@@ -147,6 +163,15 @@ fn main() {
             "uts" => write_trace(path, nodes[0], Uts::geometric(uts.0)),
             "nqueens" => write_trace(path, nodes[0], NQueens::new(nq.0)),
             _ => write_trace(path, nodes[0], Btc::new(btc1.0, 1)),
+        }
+    }
+    #[cfg(feature = "metrics")]
+    if uat_bench::wants_metrics(&flags) {
+        match which.as_str() {
+            "btc2" => metered_run(&flags, nodes[0], Btc::new(btc2.0, 2)),
+            "uts" => metered_run(&flags, nodes[0], Uts::geometric(uts.0)),
+            "nqueens" => metered_run(&flags, nodes[0], NQueens::new(nq.0)),
+            _ => metered_run(&flags, nodes[0], Btc::new(btc1.0, 1)),
         }
     }
 }

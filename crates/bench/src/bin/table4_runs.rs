@@ -12,15 +12,15 @@
 use std::sync::Mutex;
 use uat_base::json::{Json, ToJson};
 use uat_bench::{compact_config, paper, require_trace_feature, write_output, OutFlags};
-use uat_cluster::{run_indexed, sweep_threads, Engine, RunStats, SimConfig, Workload};
+use uat_cluster::{run_indexed, sweep_threads, Engine, RunStats, Workload};
 use uat_trace::TraceData;
 use uat_workloads::{btc::BTC_FRAME, nqueens, uts, Btc, NQueens, Uts};
 
-/// Run one row; when a capture slot is passed (the first row, under
-/// `--trace`), keep the trace for export. The slot is a `Mutex` only
-/// because rows run concurrently on the harness pool; exactly one row
-/// ever writes it.
-fn run<W: Workload>(cfg: SimConfig, w: W, capture: Option<&Mutex<Option<TraceData>>>) -> RunStats {
+/// Run one row's pre-built engine; when a capture slot is passed (the
+/// first row, under `--trace`), keep the trace for export. The slot is
+/// a `Mutex` only because rows run concurrently on the harness pool;
+/// exactly one row ever writes it.
+fn run<W: Workload>(engine: Engine<W>, capture: Option<&Mutex<Option<TraceData>>>) -> RunStats {
     match capture {
         #[cfg(feature = "trace")]
         Some(slot) => {
@@ -28,7 +28,7 @@ fn run<W: Workload>(cfg: SimConfig, w: W, capture: Option<&Mutex<Option<TraceDat
             // of tasks, so keep the newest window of events (the ring
             // drops oldest first) rather than an export too large to
             // open in Perfetto.
-            let (stats, trace) = Engine::new(cfg, w).with_tracing(1 << 14).run_traced();
+            let (stats, trace) = engine.with_tracing(1 << 14).run_traced();
             *slot.lock().expect("trace slot poisoned") = Some(trace);
             stats
         }
@@ -36,13 +36,14 @@ fn run<W: Workload>(cfg: SimConfig, w: W, capture: Option<&Mutex<Option<TraceDat
         // feature, so a capture slot cannot reach this arm.
         #[cfg(not(feature = "trace"))]
         Some(_) => unreachable!("--trace without the trace feature"),
-        None => Engine::new(cfg, w).run(),
+        None => engine.run(),
     }
 }
 
 fn main() {
     let flags = OutFlags::parse();
     require_trace_feature(&flags);
+    uat_bench::require_metrics_feature(&flags);
     let nodes: u32 = flags
         .rest
         .first()
@@ -69,17 +70,31 @@ fn main() {
         paper_bytes: u64,
     }
 
-    // Under `--trace` the first row (BTC iter=1) is the traced run. All
-    // four rows are independent simulations, so they run concurrently on
-    // the harness pool; each row's stats are a pure function of its own
-    // config, so the table is identical at any thread count.
+    // Under `--trace` the first row (BTC iter=1) is the traced run, and
+    // under `--metrics` it is also the row that streams into the
+    // registry. All four rows are independent simulations, so they run
+    // concurrently on the harness pool; each row's stats are a pure
+    // function of its own config, so the table is identical at any
+    // thread count.
     let captured: Mutex<Option<TraceData>> = Mutex::new(None);
     let capture = flags.trace.is_some().then_some(&captured);
+    #[cfg(feature = "metrics")]
+    let registry = uat_bench::wants_metrics(&flags).then(|| {
+        std::sync::Arc::new(uat_metrics::Registry::new(cfg.topo.total_workers() as usize))
+    });
     let mut row_stats = run_indexed(4, sweep_threads(), |i| match i {
-        0 => run(cfg.clone(), Btc::new(22, 1), capture),
-        1 => run(cfg.clone(), Btc::new(11, 2), None),
-        2 => run(cfg.clone(), Uts::geometric(12), None),
-        3 => run(cfg.clone(), NQueens::new(12), None),
+        0 => {
+            let engine = Engine::new(cfg.clone(), Btc::new(22, 1));
+            #[cfg(feature = "metrics")]
+            let engine = match &registry {
+                Some(r) => engine.with_metrics(r),
+                None => engine,
+            };
+            run(engine, capture)
+        }
+        1 => run(Engine::new(cfg.clone(), Btc::new(11, 2)), None),
+        2 => run(Engine::new(cfg.clone(), Uts::geometric(12)), None),
+        3 => run(Engine::new(cfg.clone(), NQueens::new(12)), None),
         _ => unreachable!(),
     })
     .into_iter();
@@ -174,5 +189,9 @@ fn main() {
     }
     if let (Some(path), Some(trace)) = (&flags.trace, &captured) {
         write_output(path, &uat_trace::chrome_trace_json(trace), "Chrome trace");
+    }
+    #[cfg(feature = "metrics")]
+    if let Some(r) = &registry {
+        uat_bench::emit_metrics(&flags, &[("sim", r.snapshot())]);
     }
 }

@@ -28,15 +28,23 @@ use uat_cluster::SimConfig;
 ///
 /// `--trace <path>` writes a Chrome trace-event file (open it at
 /// `ui.perfetto.dev`); `--json <path>` writes machine-readable JSONL
-/// results. Both accept `--flag path` and `--flag=path` spellings;
-/// unrecognized arguments pass through in [`OutFlags::rest`] for the
-/// binary's own parsing.
+/// results. `--metrics` prints a final metrics-registry snapshot in
+/// Prometheus text format to stderr and `--metrics-json <path>` writes
+/// the same snapshot as JSON. Path flags accept `--flag path` and
+/// `--flag=path` spellings; unrecognized arguments pass through in
+/// [`OutFlags::rest`] for the binary's own parsing.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct OutFlags {
     /// Destination for the Chrome trace, when `--trace` was given.
     pub trace: Option<PathBuf>,
     /// Destination for JSONL results, when `--json` was given.
     pub json: Option<PathBuf>,
+    /// Print the final registry snapshot as Prometheus text to stderr
+    /// (`--metrics`).
+    pub metrics: bool,
+    /// Destination for the final registry snapshot as JSON, when
+    /// `--metrics-json` was given.
+    pub metrics_json: Option<PathBuf>,
     /// Every argument that was not an output flag, in order.
     pub rest: Vec<String>,
 }
@@ -63,20 +71,24 @@ impl OutFlags {
         let mut flags = OutFlags::default();
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
-            if arg == "--trace" || arg == "--json" {
+            if arg == "--trace" || arg == "--json" || arg == "--metrics-json" {
                 let value = args
                     .next()
                     .ok_or_else(|| format!("{arg} requires a path argument"))?;
-                let slot = if arg == "--trace" {
-                    &mut flags.trace
-                } else {
-                    &mut flags.json
+                let slot = match arg.as_str() {
+                    "--trace" => &mut flags.trace,
+                    "--json" => &mut flags.json,
+                    _ => &mut flags.metrics_json,
                 };
                 *slot = Some(PathBuf::from(value));
+            } else if arg == "--metrics" {
+                flags.metrics = true;
             } else if let Some(v) = arg.strip_prefix("--trace=") {
                 flags.trace = Some(PathBuf::from(v));
             } else if let Some(v) = arg.strip_prefix("--json=") {
                 flags.json = Some(PathBuf::from(v));
+            } else if let Some(v) = arg.strip_prefix("--metrics-json=") {
+                flags.metrics_json = Some(PathBuf::from(v));
             } else {
                 flags.rest.push(arg);
             }
@@ -94,6 +106,48 @@ pub fn require_trace_feature(flags: &OutFlags) {
              `--no-default-features`"
         );
         std::process::exit(2);
+    }
+}
+
+/// True when the user asked for any end-of-run metrics output.
+pub fn wants_metrics(flags: &OutFlags) -> bool {
+    flags.metrics || flags.metrics_json.is_some()
+}
+
+/// Exit with a clear error if `--metrics`/`--metrics-json` was
+/// requested but the binary was built without the `metrics` feature.
+pub fn require_metrics_feature(flags: &OutFlags) {
+    if cfg!(not(feature = "metrics")) && wants_metrics(flags) {
+        eprintln!(
+            "error: --metrics/--metrics-json require the `metrics` feature; \
+             rebuild without `--no-default-features`"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// Emit the end-of-run registry snapshots that `--metrics` /
+/// `--metrics-json` asked for: Prometheus text to stderr (one comment
+/// header per backend, so sim and native snapshots stay tellable
+/// apart) and, to the given path, one JSON object keyed by backend
+/// name.
+#[cfg(feature = "metrics")]
+pub fn emit_metrics(flags: &OutFlags, snapshots: &[(&str, uat_metrics::Snapshot)]) {
+    use uat_base::json::{Json, ToJson};
+    if flags.metrics {
+        for (backend, snap) in snapshots {
+            eprintln!("# == metrics: {backend} ==");
+            eprint!("{}", snap.prometheus_text());
+        }
+    }
+    if let Some(path) = &flags.metrics_json {
+        let obj = Json::Obj(
+            snapshots
+                .iter()
+                .map(|(backend, snap)| (backend.to_string(), snap.to_json()))
+                .collect(),
+        );
+        write_output(path, &obj.pretty(), "metrics snapshot JSON");
     }
 }
 
@@ -216,5 +270,23 @@ mod tests {
         let e = parse(&["--json"]).unwrap_err();
         assert!(e.contains("--json"), "{e}");
         assert!(parse(&[]).unwrap().trace.is_none());
+    }
+
+    #[test]
+    fn metrics_flags_parse_both_spellings() {
+        let f = parse(&["--metrics", "--metrics-json", "/tmp/m.json"]).unwrap();
+        assert!(f.metrics);
+        assert_eq!(f.metrics_json.as_deref(), Some(Path::new("/tmp/m.json")));
+        assert!(f.rest.is_empty());
+        assert!(wants_metrics(&f));
+
+        let f = parse(&["--metrics-json=/tmp/m.json"]).unwrap();
+        assert!(!f.metrics);
+        assert_eq!(f.metrics_json.as_deref(), Some(Path::new("/tmp/m.json")));
+        assert!(wants_metrics(&f));
+
+        assert!(!wants_metrics(&parse(&["--trace=t"]).unwrap()));
+        let e = parse(&["--metrics-json"]).unwrap_err();
+        assert!(e.contains("--metrics-json"), "{e}");
     }
 }

@@ -156,6 +156,9 @@ pub struct Engine<W: Workload> {
     breakdown: StealBreakdown,
     page_faults: u64,
     trace: TraceCtl,
+    /// Live-metrics registry wiring (inert unless
+    /// [`with_metrics`](Engine::with_metrics) attached a registry).
+    metrics: crate::smetrics::SimMetrics,
     /// Tests only: after this many events, deliberately corrupt one
     /// task-table record so the auditor trips (exercises the flight
     /// recorder end to end). See [`Engine::seed_audit_violation`].
@@ -209,9 +212,22 @@ impl<W: Workload> Engine<W> {
             breakdown: StealBreakdown::new(),
             page_faults: 0,
             trace: TraceCtl::new(topo.total_workers() as usize),
+            metrics: crate::smetrics::SimMetrics::default(),
             #[cfg(feature = "audit")]
             sabotage_after: None,
         }
+    }
+
+    /// Stream this run's scheduler-health metrics (steal outcomes and
+    /// latency, task counts and run lengths) into `registry`, under the
+    /// same metric names ([`uat_metrics::names`]) the native runtime
+    /// exports. The registry must be built for at least this machine's
+    /// worker count; snapshot it after [`run`](Engine::run).
+    #[cfg(feature = "metrics")]
+    pub fn with_metrics(mut self, registry: &std::sync::Arc<uat_metrics::Registry>) -> Self {
+        self.metrics =
+            crate::smetrics::SimMetrics::attach(registry, self.cfg.topo.total_workers() as usize);
+        self
     }
 
     /// Run to completion of the root task; returns the measurements.
@@ -236,6 +252,7 @@ impl<W: Workload> Engine<W> {
         let w0 = WorkerId(0);
         let root = self.spawn_task(w0, &self.workload.root(), None);
         self.root = Some(root);
+        self.metrics.on_task_begin(root, Cycles::ZERO);
         self.trace.task_begin(w0, root, Cycles::ZERO, None);
         self.workers[0].current = Some(root);
         self.workers[0].pending = Pending::TaskStep(root);
@@ -424,6 +441,7 @@ impl<W: Workload> Engine<W> {
                     self.trace.deque_publish(w, task, t);
                     let faults_before = self.page_faults;
                     let child = self.spawn_task(w, &desc, Some(task));
+                    self.metrics.on_task_begin(child, t);
                     self.trace.task_begin(w, child, t, Some(task));
                     let fault_cost = Cycles((self.page_faults - faults_before) * cost.page_fault);
                     self.workers[w.index()].current = Some(child);
@@ -478,6 +496,7 @@ impl<W: Workload> Engine<W> {
     /// by other workers — causality instants must carry that stamp, or a
     /// polling joiner could record its resume *before* the ready.
     fn complete_task(&mut self, w: WorkerId, task: TaskId64, t: Cycles, noticed: Cycles) {
+        self.metrics.on_task_end(w.index(), task, t);
         self.trace.task_end(w, task, t);
         let mut rec = self.tasks.free(task);
         debug_assert!(
@@ -758,6 +777,7 @@ impl<W: Workload> Engine<W> {
         if !ok {
             self.breakdown.aborted_empty += 1;
             let latency = t.since(self.workers[w.index()].attempt_start);
+            self.metrics.on_steal_result(w.index(), false, latency);
             self.trace
                 .steal_result(w, victim, StealEnd::AbortEmpty, t, latency);
             self.sched_wait_step(w, t);
@@ -803,6 +823,7 @@ impl<W: Workload> Engine<W> {
         if !ok {
             self.breakdown.aborted_lock += 1;
             let latency = t.since(self.workers[w.index()].attempt_start);
+            self.metrics.on_steal_result(w.index(), false, latency);
             self.trace
                 .steal_result(w, victim, StealEnd::AbortLock, t, latency);
             self.sched_wait_step(w, t);
@@ -858,6 +879,7 @@ impl<W: Workload> Engine<W> {
             // Drained while we were locking; unlock and give up.
             self.breakdown.aborted_raced += 1;
             let latency = t.since(self.workers[w.index()].attempt_start);
+            self.metrics.on_steal_result(w.index(), false, latency);
             self.trace
                 .steal_result(w, victim, StealEnd::AbortRaced, t, latency);
             let done = vdeque
@@ -940,6 +962,7 @@ impl<W: Workload> Engine<W> {
         self.breakdown.completed += 1;
         self.steals_completed += 1;
         let latency = t.since(self.workers[w.index()].attempt_start) + Cycles(cost.resume_base);
+        self.metrics.on_steal_result(w.index(), true, latency);
         self.trace
             .steal_result(w, victim, StealEnd::Completed, t, latency);
         let rec = self.tasks.get_mut(entry.task);

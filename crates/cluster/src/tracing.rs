@@ -318,7 +318,11 @@ impl TraceCtl {
         self.emit(TraceEvent::instant(
             t,
             w,
-            EventKind::StealResult { victim, outcome },
+            EventKind::StealResult {
+                victim,
+                outcome,
+                latency,
+            },
         ));
     }
 

@@ -211,6 +211,15 @@ pub struct NativeRunner {
     /// [`run_traced`]: Self::run_traced
     #[cfg(feature = "trace")]
     ring_capacity: Option<usize>,
+    /// Caller-supplied metrics registry (turns on the timed tier).
+    #[cfg(feature = "metrics")]
+    registry: Option<Arc<uat_metrics::Registry>>,
+    /// Sampler tick, when a sampler thread is wanted.
+    #[cfg(feature = "metrics")]
+    sampler: Option<std::time::Duration>,
+    /// Stall-watchdog configuration, when armed.
+    #[cfg(feature = "metrics")]
+    watchdog: Option<crate::nmetrics::WatchdogCfg>,
 }
 
 impl NativeRunner {
@@ -222,6 +231,12 @@ impl NativeRunner {
             work_divisor: 1,
             #[cfg(feature = "trace")]
             ring_capacity: None,
+            #[cfg(feature = "metrics")]
+            registry: None,
+            #[cfg(feature = "metrics")]
+            sampler: None,
+            #[cfg(feature = "metrics")]
+            watchdog: None,
         }
     }
 
@@ -230,6 +245,32 @@ impl NativeRunner {
     #[cfg(feature = "trace")]
     pub fn with_tracing(mut self, ring_capacity: usize) -> Self {
         self.ring_capacity = Some(ring_capacity);
+        self
+    }
+
+    /// Record runs into `registry` (built for at least `workers`
+    /// shards) with the timed metrics tier on; snapshot it afterwards.
+    /// Composes with any run method, [`run_traced`](Self::run_traced)
+    /// included.
+    #[cfg(feature = "metrics")]
+    pub fn with_metrics(mut self, registry: Arc<uat_metrics::Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Start a deque-depth sampler thread on every run, ticking each
+    /// `interval`. Implies the timed metrics tier.
+    #[cfg(feature = "metrics")]
+    pub fn with_sampler(mut self, interval: std::time::Duration) -> Self {
+        self.sampler = Some(interval);
+        self
+    }
+
+    /// Arm the heartbeat stall watchdog on every run (implies a sampler
+    /// at the default interval unless one is configured).
+    #[cfg(feature = "metrics")]
+    pub fn with_watchdog(mut self, cfg: crate::nmetrics::WatchdogCfg) -> Self {
+        self.watchdog = Some(cfg);
         self
     }
 
@@ -250,6 +291,26 @@ impl NativeRunner {
         self
     }
 
+    /// The configured [`Runtime`] for one run.
+    fn runtime(&self) -> Runtime {
+        let rt = Runtime::new(self.workers).with_stack_size(self.stack_size);
+        #[cfg(feature = "metrics")]
+        let rt = {
+            let mut rt = rt;
+            if let Some(reg) = &self.registry {
+                rt = rt.with_metrics(Arc::clone(reg));
+            }
+            if let Some(interval) = self.sampler {
+                rt = rt.with_sampler(interval);
+            }
+            if let Some(cfg) = &self.watchdog {
+                rt = rt.with_watchdog(cfg.clone());
+            }
+            rt
+        };
+        rt
+    }
+
     /// Run `w` to completion on real fibers and report its accounting.
     pub fn run<W>(&self, w: W) -> NativeRunStats
     where
@@ -259,7 +320,7 @@ impl NativeRunner {
         let workload = w.name();
         let w = Arc::new(w);
         let counters = Arc::new(Counters::default());
-        let rt = Runtime::new(self.workers).with_stack_size(self.stack_size);
+        let rt = self.runtime();
         let w2 = Arc::clone(&w);
         let c2 = Arc::clone(&counters);
         let div = self.work_divisor;
@@ -269,6 +330,31 @@ impl NativeRunner {
         });
         let wall = sched.wall;
         self.stats(workload, &counters, sched, wall, 0)
+    }
+
+    /// Like [`run`](Self::run) with the timed metrics tier forced on,
+    /// additionally returning the run's metrics snapshot (sharded
+    /// scheduler counters plus steal-latency / task-run /
+    /// park-duration histograms).
+    #[cfg(feature = "metrics")]
+    pub fn run_metered<W>(&self, w: W) -> (NativeRunStats, uat_metrics::Snapshot)
+    where
+        W: Workload + Send + Sync + 'static,
+        W::Desc: 'static,
+    {
+        let workload = w.name();
+        let w = Arc::new(w);
+        let counters = Arc::new(Counters::default());
+        let rt = self.runtime();
+        let w2 = Arc::clone(&w);
+        let c2 = Arc::clone(&counters);
+        let div = self.work_divisor;
+        let ((), sched, snapshot) = rt.run_metered(move || {
+            let root = w2.root();
+            exec(&w2, &root, &c2, div);
+        });
+        let wall = sched.wall;
+        (self.stats(workload, &counters, sched, wall, 0), snapshot)
     }
 
     /// Like [`run`](Self::run) with per-worker event tracing on,
@@ -285,7 +371,7 @@ impl NativeRunner {
         let workload = w.name();
         let w = Arc::new(w);
         let counters = Arc::new(Counters::default());
-        let mut rt = Runtime::new(self.workers).with_stack_size(self.stack_size);
+        let mut rt = self.runtime();
         if let Some(cap) = self.ring_capacity {
             rt = rt.with_tracing(cap);
         }

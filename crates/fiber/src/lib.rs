@@ -27,6 +27,11 @@
 //!   rings, `TimeAccount` buckets, and steal-phase spans feeding the
 //!   same `uat-trace` exporters and profiler the simulator uses
 //!   (zero-cost stubs when the `trace` feature is off).
+//! - [`nmetrics`]: online metrics and runtime health — sharded
+//!   scheduler counters, HDR tail-latency histograms, per-worker
+//!   flight-recorder rings, a deque-depth sampler thread, and the
+//!   heartbeat stall watchdog (stubs when the `metrics` feature is
+//!   off).
 //! - [`ipc`]: the faithful **cross-address-space** demonstration —
 //!   process-per-core via `fork`, the uni-address region at the same
 //!   fixed virtual address in each process, shared-memory task-queue
@@ -47,6 +52,7 @@ pub mod creation;
 pub mod ctx;
 pub mod interp;
 pub mod ipc;
+pub mod nmetrics;
 pub mod ntrace;
 pub mod runtime;
 pub mod stack;
@@ -55,6 +61,8 @@ pub mod tsc;
 pub use creation::{measure_creation, CreationStrategy};
 pub use interp::{NativeRunStats, NativeRunner};
 pub use ipc::steal_between_processes;
+#[cfg(feature = "metrics")]
+pub use nmetrics::{StallDump, WatchdogAction, WatchdogCfg, WatchdogReport};
 #[cfg(feature = "trace")]
 pub use ntrace::{NativeTrace, DEFAULT_RING_CAPACITY};
 pub use runtime::{current_worker_id, spawn, JoinHandle, Runtime, SchedStats};

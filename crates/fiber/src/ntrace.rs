@@ -86,6 +86,19 @@ mod real {
         pub fn alloc_task(&self) -> u64 {
             self.next_task.fetch_add(1, Ordering::Relaxed) + 1
         }
+
+        /// Events evicted from each worker's ring, indexed by worker
+        /// (workers that have not deposited yet read as 0). Meaningful
+        /// once the worker loops have exited — i.e. after the runtime
+        /// joined its threads, before or after [`finalize`].
+        pub fn dropped_per_worker(&self) -> Vec<u64> {
+            self.deposits
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|s| s.as_ref().map_or(0, |d| d.ring.dropped()))
+                .collect()
+        }
     }
 
     struct Wt {
@@ -369,7 +382,14 @@ mod real {
                 StealAttemptOutcome::LockBusy => StealOutcome::AbortLock,
                 StealAttemptOutcome::Raced => StealOutcome::AbortRaced,
             };
-            t.instant(end, EventKind::StealResult { victim, outcome });
+            t.instant(
+                end,
+                EventKind::StealResult {
+                    victim,
+                    outcome,
+                    latency: Cycles(end - start),
+                },
+            );
             if let Some(ctx) = ctx {
                 let hit = t.shared.ctx_map.lock().unwrap().remove(&ctx);
                 if let Some((task, seq)) = hit {
@@ -438,11 +458,17 @@ mod real {
     /// Normalize the per-worker deposits into a [`NativeTrace`].
     ///
     /// The makespan is the latest `TaskEnd` across workers (the root's
-    /// completion, modulo cross-core clock skew). Each worker's timeline
-    /// is clipped to `[0, makespan]` — dropping post-makespan shutdown
+    /// completion, modulo cross-core clock skew). Each worker's *slices*
+    /// are clipped to `[0, makespan]` — dropping post-makespan shutdown
     /// idling — and padded with a final idle slice if its own clock fell
     /// short; drop-free accounts are rebuilt from the clipped slices so
-    /// they tile the makespan *exactly*.
+    /// they tile the makespan *exactly*. Instants are **never** dropped:
+    /// workers keep running the scheduler loop between the last `TaskEnd`
+    /// and the shutdown flag (the main thread polls stragglers and joins
+    /// the sampler first), and the steal attempts made in that window are
+    /// real — the always-on metrics counters see them, so the trace must
+    /// too or the two disagree on every count (clipping only affects the
+    /// time *accounting*, which instants don't participate in).
     pub fn finalize(shared: &Arc<TraceShared>) -> NativeTrace {
         let mut deps: Vec<WorkerDeposit> = {
             let mut slots = shared.deposits.lock().unwrap();
@@ -487,7 +513,8 @@ mod real {
                         rebuilt.charge(bucket, Cycles(end - at));
                         covered = covered.max(end);
                     }
-                } else if at <= makespan {
+                } else {
+                    // Instants: keep unconditionally (see doc above).
                     out.push(*ev);
                 }
             }

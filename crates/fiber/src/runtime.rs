@@ -24,8 +24,22 @@
 //! `pending_retire` hand-off). Functions passed to
 //! `switch_stack_and_call` and trampolines that claim a continuation
 //! diverge with only `Copy` locals live, so no destructor is skipped.
+//!
+//! **Publication rule [I12]:** a saved continuation is made visible to
+//! other workers (deque push or join-waiter CAS) only from a stack that
+//! is *not* the continuation's own. The `Context` record lives on the
+//! fiber's stack and a thief resumes it by setting `rsp = ctx` — from
+//! that instant every frame below the record (the very trampoline that
+//! saved it) is dead memory the resumed fiber will overwrite. So
+//! `spawn` publishes the parent from the child's fresh stack
+//! (`child_main`), and a parking `join` hands the waiter CAS to the
+//! scheduler loop on the worker's OS stack (`pending_join`). Publishing
+//! from the trampoline itself — the obvious Figure 4 reading — is a
+//! stack-trample race that corrupts spilled locals under steal churn
+//! (debug builds spill everything, making it a near-certain segfault).
 
 use crate::ctx::{resume_context, save_context_and_call, switch_stack_and_call, Context};
+use crate::nmetrics::{MetricsShared, WorkerMetrics};
 use crate::ntrace::{TraceShared, WorkerTracer};
 use crate::stack::{Stack, StackPool};
 use std::cell::Cell;
@@ -80,13 +94,11 @@ struct Shared {
     deques: Vec<Arc<NativeDeque<u64>>>,
     shutdown: AtomicBool,
     live: AtomicU64,
-    /// Successful steals across all workers (scheduler-loop steals of a
-    /// started thread — the paper's Figure 6 event, shared-memory case).
-    steals: AtomicU64,
-    /// Workers that crossed the idle spin threshold into a sleep cycle.
-    parks: AtomicU64,
-    /// Parked workers that found work again.
-    unparks: AtomicU64,
+    /// Run-wide metrics state: sharded scheduler counters (steals,
+    /// parks, heartbeats, …), tail-latency histograms, and the flight
+    /// rings. With the `metrics` feature off this degrades to the three
+    /// plain atomics [`SchedStats`] needs.
+    metrics: Arc<MetricsShared>,
     seed_task: Mutex<Option<Box<Payload>>>,
     /// Run-wide trace state; `None` = untraced (hooks early-out).
     #[cfg(feature = "trace")]
@@ -114,7 +126,14 @@ struct Worker {
     rng: SplitMix64,
     sched_ctx: *mut Context,
     pending_retire: Option<Stack>,
+    /// A fiber that wants to park on a join hands `(core, ctx)` to its
+    /// scheduler here; the scheduler performs the waiter CAS from the
+    /// OS stack per [I12] (resuming the fiber immediately if the child
+    /// already sealed the slot). The pointer stays valid until the CAS:
+    /// the suspended fiber's frame holds the `JoinHandle`'s `Arc`.
+    pending_join: Option<(*const JoinCore, u64)>,
     trace: WorkerTracer,
+    metrics: WorkerMetrics,
 }
 
 thread_local! {
@@ -179,6 +198,11 @@ struct Payload {
     stack: Option<Stack>,
     /// Trace task id (0 when the run is untraced).
     task_id: u64,
+    /// The spawner's saved continuation (`*mut Context` as u64), written
+    /// by `spawn_tramp` on the way into the child and published by
+    /// `child_main` from the child's stack per [I12]. 0 for the root
+    /// task (no continuation to publish).
+    parent_ctx: u64,
 }
 
 /// Spawn a thread running `f`, child-first: `f` starts immediately on a
@@ -212,6 +236,7 @@ where
         core: Arc::clone(&core),
         stack: Some(stack),
         task_id,
+        parent_ctx: 0,
     });
     // SAFETY: [I8] shared is alive for the runtime's duration; the reference
     // is dropped before the context switch below.
@@ -238,18 +263,16 @@ where
 }
 
 unsafe extern "C" fn spawn_tramp(ctx: *mut Context, arg: *mut c_void) {
-    let w = current();
-    // Push the parent thread's continuation: stealable from now on.
-    // SAFETY: [I5][I7] worker structures outlive all tasks; references end before
-    // the stack switch.
+    // [I12]: do NOT publish `ctx` here — this frame lives on the very
+    // stack `ctx` points into, and a thief resuming the continuation
+    // would overwrite it while we still execute. Stash the continuation
+    // in the payload (heap) and leave this stack first; `child_main`
+    // publishes it from the child's fresh stack.
+    // SAFETY: [I8] the payload is exclusively ours until child_main takes
+    // ownership; the borrow ends before the stack switch.
     let top = unsafe {
-        let wr = &mut *w;
-        // Trace: register the continuation *before* the push makes it
-        // stealable, so a thief's commit always finds the publication.
-        let parent = wr.trace.cur_task();
-        wr.trace.on_publish(ctx as u64, parent);
-        wr.shared.deques[wr.id].push(ctx as u64);
-        let payload = &*(arg as *mut Payload);
+        let payload = &mut *(arg as *mut Payload);
+        payload.parent_ctx = ctx as u64;
         payload
             .stack
             .as_ref()
@@ -266,10 +289,31 @@ unsafe extern "C" fn child_main(arg: *mut c_void) -> ! {
         let mut payload = unsafe { Box::from_raw(arg as *mut Payload) };
         let body = payload.body.take().expect("body present");
         let task = payload.task_id;
-        // Trace: the fiber body starts here; `born` is a Copy local so it
-        // survives any migration of this stack between workers.
+        // Push the parent thread's continuation: stealable from now on.
+        // Safe here per [I12] — we run on the child's fresh stack, and
+        // every parent-stack frame below the record is already dead.
+        if payload.parent_ctx != 0 {
+            // SAFETY: [I5][I7] worker structures outlive all tasks;
+            // scoped borrow on the owning thread.
+            unsafe {
+                let wr = &mut *current();
+                // Trace: register the continuation *before* the push
+                // makes it stealable, so a thief's commit always finds
+                // the publication. `cur_task` is still the parent's id:
+                // `on_task_begin` below is what makes the child current.
+                let parent = wr.trace.cur_task();
+                wr.trace.on_publish(payload.parent_ctx, parent);
+                wr.shared.deques[wr.id].push(payload.parent_ctx);
+            }
+        }
+        // Trace/metrics: the fiber body starts here; the begin stamps are
+        // Copy locals so they survive any migration of this stack between
+        // workers.
         // SAFETY: [I7] exclusive worker access on this thread; scoped borrow.
-        let born = unsafe { (*current()).trace.on_task_begin(task) };
+        let (born, mborn) = unsafe {
+            let wr = &mut *current();
+            (wr.trace.on_task_begin(task), wr.metrics.on_task_begin())
+        };
         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).is_err() {
             // Unwinding across a context switch is UB; mirror the paper's
             // C++ runtime and die loudly.
@@ -285,6 +329,7 @@ unsafe extern "C" fn child_main(arg: *mut c_void) -> ! {
             debug_assert!(wr.pending_retire.is_none());
             wr.pending_retire = payload.stack.take();
             wr.trace.on_task_end(task, born);
+            wr.metrics.on_task_end(mborn);
         }
         // Thread exit: publish the result, wake a waiter if one parked.
         payload.core.done.store(true, Ordering::Release);
@@ -401,50 +446,49 @@ unsafe extern "C" fn join_tramp(ctx: *mut Context, arg: *mut c_void) {
                 .store(wr.trace.cur_task(), Ordering::Release);
         }
     }
-    // Park this continuation unless the child already finished.
-    // SAFETY: [I8] core outlives the join (the handle holds the Arc).
-    let parked = unsafe {
-        (*core)
-            .waiter
-            .compare_exchange(
-                WAITER_EMPTY,
-                ctx as u64,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            )
-            .is_ok()
-    };
-    if !parked {
-        // Lost the race: the child sealed the slot. Continue immediately.
-        // SAFETY: [I5] our own just-saved context.
-        unsafe { resume_context(ctx) }
-    }
-    // Parked: find other work — local pop first, else the scheduler
-    // (which steals). Only Copy locals are live past this point.
+    // [I12]: the waiter CAS publishes `ctx` — the completing child can
+    // push it and a thief can resume it the next instant, overwriting
+    // this very frame (it lives on `ctx`'s stack). So don't CAS here:
+    // hand the park to the scheduler, which runs on the worker's OS
+    // stack. Until the scheduler's CAS, `ctx` is invisible to every
+    // other thread, so this stack is still private.
     let w = current();
-    // SAFETY: [I5][I7] as in child_main.
-    let target = unsafe {
+    // SAFETY: [I7] exclusive worker access; the borrow ends before the
+    // resume below.
+    let sched = unsafe {
         let wr = &mut *w;
-        match wr.shared.deques[wr.id].pop() {
-            Some(c) => {
-                wr.trace.on_local_pop(c);
-                c as *mut Context
-            }
-            None => wr.sched_ctx,
-        }
+        debug_assert!(wr.pending_join.is_none());
+        wr.pending_join = Some((core, ctx as u64));
+        wr.sched_ctx
     };
-    // SAFETY: [I5] target is either a live context popped from our own deque
-    // or this worker's scheduler context, which is parked in its loop.
-    unsafe { resume_context(target) }
+    // SAFETY: [I5] the scheduler context is parked in its loop and is
+    // resumed exactly once per lineage; only Copy locals are live here.
+    unsafe { resume_context(sched) }
 }
 
 /// The multi-worker runtime.
+#[derive(Clone)]
 pub struct Runtime {
     nworkers: usize,
     stack_size: usize,
     /// Per-worker event-ring capacity when tracing; `None` = untraced.
     #[cfg(feature = "trace")]
     trace_rings: Option<usize>,
+    /// Caller-supplied registry to record into; `None` = per-run owned.
+    #[cfg(feature = "metrics")]
+    registry: Option<Arc<uat_metrics::Registry>>,
+    /// Whether the timed metrics tier (histograms, flight rings) is on.
+    #[cfg(feature = "metrics")]
+    metered: bool,
+    /// Sampler tick; `None` with a watchdog set falls back to the
+    /// default interval.
+    #[cfg(feature = "metrics")]
+    sampler: Option<std::time::Duration>,
+    #[cfg(feature = "metrics")]
+    watchdog: Option<crate::nmetrics::WatchdogCfg>,
+    /// Watchdog-test sabotage: this worker never heartbeats.
+    #[cfg(feature = "metrics")]
+    sabotage: Option<usize>,
 }
 
 impl Runtime {
@@ -456,6 +500,16 @@ impl Runtime {
             stack_size: 128 << 10,
             #[cfg(feature = "trace")]
             trace_rings: None,
+            #[cfg(feature = "metrics")]
+            registry: None,
+            #[cfg(feature = "metrics")]
+            metered: false,
+            #[cfg(feature = "metrics")]
+            sampler: None,
+            #[cfg(feature = "metrics")]
+            watchdog: None,
+            #[cfg(feature = "metrics")]
+            sabotage: None,
         }
     }
 
@@ -470,6 +524,52 @@ impl Runtime {
     #[cfg(feature = "trace")]
     pub fn with_tracing(mut self, ring_capacity: usize) -> Self {
         self.trace_rings = Some(ring_capacity);
+        self
+    }
+
+    /// Record subsequent runs into `registry` (built for at least this
+    /// runtime's worker count) and turn on the timed metrics tier:
+    /// steal-latency / task-run / park-duration histograms and the
+    /// per-worker flight rings. Snapshot the registry after the run.
+    #[cfg(feature = "metrics")]
+    pub fn with_metrics(mut self, registry: Arc<uat_metrics::Registry>) -> Self {
+        self.registry = Some(registry);
+        self.metered = true;
+        self
+    }
+
+    /// Start a sampler thread on subsequent runs: every `interval` it
+    /// samples each worker's deque depth into the registry (and drives
+    /// the watchdog, if one is configured). Implies the timed tier.
+    #[cfg(feature = "metrics")]
+    pub fn with_sampler(mut self, interval: std::time::Duration) -> Self {
+        self.sampler = Some(interval);
+        self.metered = true;
+        self
+    }
+
+    /// Arm the stall watchdog on subsequent runs: if one worker's
+    /// heartbeat epoch freezes for `cfg.stall_after` while the other
+    /// workers keep advancing, dump a metrics snapshot plus every
+    /// worker's flight ring and apply `cfg.action` (abort by default).
+    /// Implies a sampler (at the default interval unless
+    /// [`with_sampler`](Self::with_sampler) set one) and the timed tier.
+    #[cfg(feature = "metrics")]
+    pub fn with_watchdog(mut self, cfg: crate::nmetrics::WatchdogCfg) -> Self {
+        self.watchdog = Some(cfg);
+        self.metered = true;
+        self
+    }
+
+    /// Deliberately wedge worker `id` (it parks forever without
+    /// heartbeating) so watchdog tests can exercise a stall on demand.
+    /// Worker 0 seeds the root task and must stay live.
+    #[doc(hidden)]
+    #[cfg(feature = "metrics")]
+    pub fn with_stalled_worker(mut self, id: usize) -> Self {
+        assert!(id != 0, "worker 0 seeds the root task; cannot stall it");
+        assert!(id < self.nworkers);
+        self.sabotage = Some(id);
         self
     }
 
@@ -504,17 +604,33 @@ impl Runtime {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        let rt = Runtime {
-            nworkers: self.nworkers,
-            stack_size: self.stack_size,
-            trace_rings: Some(
-                self.trace_rings
-                    .unwrap_or(crate::ntrace::DEFAULT_RING_CAPACITY),
-            ),
-        };
+        let mut rt = self.clone();
+        rt.trace_rings = Some(
+            self.trace_rings
+                .unwrap_or(crate::ntrace::DEFAULT_RING_CAPACITY),
+        );
         let (out, sched, shared) = rt.run_core(root);
         let trace = crate::ntrace::finalize(shared.trace.as_ref().expect("tracing enabled"));
         (out, sched, trace)
+    }
+
+    /// Like [`run_counted`](Self::run_counted) with the timed metrics
+    /// tier forced on (into the configured registry, or a fresh one),
+    /// additionally returning the run's metrics snapshot.
+    #[cfg(feature = "metrics")]
+    pub fn run_metered<T, F>(&self, root: F) -> (T, SchedStats, uat_metrics::Snapshot)
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let mut rt = self.clone();
+        rt.metered = true;
+        if rt.registry.is_none() {
+            rt.registry = Some(Arc::new(uat_metrics::Registry::new(self.nworkers)));
+        }
+        let (out, sched, shared) = rt.run_core(root);
+        let snapshot = shared.metrics.registry.snapshot();
+        (out, sched, snapshot)
     }
 
     fn run_core<T, F>(&self, root: F) -> (T, SchedStats, Arc<Shared>)
@@ -526,15 +642,22 @@ impl Runtime {
         let trace = self
             .trace_rings
             .map(|cap| TraceShared::new(self.nworkers, cap));
+        #[cfg(feature = "metrics")]
+        let metrics = Arc::new(MetricsShared::new(
+            self.nworkers,
+            self.registry.clone(),
+            self.metered,
+            self.sabotage,
+        ));
+        #[cfg(not(feature = "metrics"))]
+        let metrics = Arc::new(MetricsShared::new());
         let shared = Arc::new(Shared {
             deques: (0..self.nworkers)
                 .map(|_| Arc::new(NativeDeque::new(8192)))
                 .collect(),
             shutdown: AtomicBool::new(false),
             live: AtomicU64::new(1), // the root
-            steals: AtomicU64::new(0),
-            parks: AtomicU64::new(0),
-            unparks: AtomicU64::new(0),
+            metrics,
             seed_task: Mutex::new(None),
             #[cfg(feature = "trace")]
             trace,
@@ -561,6 +684,7 @@ impl Runtime {
             core: Arc::clone(&core),
             stack: Some(Stack::new(self.stack_size)),
             task_id: root_task,
+            parent_ctx: 0,
         }));
 
         let t0 = std::time::Instant::now();
@@ -575,6 +699,33 @@ impl Runtime {
             })
             .collect();
 
+        // Sampler/watchdog thread, when configured: deque-depth samples
+        // every tick, heartbeat stall detection when armed.
+        #[cfg(feature = "metrics")]
+        let sampler = (self.sampler.is_some() || self.watchdog.is_some()).then(|| {
+            let stop = Arc::new(AtomicBool::new(false));
+            let ms = Arc::clone(&shared.metrics);
+            let deques = shared.deques.clone();
+            let interval = self
+                .sampler
+                .unwrap_or(crate::nmetrics::DEFAULT_SAMPLE_INTERVAL);
+            let watchdog = self.watchdog.clone();
+            let stop2 = Arc::clone(&stop);
+            let handle = std::thread::Builder::new()
+                .name("uat-sampler".into())
+                .spawn(move || {
+                    crate::nmetrics::sampler_loop(
+                        &ms,
+                        &deques,
+                        &stop2,
+                        interval,
+                        watchdog.as_ref(),
+                    );
+                })
+                .expect("spawn sampler thread");
+            (stop, handle)
+        });
+
         // Wait for the root to finish, then for stragglers, then stop.
         while !core.done.load(Ordering::Acquire) {
             std::thread::sleep(std::time::Duration::from_micros(50));
@@ -582,16 +733,34 @@ impl Runtime {
         while shared.live.load(Ordering::Acquire) != 0 {
             std::thread::sleep(std::time::Duration::from_micros(50));
         }
+        // Disarm the sampler *before* the shutdown flag: workers stop
+        // heartbeating once they see shutdown, and the watchdog must
+        // never mistake an orderly exit for a stall.
+        #[cfg(feature = "metrics")]
+        if let Some((stop, handle)) = sampler {
+            stop.store(true, Ordering::Release);
+            handle.join().expect("sampler thread");
+        }
         shared.shutdown.store(true, Ordering::Release);
         for h in handles {
             h.join().expect("worker thread");
         }
         let wall = t0.elapsed();
+        // Every worker has deposited its ring; surface the drop counts
+        // in the registry alongside the scheduler counters.
+        #[cfg(all(feature = "trace", feature = "metrics"))]
+        if let Some(t) = shared.trace.as_ref() {
+            for (i, dropped) in t.dropped_per_worker().into_iter().enumerate() {
+                if dropped > 0 {
+                    shared.metrics.trace_dropped.add(i, dropped);
+                }
+            }
+        }
         let out = result.lock().unwrap().take().expect("root set its result");
         let sched = SchedStats {
-            steals: shared.steals.load(Ordering::Acquire),
-            parks: shared.parks.load(Ordering::Acquire),
-            unparks: shared.unparks.load(Ordering::Acquire),
+            steals: shared.metrics.steals_total(),
+            parks: shared.metrics.parks_total(),
+            unparks: shared.metrics.unparks_total(),
             wall,
         };
         (out, sched, shared)
@@ -622,10 +791,27 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
         rng: SplitMix64::new(0x5EED ^ id as u64),
         sched_ctx: std::ptr::null_mut(),
         pending_retire: None,
+        pending_join: None,
         trace: WorkerTracer::new(shared.trace_shared(), id),
+        metrics: WorkerMetrics::new(&shared.metrics, id),
     };
     let w: *mut Worker = &mut worker;
     CURRENT.with(|c| c.set(w));
+
+    // Watchdog-test sabotage: stay alive (so the run is otherwise
+    // healthy) but never enter the scheduler loop, so this worker's
+    // heartbeat epoch stays frozen while every other worker advances.
+    if shared.metrics.is_sabotaged(id) {
+        while !shared.shutdown.load(Ordering::Acquire) {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        // SAFETY: [I7] exclusive worker access on this thread.
+        unsafe {
+            (*w).trace.finish();
+        }
+        CURRENT.with(|c| c.set(std::ptr::null_mut()));
+        return;
+    }
 
     // Worker 0 seeds the root task.
     if id == 0 {
@@ -645,6 +831,34 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
         collect_retired();
         // SAFETY: [I7] exclusive worker access on this thread (each borrow
         // below is scoped to its statement).
+        unsafe {
+            // Heartbeat: one epoch per scheduler-loop iteration. Parked
+            // workers iterate every sleep cycle, so only a wedged (or
+            // task-monopolized) worker's epoch ever freezes.
+            (*w).metrics.on_loop();
+        }
+        // Scheduler-side join park [I12]: a fiber that suspended on a
+        // join handed us its (core, ctx); publish the waiter CAS from
+        // this OS stack. If the child sealed the slot first, the fiber
+        // never really parked — continue it right away.
+        // SAFETY: [I7] exclusive worker access; scoped borrow.
+        if let Some((core, ctx)) = unsafe { (*w).pending_join.take() } {
+            // SAFETY: [I8] the suspended fiber's frame holds the
+            // JoinHandle's Arc, keeping `core` alive until this CAS
+            // decides whether it parks or resumes.
+            let parked_now = unsafe {
+                (*core)
+                    .waiter
+                    .compare_exchange(WAITER_EMPTY, ctx, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            };
+            if !parked_now {
+                idle_spins = 0;
+                run_ctx(ctx as *mut Context);
+                continue;
+            }
+        }
+        // SAFETY: [I7] as above.
         unsafe {
             (*w).trace.on_idle();
         }
@@ -667,35 +881,41 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
                 if v >= id {
                     v += 1;
                 }
-                // Traced runs take the phase-stamped steal so lock/entry
-                // time lands in the right buckets; untraced runs keep the
-                // bare protocol.
+                // Traced and metered runs take the phase-stamped steal
+                // so lock/entry time lands in the right buckets and the
+                // latency histogram; plain runs keep the bare protocol
+                // with counter-only accounting.
                 // SAFETY: [I7] as above.
-                let got = match unsafe { (*w).trace.clock() } {
+                let clk = unsafe { (*w).trace.clock().or_else(|| (*w).metrics.clock()) };
+                match clk {
                     Some(clk) => {
                         let (got, ph) = shared.deques[v].steal_phased(|| clk.now_cycles());
                         // SAFETY: [I7] as above.
                         unsafe {
                             (*w).trace.on_steal_attempt(v, got, &ph);
+                            (*w).metrics.on_steal_phased(v, got.is_some(), &ph);
                         }
                         got
                     }
-                    None => shared.deques[v].steal(),
-                };
-                if got.is_some() {
-                    shared.steals.fetch_add(1, Ordering::Relaxed);
+                    None => {
+                        let got = shared.deques[v].steal();
+                        // SAFETY: [I7] as above.
+                        unsafe {
+                            (*w).metrics.on_steal_untimed(got.is_some());
+                        }
+                        got
+                    }
                 }
-                got
             });
         match target {
             Some(ctx) => {
                 idle_spins = 0;
                 if parked {
                     parked = false;
-                    shared.unparks.fetch_add(1, Ordering::Relaxed);
                     // SAFETY: [I7] as above.
                     unsafe {
                         (*w).trace.on_unpark();
+                        (*w).metrics.on_unpark();
                     }
                 }
                 run_ctx(ctx as *mut Context);
@@ -708,10 +928,10 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, stack_size: usize) {
                 if idle_spins > 64 {
                     if !parked {
                         parked = true;
-                        shared.parks.fetch_add(1, Ordering::Relaxed);
                         // SAFETY: [I7] as above.
                         unsafe {
                             (*w).trace.on_park();
+                            (*w).metrics.on_park();
                         }
                     }
                     std::thread::sleep(std::time::Duration::from_micros(20));

@@ -96,6 +96,11 @@ pub enum EventKind {
         victim: WorkerId,
         /// How the attempt ended.
         outcome: StealOutcome,
+        /// End-to-end latency of the whole attempt, from its first
+        /// protocol phase through this result (includes the resume for
+        /// completed steals). Lets consumers rebuild exact steal-latency
+        /// distributions from a full trace.
+        latency: Cycles,
     },
     /// A continuation entry was pushed into this worker's own deque,
     /// where a thief may take it. `seq` uniquely identifies this

@@ -136,9 +136,14 @@ fn event_args(ev: &TraceEvent) -> Vec<(String, Json)> {
         EventKind::StealPhase { victim, .. } => {
             args.push(("victim".into(), Json::UInt(victim.0 as u64)));
         }
-        EventKind::StealResult { victim, outcome } => {
+        EventKind::StealResult {
+            victim,
+            outcome,
+            latency,
+        } => {
             args.push(("victim".into(), Json::UInt(victim.0 as u64)));
             args.push(("outcome".into(), Json::str(outcome.name())));
+            args.push(("latency_cycles".into(), Json::UInt(latency.get())));
         }
         EventKind::DequePublish { task, seq } | EventKind::StealCommit { task, seq } => {
             args.push(("task".into(), Json::UInt(task)));
