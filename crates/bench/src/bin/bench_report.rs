@@ -142,6 +142,58 @@ where
     ])
 }
 
+/// One pinned workload on the multiprocess backend (forked worker
+/// processes, one shared uni-address region), with the same
+/// ground-truth cross-check as [`native_case`].
+fn multiprocess_case<W>(name: &'static str, workers: usize, w: W) -> Json
+where
+    W: Workload + Send + Sync + 'static,
+    W::Desc: Copy + 'static,
+{
+    let p = sequential_profile(&w);
+    let s = uat_fiber::MultiProcessRunner::new(workers).run(w);
+    assert_eq!(s.total_tasks, p.tasks, "mp expansion diverged: {name}");
+    assert_eq!(
+        s.join_fingerprint, p.join_fingerprint,
+        "mp join-tree shape diverged: {name}"
+    );
+    println!("{}", s.summary_line_as("MultiProc"));
+    Json::obj([
+        ("name", Json::str(name)),
+        ("workload", Json::str(s.workload.as_str())),
+        ("workers", Json::UInt(u64::from(s.workers))),
+        ("tasks", Json::UInt(s.total_tasks)),
+        ("wall_s", Json::Num(s.wall.as_secs_f64())),
+        (
+            "tasks_per_sec",
+            Json::Num(s.total_tasks as f64 / s.wall.as_secs_f64()),
+        ),
+        ("steals", Json::UInt(s.steals)),
+        ("peak_frame_bytes", Json::UInt(s.peak_frame_bytes)),
+    ])
+}
+
+/// The multiprocess-backend section of the engine artifact. Skipped
+/// (with the kernel probe's reason recorded in the artifact) where
+/// `memfd_create` + `MAP_FIXED_NOREPLACE` are unavailable.
+fn multiprocess_section(quick: bool) -> Json {
+    if let Err(reason) = uat_fiber::MultiProcessRunner::probe_support() {
+        println!("\n# multiprocess backend: skipped ({reason})");
+        return Json::obj([("skipped", Json::str(reason.as_str()))]);
+    }
+    let fib = if quick { 16 } else { 20 };
+    let rounds = if quick { 50 } else { 200 };
+    println!("\n# multiprocess uni-address backend (worker processes)");
+    Json::obj([(
+        "cases",
+        Json::Arr(vec![
+            multiprocess_case("fib_mp_2w", 2, Fib::new(fib)),
+            multiprocess_case("fib_mp_4w", 4, Fib::new(fib)),
+            multiprocess_case("chain_mp_2w", 2, Chain::fig10(rounds)),
+        ]),
+    )])
+}
+
 /// Best-of rates and the robust overhead estimate of an instrumented
 /// configuration over its baseline.
 #[cfg(any(feature = "trace", feature = "metrics"))]
@@ -532,6 +584,7 @@ fn main() {
     // they are always written before the process exits non-zero.
     let mut gates = Vec::new();
     let native = native_section(quick, host_threads, &mut gates);
+    let multiprocess = multiprocess_section(quick);
     let (metrics_overhead, fail) = metrics_overhead_entry(quick);
     gates.extend(fail);
 
@@ -546,6 +599,7 @@ fn main() {
             Json::Arr(cases.iter().map(CaseResult::to_json).collect()),
         ),
         ("native", native),
+        ("multiprocess", multiprocess),
         ("metrics_overhead", metrics_overhead),
         ("critical_path", critical_path_entry()),
     ]);

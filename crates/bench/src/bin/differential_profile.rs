@@ -1,8 +1,17 @@
 //! Differential profile: one paper workload, both backends, side by side.
 //!
 //! Usage: `differential_profile [fib|btc1|btc2|uts|nqueens|chain]
-//! [--size S] [--workers W] [--ring CAP] [--divisor D]
+//! [--backend sim|native|multiprocess] [--size S] [--workers W]
+//! [--ring CAP] [--divisor D]
 //! [--trace <path>] [--json <path>] [--metrics] [--metrics-json <path>]`
+//!
+//! Without `--backend`, the classic side-by-side profile below runs
+//! (sim + native, traced). With `--backend B`, exactly one executor
+//! runs the workload and reports its stats verified against the
+//! sequential ground truth — `multiprocess` selects the
+//! process-per-worker uni-address backend, whose `--metrics` snapshot
+//! is read back from the shared-memory segment (skipped with a reason
+//! on kernels that cannot map it).
 //!
 //! Runs the same backend-neutral `Workload` through the deterministic
 //! simulator (`uat-cluster`, 1 node × W workers, simulated cycles) and
@@ -113,7 +122,19 @@ fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
 fn real_main() {
     let flags = OutFlags::parse();
     uat_bench::require_metrics_feature(&flags);
-    let a = match parse_args(&flags.rest) {
+    let backend_given = flags
+        .rest
+        .iter()
+        .any(|r| r == "--backend" || r.starts_with("--backend="));
+    let (backend, rest) = match uat_bench::backend_flag(&flags.rest) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mode = backend_given.then_some(backend);
+    let a = match parse_args(&rest) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -121,15 +142,117 @@ fn real_main() {
         }
     };
     match a.bench.as_str() {
-        "fib" => diff(&a, Fib::new, a.size.unwrap_or(14), &flags),
-        "btc1" => diff(&a, |s| Btc::new(s, 1), a.size.unwrap_or(10), &flags),
-        "btc2" => diff(&a, |s| Btc::new(s, 2), a.size.unwrap_or(7), &flags),
-        "uts" => diff(&a, Uts::geometric, a.size.unwrap_or(6), &flags),
-        "nqueens" => diff(&a, NQueens::new, a.size.unwrap_or(7), &flags),
-        "chain" => diff(&a, Chain::fig10, a.size.unwrap_or(100), &flags),
+        "fib" => diff(&a, Fib::new, a.size.unwrap_or(14), &flags, mode),
+        "btc1" => diff(&a, |s| Btc::new(s, 1), a.size.unwrap_or(10), &flags, mode),
+        "btc2" => diff(&a, |s| Btc::new(s, 2), a.size.unwrap_or(7), &flags, mode),
+        "uts" => diff(&a, Uts::geometric, a.size.unwrap_or(6), &flags, mode),
+        "nqueens" => diff(&a, NQueens::new, a.size.unwrap_or(7), &flags, mode),
+        "chain" => diff(&a, Chain::fig10, a.size.unwrap_or(100), &flags, mode),
         other => {
             eprintln!("error: unknown benchmark `{other}` (fib|btc1|btc2|uts|nqueens|chain)");
             std::process::exit(2);
+        }
+    }
+}
+
+/// `--backend B` mode: run exactly one executor and report its stats
+/// against the sequential ground truth.
+#[cfg(feature = "trace")]
+fn single_backend<W>(a: &Args, backend: uat_bench::Backend, w: W, size: u32, flags: &OutFlags)
+where
+    W: Workload + Clone + Send + Sync + 'static,
+    W::Desc: Copy + 'static,
+{
+    use uat_bench::Backend;
+    let name = w.name().to_string();
+    println!(
+        "# differential_profile — {name} size={size}: backend {} × {} workers",
+        backend.name(),
+        a.workers
+    );
+    match backend {
+        Backend::Sim => {
+            let p = uat_model::sequential_profile(&w);
+            let mut cfg = SimConfig::tiny(a.workers);
+            cfg.core.iso_stacks_per_worker = 512;
+            cfg.max_events = 100_000_000;
+            let engine = uat_cluster::Engine::new(cfg, w);
+            #[cfg(feature = "metrics")]
+            {
+                if uat_bench::wants_metrics(flags) {
+                    let registry =
+                        std::sync::Arc::new(uat_metrics::Registry::new(a.workers as usize));
+                    let stats = engine.with_metrics(&registry).run();
+                    assert_eq!(stats.total_tasks, p.tasks, "sim dropped tasks: {name}");
+                    println!(
+                        "sim: makespan {} cycles  tasks={} steals={}",
+                        stats.makespan.get(),
+                        stats.total_tasks,
+                        stats.steals_completed
+                    );
+                    uat_bench::emit_metrics(flags, &[("sim", registry.snapshot())]);
+                    return;
+                }
+            }
+            let stats = engine.run();
+            assert_eq!(stats.total_tasks, p.tasks, "sim dropped tasks: {name}");
+            println!(
+                "sim: makespan {} cycles  tasks={} steals={}",
+                stats.makespan.get(),
+                stats.total_tasks,
+                stats.steals_completed
+            );
+        }
+        Backend::Native => {
+            #[cfg(feature = "metrics")]
+            {
+                if uat_bench::wants_metrics(flags) {
+                    let p = uat_model::sequential_profile(&w);
+                    let (stats, snap) = uat_fiber::NativeRunner::new(a.workers as usize)
+                        .with_work_divisor(a.divisor)
+                        .run_metered(w);
+                    assert_eq!(stats.total_tasks, p.tasks, "native dropped tasks: {name}");
+                    assert_eq!(stats.join_fingerprint, p.join_fingerprint, "{name}");
+                    println!("{}", stats.summary_line());
+                    uat_bench::emit_metrics(flags, &[("native", snap)]);
+                    return;
+                }
+            }
+            uat_bench::run_real_backend(backend, a.workers as usize, a.divisor, w);
+        }
+        Backend::Multiprocess => {
+            let p = uat_model::sequential_profile(&w);
+            let runner =
+                uat_fiber::MultiProcessRunner::new(a.workers as usize).with_work_divisor(a.divisor);
+            let report = match runner.try_run(w) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("multiprocess backend unavailable here: {e}");
+                    return;
+                }
+            };
+            let stats = &report.stats;
+            assert_eq!(
+                stats.total_tasks, p.tasks,
+                "multiprocess dropped tasks: {name}"
+            );
+            assert_eq!(
+                stats.join_fingerprint, p.join_fingerprint,
+                "multiprocess join-tree fingerprint diverges: {name}"
+            );
+            println!("{}", stats.summary_line_as("MultiProc"));
+            println!(
+                "  throughput: {:.0} tasks/s on {} worker processes ({} cross-process steals)",
+                stats.throughput(),
+                stats.workers,
+                stats.steals
+            );
+            #[cfg(feature = "metrics")]
+            if uat_bench::wants_metrics(flags) {
+                // The snapshot below was assembled from the shared
+                // segment the parent read through its fabric windows.
+                uat_bench::emit_metrics(flags, &[("multiprocess", report.metrics_snapshot())]);
+            }
         }
     }
 }
@@ -195,12 +318,16 @@ fn share(c: uat_base::Cycles, total: uat_base::Cycles) -> f64 {
 }
 
 #[cfg(feature = "trace")]
-fn diff<W, F>(a: &Args, make: F, size: u32, flags: &OutFlags)
+fn diff<W, F>(a: &Args, make: F, size: u32, flags: &OutFlags, mode: Option<uat_bench::Backend>)
 where
     W: Workload + Clone + Send + Sync + 'static,
+    W::Desc: Copy + 'static,
     F: Fn(u32) -> W,
 {
     let w = make(size);
+    if let Some(backend) = mode {
+        return single_backend(a, backend, w, size, flags);
+    }
     let name = w.name().to_string();
     println!(
         "# differential_profile — {name} size={size}: sim 1 node × {w} workers vs native {w} OS threads",

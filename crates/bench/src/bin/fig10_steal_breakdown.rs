@@ -5,6 +5,12 @@
 //! [`Chain`] workload reproduces it: on two workers, every link of the
 //! chain leaves the joining parent suspended on one worker while the
 //! other worker steals it — a steady ping-pong of one 3,055-byte thread.
+//!
+//! `--backend native|multiprocess` runs the same ping-pong on a real
+//! executor instead (two OS threads, or two worker *processes* stealing
+//! the suspended thread through the shared uni-address region) and
+//! reports steal counts and throughput; the cycle breakdown by phase is
+//! a simulator-only view (real steals aren't phase-instrumented).
 
 use uat_base::json::ToJson;
 use uat_base::{CostModel, Cycles, Topology};
@@ -20,6 +26,28 @@ fn main() {
     let flags = OutFlags::parse();
     require_trace_feature(&flags);
     require_metrics_feature(&flags);
+    let (backend, _rest) = match uat_bench::backend_flag(&flags.rest) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if backend != uat_bench::Backend::Sim {
+        // The paper's two-worker ping-pong on a real executor: every
+        // link's suspended parent migrates to the other worker.
+        println!(
+            "# Figure 10 setup on the {} backend — 2 workers, Chain::fig10(2000)",
+            backend.name()
+        );
+        if let Some(stats) = uat_bench::run_real_backend(backend, 2, 1, Chain::fig10(2_000)) {
+            println!(
+                "steal-driven links: {} steals over {} joins (phase breakdown is sim-only)",
+                stats.steals, stats.joins
+            );
+        }
+        return;
+    }
     // The paper's setup: *inter-node* work stealing, one worker per node.
     let mut cfg = SimConfig::fx10(2);
     cfg.topo = Topology::new(2, 1);

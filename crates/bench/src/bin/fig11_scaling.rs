@@ -22,6 +22,12 @@
 //!
 //! Default sweep: 60→960 cores. `--big`: 480→3,840 cores (the paper's
 //! range) with larger trees; minutes per curve.
+//!
+//! `--backend native|multiprocess` sweeps the same benchmarks on a real
+//! executor instead (1→4 OS threads or worker processes on this
+//! machine, problem sizes scaled down to wall-clock budgets), reporting
+//! measured tasks/s per worker count — the single-node analogue of the
+//! figure's throughput axis.
 
 use uat_base::json::{Json, ToJson};
 use uat_bench::{compact_config, require_trace_feature, write_output, OutFlags};
@@ -83,17 +89,52 @@ fn write_trace<W: Workload>(path: &std::path::Path, nodes: u32, w: W) {
     write_output(path, &uat_trace::chrome_trace_json(&trace), "Chrome trace");
 }
 
+/// `--backend native|multiprocess`: the single-node real-executor sweep.
+fn real_sweep(backend: uat_bench::Backend, which: &str) {
+    println!(
+        "# Figure 11 on the {} backend — worker sweep on this machine (measured tasks/s)",
+        backend.name()
+    );
+    // Problem sizes scaled to wall-clock budgets (the sim sizes are
+    // cycle-budget sized); Work cycles are spun faithfully (divisor 1).
+    for workers in [1usize, 2, 4] {
+        println!("## {workers} worker(s)");
+        if which == "btc1" || which == "all" {
+            uat_bench::run_real_backend(backend, workers, 1, Btc::new(16, 1));
+        }
+        if which == "btc2" || which == "all" {
+            uat_bench::run_real_backend(backend, workers, 1, Btc::new(9, 2));
+        }
+        if which == "uts" || which == "all" {
+            uat_bench::run_real_backend(backend, workers, 1, Uts::geometric(11));
+        }
+        if which == "nqueens" || which == "all" {
+            uat_bench::run_real_backend(backend, workers, 1, NQueens::new(8));
+        }
+    }
+}
+
 fn main() {
     let flags = OutFlags::parse();
     require_trace_feature(&flags);
     uat_bench::require_metrics_feature(&flags);
-    let which = flags
-        .rest
+    let (backend, rest) = match uat_bench::backend_flag(&flags.rest) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let which = rest
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".into());
-    let big = flags.rest.iter().any(|a| a == "--big");
+    let big = rest.iter().any(|a| a == "--big");
+    if backend != uat_bench::Backend::Sim {
+        real_sweep(backend, &which);
+        return;
+    }
 
     let nodes: Vec<u32> = if big {
         vec![32, 64, 128, 256] // 480 .. 3840 cores, the paper's range

@@ -227,6 +227,128 @@ pub fn deviation(measured: f64, reference: f64) -> String {
     format!("{:+.1}%", 100.0 * (measured - reference) / reference)
 }
 
+/// Executor selected by a binary's `--backend` flag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The deterministic FX10 cluster simulation (`uat-cluster`).
+    #[default]
+    Sim,
+    /// The native fiber runtime, one OS thread per worker (`uat-fiber`).
+    Native,
+    /// The multiprocess uni-address backend, one process per worker
+    /// (`uat-fiber::mpruntime`).
+    Multiprocess,
+}
+
+impl Backend {
+    /// The flag spelling of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Native => "native",
+            Backend::Multiprocess => "multiprocess",
+        }
+    }
+}
+
+/// Extract `--backend {sim,native,multiprocess}` (either `--backend B`
+/// or `--backend=B` spelling) from pass-through arguments, returning
+/// the selection (default [`Backend::Sim`]) and the remaining
+/// arguments in order.
+pub fn backend_flag(rest: &[String]) -> Result<(Backend, Vec<String>), String> {
+    fn parse(v: &str) -> Result<Backend, String> {
+        match v {
+            "sim" => Ok(Backend::Sim),
+            "native" => Ok(Backend::Native),
+            "multiprocess" | "mp" => Ok(Backend::Multiprocess),
+            other => Err(format!(
+                "unknown backend `{other}` (sim|native|multiprocess)"
+            )),
+        }
+    }
+    let mut backend = Backend::Sim;
+    let mut out = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if let Some(v) = a.strip_prefix("--backend=") {
+            backend = parse(v)?;
+        } else if a == "--backend" {
+            let v = it.next().ok_or("--backend requires a value")?;
+            backend = parse(v)?;
+        } else {
+            out.push(a.clone());
+        }
+    }
+    Ok((backend, out))
+}
+
+/// Run `w` on one of the *real* executors (`native` threads or
+/// `multiprocess` worker processes), verify its accounting against the
+/// sequential ground truth, and print a throughput summary. Returns
+/// `None` — after printing the reason — when the host cannot run the
+/// multiprocess backend (treat as "skip", like the ipc probes).
+///
+/// # Panics
+/// On accounting divergence (a backend bug), or if called with
+/// [`Backend::Sim`] (the simulator has its own drivers).
+pub fn run_real_backend<W>(
+    backend: Backend,
+    workers: usize,
+    divisor: u64,
+    w: W,
+) -> Option<uat_fiber::NativeRunStats>
+where
+    W: uat_model::Workload + Clone + Send + Sync + 'static,
+    W::Desc: Copy + 'static,
+{
+    let p = uat_model::sequential_profile(&w);
+    let stats = match backend {
+        Backend::Sim => panic!("run_real_backend drives native/multiprocess only"),
+        Backend::Native => uat_fiber::NativeRunner::new(workers)
+            .with_work_divisor(divisor)
+            .run(w),
+        Backend::Multiprocess => {
+            let runner = uat_fiber::MultiProcessRunner::new(workers).with_work_divisor(divisor);
+            match runner.try_run(w) {
+                Ok(report) => report.stats,
+                Err(e) => {
+                    eprintln!("multiprocess backend unavailable here: {e}");
+                    return None;
+                }
+            }
+        }
+    };
+    assert_eq!(
+        stats.total_tasks,
+        p.tasks,
+        "{}: {} backend dropped or duplicated tasks",
+        stats.workload,
+        backend.name()
+    );
+    assert_eq!(
+        stats.join_fingerprint,
+        p.join_fingerprint,
+        "{}: {} backend join-tree fingerprint diverges from the model",
+        stats.workload,
+        backend.name()
+    );
+    println!(
+        "{}",
+        stats.summary_line_as(match backend {
+            Backend::Multiprocess => "MultiProc",
+            _ => "Native",
+        })
+    );
+    println!(
+        "  throughput: {:.0} tasks/s on {} workers ({} steals, {} parks)",
+        stats.throughput(),
+        stats.workers,
+        stats.steals,
+        stats.parks
+    );
+    Some(stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +392,23 @@ mod tests {
         let e = parse(&["--json"]).unwrap_err();
         assert!(e.contains("--json"), "{e}");
         assert!(parse(&[]).unwrap().trace.is_none());
+    }
+
+    #[test]
+    fn backend_flag_parses_and_strips() {
+        let rest: Vec<String> = ["fib", "--backend", "multiprocess", "--big"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (b, out) = backend_flag(&rest).unwrap();
+        assert_eq!(b, Backend::Multiprocess);
+        assert_eq!(out, ["fib", "--big"]);
+        let (b, out) = backend_flag(&["--backend=native".to_string()]).unwrap();
+        assert_eq!(b, Backend::Native);
+        assert!(out.is_empty());
+        assert_eq!(backend_flag(&[]).unwrap().0, Backend::Sim);
+        assert!(backend_flag(&["--backend".to_string()]).is_err());
+        assert!(backend_flag(&["--backend=bogus".to_string()]).is_err());
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!   interleave other workers in between.
 //! - [`native`]: the same protocol on real atomics, used by the native
 //!   fiber runtime (`uat-fiber`) for intra-process work stealing.
+//! - [`shm`]: the same protocol again, as a *placement* construction
+//!   path — a `Copy` handle onto a caller-provided block (entries
+//!   inline at `OFF_ENTRIES`) inside a shared mapping, so the
+//!   multiprocess backend's thieves operate on a peer process's deque
+//!   with plain loads/stores/CAS at `base + OFF_*`.
 //!
 //! Both sides steal from the **top** (FIFO — oldest, typically
 //! coarsest-grained task) while the owner works at the **bottom** (LIFO),
@@ -26,8 +31,10 @@
 pub mod entry;
 pub mod layout;
 pub mod native;
+pub mod shm;
 pub mod sim;
 
 pub use entry::TaskqEntry;
 pub use native::{NativeDeque, StealAttemptOutcome, StealPhases};
+pub use shm::ShmDeque;
 pub use sim::{DequeSnapshot, PopOutcome, SimDeque, StealOutcome};

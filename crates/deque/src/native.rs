@@ -7,7 +7,8 @@
 //!
 //! # Safety
 //!
-//! This module contains the crate's only `unsafe` code: entries live in
+//! This module (with its placement twin [`crate::shm`]) contains the
+//! crate's only `unsafe` code: entries live in
 //! `UnsafeCell<MaybeUninit<T>>` slots. The THE protocol is what makes the
 //! accesses sound:
 //!

@@ -44,7 +44,7 @@ const FRAME_CHUNK: usize = 256;
 /// the stack, so a `frame_size` that exceeds the runtime's stack size
 /// faults on the guard page instead of silently lying.
 #[inline(never)]
-fn with_reserved_frame<R, F: FnOnce() -> R>(bytes: u64, f: F) -> R {
+pub(crate) fn with_reserved_frame<R, F: FnOnce() -> R>(bytes: u64, f: F) -> R {
     if bytes == 0 {
         return f();
     }
@@ -182,8 +182,15 @@ impl NativeRunStats {
 
     /// One-line summary for harness output.
     pub fn summary_line(&self) -> String {
+        self.summary_line_as("Native")
+    }
+
+    /// [`summary_line`](Self::summary_line) with an explicit backend
+    /// label — the same stats type serves both real executors (native
+    /// threads and multiprocess workers).
+    pub fn summary_line_as(&self, backend: &str) -> String {
         format!(
-            "{:<24} Native w={:<3} tasks={:<10} units={:<10} wall={:>9.4}s thr={:>12.0}/s steals={} parks={} unparks={} drop={} peak_frames={}B",
+            "{:<24} {backend} w={:<3} tasks={:<10} units={:<10} wall={:>9.4}s thr={:>12.0}/s steals={} parks={} unparks={} drop={} peak_frames={}B",
             self.workload,
             self.workers,
             self.total_tasks,

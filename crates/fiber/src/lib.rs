@@ -37,12 +37,19 @@
 //!   fixed virtual address in each process, shared-memory task-queue
 //!   words, a one-sided `process_vm_readv` stack transfer, and
 //!   `resume_context` of a started thread on the other process.
+//! - [`mpruntime`]: the demonstration promoted to a full third backend —
+//!   a process-per-worker driver ([`MultiProcessRunner`]) that maps
+//!   deques, fiber stacks, join blocks, and the metrics segment into one
+//!   `memfd` region at the same fixed address everywhere, so a
+//!   cross-process steal is deque atomics plus `resume_context` and the
+//!   parent exports per-worker metrics through `uat-rdma` fabric reads.
 //!
 //! # Safety
 //!
-//! This crate is the workspace's designated home for `unsafe`. Invariants
-//! are documented at each boundary; everything else in the workspace is
-//! `#![forbid(unsafe_code)]`.
+//! This crate is the workspace's designated home for `unsafe` (plus
+//! `uat-rdma`'s single registration boundary, which is
+//! `#![deny(unsafe_code)]` with one documented allow); everything else
+//! in the workspace is `#![forbid(unsafe_code)]`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -52,6 +59,7 @@ pub mod creation;
 pub mod ctx;
 pub mod interp;
 pub mod ipc;
+pub mod mpruntime;
 pub mod nmetrics;
 pub mod ntrace;
 pub mod runtime;
@@ -60,7 +68,10 @@ pub mod tsc;
 
 pub use creation::{measure_creation, CreationStrategy};
 pub use interp::{NativeRunStats, NativeRunner};
-pub use ipc::steal_between_processes;
+pub use ipc::{
+    probe_fixed_noreplace, probe_process_vm_readv, steal_between_processes, steal_with_retries,
+};
+pub use mpruntime::{set_bootstrap_alloc_probe, MpReport, MultiProcessRunner};
 #[cfg(feature = "metrics")]
 pub use nmetrics::{StallDump, WatchdogAction, WatchdogCfg, WatchdogReport};
 #[cfg(feature = "trace")]

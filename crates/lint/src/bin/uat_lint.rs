@@ -19,6 +19,7 @@ fn main() -> ExitCode {
             "--no-tls" => rules.tls = false,
             "--no-ordering" => rules.ordering = false,
             "--no-safety" => rules.safety = false,
+            "--no-fork-safety" => rules.fork_safety = false,
             other if other.starts_with("--") => {
                 eprintln!("unknown flag `{other}`");
                 return ExitCode::FAILURE;
@@ -27,7 +28,9 @@ fn main() -> ExitCode {
         }
     }
     if paths.is_empty() {
-        eprintln!("usage: uat_lint [--no-tls|--no-ordering|--no-safety] <path>...");
+        eprintln!(
+            "usage: uat_lint [--no-tls|--no-ordering|--no-safety|--no-fork-safety] <path>..."
+        );
         return ExitCode::FAILURE;
     }
     match lint_paths(&paths, rules) {

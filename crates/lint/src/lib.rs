@@ -34,6 +34,21 @@
 //!   obligation is traceable to a named, centrally documented invariant
 //!   rather than a local plausibility argument.
 //!
+//! - **Rule D — fork-safety of the multiprocess bootstrap window**. A
+//!   forked child inherits the parent's memory but only the forking
+//!   thread survives, so a lock another thread held at `fork()` is held
+//!   *forever* in the child — and the allocator's internal locks are the
+//!   classic victim. The multiprocess backend therefore requires the
+//!   window between `fork()` and worker-loop entry (invariant [I15]) to
+//!   perform no heap allocation and take no lock. The window is exactly
+//!   the bodies of functions named `mp_bootstrap*` plus their one-level
+//!   callees, and this rule scans those bodies for allocating or
+//!   locking constructs (`Box::new`, `vec!`, `format!`, `Mutex`,
+//!   `.lock()`, `println!`, …). The dynamic half of the check is the
+//!   counting-allocator regression test in `tests/mp_fork_safety.rs`;
+//!   this rule is the static half, and also covers locks, which the
+//!   allocation probe cannot see.
+//!
 //! The scanner masks out comments and string/char literals before
 //! matching (so `unsafe` in a doc comment or `top` in a string never
 //! fires), attributes lines to functions by brace matching, and builds
@@ -99,6 +114,8 @@ pub enum Rule {
     OrderingAllowlist,
     /// C: SAFETY comment without a `[I<n>]` invariant reference.
     SafetyInvariantRef,
+    /// D: allocation or lock inside the fork→worker-loop window ([I15]).
+    ForkSafety,
 }
 
 impl Rule {
@@ -108,6 +125,7 @@ impl Rule {
             Rule::TlsHelperInlinable => "tls-helper-inlinable",
             Rule::OrderingAllowlist => "ordering-allowlist",
             Rule::SafetyInvariantRef => "safety-invariant-ref",
+            Rule::ForkSafety => "fork-safety",
         }
     }
 }
@@ -721,6 +739,131 @@ fn rule_safety(files: &[FileScan], findings: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------
+// Rule D: fork-safety of the multiprocess bootstrap window.
+// ---------------------------------------------------------------------
+
+/// Constructs banned inside the fork→worker-loop window, with the
+/// hazard each one carries. Substring patterns with punctuation match
+/// literally; bare identifiers match at ident boundaries.
+const FORK_BANNED: &[(&str, &str)] = &[
+    ("Box::new", "heap allocation"),
+    ("vec!", "heap allocation"),
+    ("Vec::new", "heap allocation"),
+    ("Vec::with_capacity", "heap allocation"),
+    ("format!", "heap allocation"),
+    ("String::from", "heap allocation"),
+    (".to_string(", "heap allocation"),
+    (".to_vec(", "heap allocation"),
+    (".to_owned(", "heap allocation"),
+    (
+        "Mutex",
+        "pthread lock — may be held forever by a thread that did not survive fork",
+    ),
+    (
+        "RwLock",
+        "pthread lock — may be held forever by a thread that did not survive fork",
+    ),
+    (".lock()", "lock acquisition"),
+    ("println!", "stdio lock and possible allocation"),
+    ("eprintln!", "stdio lock and possible allocation"),
+];
+
+/// Positions where `pat` occurs in `code`. Pure-ident patterns are
+/// matched at ident boundaries; patterns with punctuation are matched
+/// as literal substrings.
+fn banned_positions(code: &str, pat: &str) -> Vec<usize> {
+    if pat.bytes().all(is_ident) {
+        return ident_positions(code, pat);
+    }
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(off) = code[from..].find(pat) {
+        out.push(from + off);
+        from = from + off + 1;
+    }
+    out
+}
+
+fn rule_fork_safety(files: &[FileScan], findings: &mut Vec<Finding>) {
+    // Roots: every function named `mp_bootstrap*` — the code that runs
+    // between fork() and worker-loop entry ([I15]).
+    let roots: Vec<(&FileScan, &Func)> = files
+        .iter()
+        .flat_map(|f| {
+            f.funcs
+                .iter()
+                .filter(|fun| fun.name.starts_with("mp_bootstrap"))
+                .map(move |fun| (f, fun))
+        })
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+
+    // One-level callees: functions *defined in the scanned set* whose
+    // name a root body calls. Name-based resolution, so skip ambiguous
+    // names (two definitions — `new`, `default`, …): a false edge to
+    // the wrong body would fire on code outside the window.
+    let mut def_count = std::collections::BTreeMap::<&str, usize>::new();
+    for f in files {
+        for fun in &f.funcs {
+            *def_count.entry(fun.name.as_str()).or_insert(0) += 1;
+        }
+    }
+    // (file, func, how-it-is-in-the-window)
+    let mut window: Vec<(&FileScan, &Func, String)> = roots
+        .iter()
+        .map(|&(f, fun)| (f, fun, "runs in the bootstrap window".to_string()))
+        .collect();
+    for &(rf, root) in &roots {
+        let body = &rf.code[root.body.0..root.body.1];
+        for file in files {
+            for fun in &file.funcs {
+                if fun.name.starts_with("mp_bootstrap") || def_count[fun.name.as_str()] != 1 {
+                    continue;
+                }
+                let called = ident_positions(body, &fun.name)
+                    .iter()
+                    .any(|&p| body[p + fun.name.len()..].trim_start().starts_with('('));
+                if called {
+                    window.push((file, fun, format!("is called from `{}`", root.name)));
+                }
+            }
+        }
+    }
+
+    for (file, fun, how) in window {
+        let body = &file.code[fun.body.0..fun.body.1];
+        for (pat, why) in FORK_BANNED {
+            for p in banned_positions(body, pat) {
+                let abs = fun.body.0 + p;
+                // Nested functions get their own entry only if they are
+                // themselves in the window; a closure stays attributed
+                // here, which is the scope that executes in the window.
+                let innermost = enclosing(&file.funcs, abs)
+                    .map(|f| std::ptr::eq(f, fun))
+                    .unwrap_or(false);
+                if !innermost {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: Rule::ForkSafety,
+                    file: file.path.clone(),
+                    line: line_of(&file.code, abs),
+                    message: format!(
+                        "`{}` {how} (fork→worker-loop, [I15]) but contains \
+                         `{pat}` ({why}); a forked child inherits locks held \
+                         by threads that no longer exist, so this window must \
+                         not allocate or lock",
+                        fun.name,
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Entry points.
 // ---------------------------------------------------------------------
 
@@ -731,6 +874,7 @@ pub struct RuleSet {
     pub tls: bool,
     pub ordering: bool,
     pub safety: bool,
+    pub fork_safety: bool,
 }
 
 impl RuleSet {
@@ -739,6 +883,7 @@ impl RuleSet {
             tls: true,
             ordering: true,
             safety: true,
+            fork_safety: true,
         }
     }
 }
@@ -758,6 +903,9 @@ pub fn lint_sources(sources: &[(&Path, &str)], rules: RuleSet) -> Vec<Finding> {
     }
     if rules.safety {
         rule_safety(&files, &mut findings);
+    }
+    if rules.fork_safety {
+        rule_fork_safety(&files, &mut findings);
     }
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     findings
@@ -906,6 +1054,55 @@ fn f() {
         let f = lint_one(undocumented, RuleSet::all());
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("without"));
+    }
+
+    #[test]
+    fn fork_safety_flags_bootstrap_and_one_level_callees() {
+        let src = r#"
+fn helper(n: usize) -> usize { let v = Vec::with_capacity(n); v.len() }
+fn mp_bootstrap_x(n: usize) {
+    let b = Box::new(n);
+    helper(n);
+    enter_loop();
+}
+fn unrelated() { let s = String::from("fine outside the window"); }
+"#;
+        let f = lint_one(src, RuleSet::all());
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == Rule::ForkSafety));
+        assert!(f.iter().any(|x| x
+            .message
+            .contains("`mp_bootstrap_x` runs in the bootstrap window")
+            && x.message.contains("Box::new")));
+        assert!(f.iter().any(|x| x
+            .message
+            .contains("`helper` is called from `mp_bootstrap_x`")
+            && x.message.contains("Vec::with_capacity")));
+    }
+
+    #[test]
+    fn fork_safety_skips_ambiguous_callee_names_and_locks_are_banned() {
+        let src = r#"
+struct A; impl A { fn new() -> A { let _ = vec![1]; A } }
+struct B; impl B { fn new() -> B { B } }
+fn mp_bootstrap_y(m: &M) {
+    let a = new();
+    let local = std::sync::Mutex::new(0u32);
+    let g = m.lock();
+}
+"#;
+        let f = lint_one(src, RuleSet::all());
+        // `new` is ambiguous (two defs) so its vec! is NOT attributed to
+        // the window; Mutex + .lock() in the root body both fire.
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|x| x.message.contains("Mutex")));
+        assert!(f.iter().any(|x| x.message.contains(".lock()")));
+    }
+
+    #[test]
+    fn fork_safety_quiet_without_bootstrap_fns() {
+        let src = "fn f() { let v = vec![1, 2]; let s = format!(\"x\"); }\n";
+        assert!(lint_one(src, RuleSet::all()).is_empty());
     }
 
     #[test]

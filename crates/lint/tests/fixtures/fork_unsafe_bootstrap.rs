@@ -1,0 +1,21 @@
+//! Seeded-bad fixture for rule D: a multiprocess bootstrap function
+//! that allocates and locks inside the fork→worker-loop window ([I15]),
+//! plus an inlinable helper it calls that allocates. Never compiled —
+//! scanned by the lint integration tests.
+
+fn alloc_helper(n: usize) -> Vec<u8> {
+    Vec::with_capacity(n)
+}
+
+fn mp_bootstrap_bad(id: usize, m: &std::sync::Mutex<u32>) -> ! {
+    let scratch = alloc_helper(64);
+    let label = format!("worker {id}");
+    let _g = m.lock();
+    enter_worker_loop(id, scratch, label)
+}
+
+fn after_the_window() {
+    // Allocation is fine once the worker loop has been entered; this
+    // function is not reachable from a bootstrap root.
+    let _v = vec![1, 2, 3];
+}

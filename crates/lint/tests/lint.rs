@@ -16,6 +16,7 @@ fn real_tree() -> Vec<PathBuf> {
     vec![
         crates.join("fiber").join("src"),
         crates.join("deque").join("src"),
+        crates.join("rdma").join("src"),
     ]
 }
 
@@ -60,11 +61,51 @@ fn real_fiber_and_deque_trees_are_clean() {
 }
 
 #[test]
+fn seeded_fork_fixture_is_flagged_in_root_and_callee() {
+    let findings = lint_paths(&[fixture("fork_unsafe_bootstrap.rs")], RuleSet::all()).unwrap();
+    assert!(
+        findings.iter().all(|f| f.rule == Rule::ForkSafety),
+        "only rule D should fire on this fixture: {findings:#?}"
+    );
+    // The root body: format! + .lock() + Mutex (in the signature's span
+    // the type does not appear; the banned `Mutex` ident is in the
+    // parameter list, outside the body — so expect format! and .lock()).
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("`mp_bootstrap_bad`") && f.message.contains("format!")),
+        "missing format! finding in the bootstrap root: {findings:#?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("`mp_bootstrap_bad`") && f.message.contains(".lock()")),
+        "missing .lock() finding in the bootstrap root: {findings:#?}"
+    );
+    // The one-level callee's allocation is attributed to the window.
+    assert!(
+        findings.iter().any(|f| f
+            .message
+            .contains("`alloc_helper` is called from `mp_bootstrap_bad`")
+            && f.message.contains("Vec::with_capacity")),
+        "missing callee allocation finding: {findings:#?}"
+    );
+    // `after_the_window` is unreachable from a bootstrap root: quiet.
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.message.contains("after_the_window")),
+        "vec! outside the window must not fire: {findings:#?}"
+    );
+}
+
+#[test]
 fn rule_selection_flags_are_honored() {
     let only_safety = RuleSet {
         tls: false,
         ordering: false,
         safety: true,
+        fork_safety: false,
     };
     let findings = lint_paths(&[fixture("tls_across_switch.rs")], only_safety).unwrap();
     assert!(

@@ -36,6 +36,7 @@ mod hist;
 pub mod names;
 mod registry;
 mod ring;
+pub mod shm;
 
 pub use hist::{
     bucket_index, bucket_lower, bucket_upper, HistSnapshot, HistSummary, LogHistogram, NUM_BUCKETS,

@@ -24,11 +24,17 @@
 //!   requirement that dooms iso-address (Section 4, problem 3) is enforced,
 //!   not just documented.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `backend` module's `ShmFabric` is the one
+// place this crate touches raw memory (loads/stores/FAA on registered
+// process-shared windows) and locally re-allows it with documented
+// [I13] obligations; everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod fabric;
 pub mod latency;
 
+pub use backend::{OneSidedFabric, ShmFabric};
 pub use fabric::{Fabric, FabricStats, ProcMem, RdmaError};
 pub use latency::LatencyModel;

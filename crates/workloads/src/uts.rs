@@ -32,7 +32,9 @@ pub const UTS_NODE_FRAME: u64 = 3_928;
 pub const UTS_SPLIT_FRAME: u64 = 1_964;
 
 /// A UTS task: a tree node or a split over a node's child range.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// `Copy` plain data ([`Digest`] is `[u8; 20]`), so descriptors cross
+/// process boundaries byte-for-byte on the multiprocess backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum UtsDesc {
     /// Evaluate a tree node.
     Node {

@@ -4,7 +4,7 @@
 //! x86-64 Linux ABI constants (the only target `uat-fiber` supports —
 //! its context switch is x86-64 assembly).
 
-#![allow(non_camel_case_types, non_upper_case_globals)]
+#![allow(non_camel_case_types, non_upper_case_globals, non_snake_case)]
 #![cfg(all(target_os = "linux", target_arch = "x86_64"))]
 
 pub use std::ffi::c_void;
@@ -59,6 +59,21 @@ pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
 /// `memfd_create` syscall number (x86-64).
 pub const SYS_memfd_create: c_long = 319;
 
+/// `waitpid`: return immediately when no child has changed state.
+pub const WNOHANG: c_int = 1;
+/// Uncatchable termination signal.
+pub const SIGKILL: c_int = 9;
+
+/// Did the child terminate normally (via `exit`/`_exit`)?
+pub fn WIFEXITED(status: c_int) -> bool {
+    (status & 0x7f) == 0
+}
+
+/// The child's exit status (meaningful only when [`WIFEXITED`]).
+pub fn WEXITSTATUS(status: c_int) -> c_int {
+    (status >> 8) & 0xff
+}
+
 extern "C" {
     /// Map pages into the address space.
     pub fn mmap(
@@ -79,6 +94,8 @@ extern "C" {
     pub fn fork() -> pid_t;
     /// Wait for a child process.
     pub fn waitpid(pid: pid_t, status: *mut c_int, options: c_int) -> pid_t;
+    /// Send a signal to a process.
+    pub fn kill(pid: pid_t, sig: c_int) -> c_int;
     /// Set a file's length.
     pub fn ftruncate(fd: c_int, length: off_t) -> c_int;
     /// Terminate immediately without running atexit handlers.

@@ -1,17 +1,23 @@
-//! Differential harness: both backends execute the one task model.
+//! Differential harness: every backend executes the one task model.
 //!
-//! The workspace has two executors for `uat-model` `Action` programs —
-//! the deterministic FX10 cluster simulation (`uat-cluster::Engine`) and
-//! the native x86-64 fiber runtime (`uat-fiber::NativeRunner`) — plus the
-//! sequential ground truth (`sequential_profile`). For any workload, all
-//! three must expand the *identical* task tree: same task count, same
-//! units, same work cycles, and (native vs. model) the same
-//! schedule-independent join-tree fingerprint. A divergence means one
-//! backend dropped, duplicated, or mis-joined a task.
+//! The workspace has three executors for `uat-model` `Action` programs —
+//! the deterministic FX10 cluster simulation (`uat-cluster::Engine`),
+//! the native x86-64 fiber runtime (`uat-fiber::NativeRunner`), and the
+//! process-per-worker uni-address backend
+//! (`uat-fiber::MultiProcessRunner`) — plus the sequential ground truth
+//! (`sequential_profile`). For any workload, all of them must expand the
+//! *identical* task tree: same task count, same units, same work cycles,
+//! and (parallel runtimes vs. model) the same schedule-independent
+//! join-tree fingerprint. A divergence means one backend dropped,
+//! duplicated, or mis-joined a task.
+//!
+//! The multiprocess leg runs at two worker counts and is skipped (with
+//! the kernel's reason, printed once) only where `memfd_create` +
+//! `MAP_FIXED_NOREPLACE` are unavailable.
 
 use proptest::prelude::*;
 use uni_address_threads::cluster::{Engine, SimConfig};
-use uni_address_threads::fiber::NativeRunner;
+use uni_address_threads::fiber::{MultiProcessRunner, NativeRunner};
 use uni_address_threads::model::{join_tree_fingerprint, sequential_profile, Action, Workload};
 use uni_address_threads::workloads::{Btc, Chain, Fib, NQueens, Uts};
 
@@ -20,6 +26,23 @@ use uni_address_threads::workloads::{Btc, Chain, Fib, NQueens, Uts};
 /// microseconds, not the workload's simulated cycle budget.
 fn native(workers: usize) -> NativeRunner {
     NativeRunner::new(workers).with_work_divisor(1 << 20)
+}
+
+/// Multiprocess runner with the same tuning as [`native`].
+fn multiprocess(workers: usize) -> MultiProcessRunner {
+    MultiProcessRunner::new(workers).with_work_divisor(1 << 20)
+}
+
+/// Once-probed backend support; the skip reason is printed exactly once.
+fn mp_supported() -> bool {
+    static SUPPORT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SUPPORT.get_or_init(|| match MultiProcessRunner::probe_support() {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("skipping multiprocess differential leg: {e}");
+            false
+        }
+    })
 }
 
 fn sim_cfg(workers: u32) -> SimConfig {
@@ -36,7 +59,7 @@ fn sim_cfg(workers: u32) -> SimConfig {
 fn assert_backends_agree<W>(w: W)
 where
     W: Workload + Clone + Send + Sync + 'static,
-    W::Desc: 'static,
+    W::Desc: Copy + 'static,
 {
     let name = w.name();
     let p = sequential_profile(&w);
@@ -71,6 +94,37 @@ where
     // Transitivity spot-check: the two parallel backends agree directly.
     assert_eq!(sim.total_tasks, nat.total_tasks, "{name}");
     assert_eq!(sim.total_units, nat.total_units, "{name}");
+
+    // Third backend: the same tree across *address spaces*, at two
+    // worker-process counts.
+    if mp_supported() {
+        for workers in [2usize, 4] {
+            let mp = multiprocess(workers).run(w.clone());
+            let tag = format!("{name} (mp workers={workers})");
+            assert_eq!(mp.total_tasks, p.tasks, "mp tasks diverge: {tag}");
+            assert_eq!(mp.total_units, p.units, "mp units diverge: {tag}");
+            assert_eq!(
+                mp.total_work_cycles, p.work_cycles,
+                "mp work diverges: {tag}"
+            );
+            assert_eq!(mp.joins, p.joins, "mp joins diverge: {tag}");
+            assert_eq!(mp.spawns, p.spawns, "mp spawns diverge: {tag}");
+            assert_eq!(
+                mp.frame_bytes_total, p.frame_bytes_total,
+                "mp frame bytes diverge: {tag}"
+            );
+            assert_eq!(
+                mp.join_fingerprint,
+                join_tree_fingerprint(&w),
+                "mp join-tree shape diverges: {tag}"
+            );
+            assert_eq!(
+                mp.join_fingerprint, nat.join_fingerprint,
+                "native vs multiprocess fingerprints diverge: {tag}"
+            );
+            assert_eq!(sim.total_tasks, mp.total_tasks, "{tag}");
+        }
+    }
 }
 
 // ---- fixed cases: every paper workload, both backends ----------------

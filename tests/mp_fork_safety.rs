@@ -1,0 +1,71 @@
+//! Fork-safety regression test for the multiprocess backend.
+//!
+//! A worker child of the (multithreaded) test harness may not allocate
+//! or take any lock between `fork` and its worker-loop entry — another
+//! thread could hold the allocator lock at fork time, deadlocking the
+//! child (invariant [I15] in DESIGN.md §7.6). This test enforces the
+//! *allocation* half dynamically: a counting `#[global_allocator]`
+//! feeds the runtime's bootstrap probe, each worker samples it at both
+//! ends of the window, and the per-worker deltas must all be zero.
+//!
+//! The *lock* half (and the allocation half, statically) is enforced by
+//! `uat-lint`'s `fork-safety` rule, which scans `mp_bootstrap` and its
+//! callees for alloc/lock constructs — a dynamic lock test can't see a
+//! lock that happened not to be contended.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use uni_address_threads::fiber::{set_bootstrap_alloc_probe, MultiProcessRunner};
+use uni_address_threads::model::testutil::BinTree;
+
+/// Counts every allocation in this binary (and, after `fork`, in each
+/// worker — the counter is plain process memory, so each child counts
+/// its own allocations from its inherited baseline).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the counter is a side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as ours, delegated.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from our `alloc`, i.e. from `System`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn probe() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn bootstrap_window_performs_no_allocations() {
+    if let Err(e) = MultiProcessRunner::probe_support() {
+        eprintln!("skipping fork-safety test: {e}");
+        return;
+    }
+    set_bootstrap_alloc_probe(probe);
+    let report = MultiProcessRunner::new(4)
+        .with_work_divisor(u64::MAX)
+        .try_run(BinTree {
+            depth: 6,
+            work: 500,
+            frame: 512,
+        })
+        .expect("probe passed; the run must complete");
+    assert_eq!(report.stats.total_tasks, (1 << 7) - 1);
+    assert_eq!(
+        report.bootstrap_allocs,
+        vec![0u64; 4],
+        "a worker allocated between fork and worker-loop entry ([I15])"
+    );
+}
