@@ -219,8 +219,14 @@ fn map_shared() -> *const Shared {
 fn map_uni_region() {
     // The region is never unmapped (it is the process's uni-address
     // range); map it once so retries and repeated calls are idempotent.
-    static UNI_MAPPED: AtomicU64 = AtomicU64::new(0);
-    if UNI_MAPPED.swap(1, Ordering::AcqRel) == 1 {
+    // Mapped-flag semantics: only set *after* the mmap succeeds — a
+    // swap-before-map latch would record a failed first attempt as
+    // success and later callers would fault on an unmapped UNI_BASE.
+    // A failed attempt instead poisons the mutex, so later callers
+    // panic with a report rather than touching the region.
+    static UNI_MAPPED: std::sync::Mutex<bool> = std::sync::Mutex::new(false);
+    let mut mapped = UNI_MAPPED.lock().unwrap();
+    if *mapped {
         return;
     }
     // SAFETY: [I10] fixed mapping at an address chosen to be free; NOREPLACE
@@ -239,6 +245,7 @@ fn map_uni_region() {
             "could not map the uni-address region at its fixed address"
         );
     }
+    *mapped = true;
 }
 
 /// Can this kernel/sandbox do a one-sided `process_vm_readv`? Probed by

@@ -171,6 +171,13 @@ struct MpHeader<D> {
 /// claimed by exactly one side (`swap` by the last child vs
 /// `compare_exchange` reclaim by the parker's scheduler), so a parked
 /// parent is resumed exactly once.
+///
+/// Ordering: the scheduler publishes the waiter then re-reads
+/// `pending`, while the last child decrements `pending` then reads the
+/// waiter — a store-buffering (Dekker) race across two locations, so
+/// all four accesses are SeqCst (an AcqRel pair is insufficient: each
+/// side may read the other's pre-store value and the parent is never
+/// resumed).
 #[repr(C)]
 struct JoinBlock {
     pending: AtomicU64,
@@ -538,8 +545,14 @@ where
             // SAFETY: [I16] the block lives on the parked parent's shm
             // stack, which stays live until the parent is resumed.
             let jb = unsafe { &*(pending.0 as *const JoinBlock) };
-            jb.waiter.store(pending.1, Ordering::Release);
-            if jb.pending.load(Ordering::Acquire) == 0
+            // Publish-waiter then read-pending vs. the last child's
+            // decrement-pending then read-waiter is a two-location
+            // Dekker (store-buffering) pattern: both sides must be
+            // SeqCst or each can miss the other's store and the parked
+            // parent is never resumed. Same reasoning as the SeqCst
+            // store/load pair in ShmDeque::pop.
+            jb.waiter.store(pending.1, Ordering::SeqCst);
+            if jb.pending.load(Ordering::SeqCst) == 0
                 && jb
                     .waiter
                     .compare_exchange(pending.1, 0, Ordering::AcqRel, Ordering::Acquire)
@@ -685,9 +698,15 @@ where
         // Unwinding across a context switch is UB; mirror the thread
         // runtime (and the paper's C++ runtime) and die loudly. The
         // coordinator turns the exit status into a run failure.
-        eprintln!("uat-fiber(mp): task panicked; worker exiting");
-        // SAFETY: [I10] async-signal-safe process exit.
-        unsafe { libc::_exit(101) }
+        // eprintln! would take the stderr lock, which another parent
+        // thread may have held at fork time — only async-signal-safe
+        // calls are allowed here, so write(2) raw.
+        let msg = b"uat-fiber(mp): task panicked; worker exiting\n";
+        // SAFETY: [I10] async-signal-safe raw write + process exit.
+        unsafe {
+            libc::write(2, msg.as_ptr() as *const c_void, msg.len());
+            libc::_exit(101)
+        }
     }
     // Completion. Retire our own stack (freed once control left it),
     // then the one-sided join decrement on the (possibly remote)
@@ -709,8 +728,12 @@ where
         // children: the parent cannot leave its JoinAll scope while
         // `pending > 0`.
         let jb = unsafe { &*(join as *const JoinBlock) };
-        if jb.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let waiter = jb.waiter.swap(0, Ordering::AcqRel);
+        // SeqCst on both halves: this decrement/read-waiter races the
+        // scheduler's store-waiter/read-pending (the Dekker pair — see
+        // mp_worker_loop); weaker orderings allow both sides to read
+        // stale values and strand the parked parent.
+        if jb.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let waiter = jb.waiter.swap(0, Ordering::SeqCst);
             if waiter != 0 {
                 // The parked parent becomes runnable here, on the last
                 // child's worker — and immediately stealable by anyone.
@@ -1009,6 +1032,11 @@ impl MultiProcessRunner {
     /// succeed. Returns the reason when it cannot (callers should treat
     /// that as "skip", mirroring the ipc probes).
     pub fn probe_support() -> Result<(), String> {
+        // Serialize with live runs: the probe maps a page at MP_BASE,
+        // so an unlocked probe can both fail spuriously against a
+        // concurrent run's mapping (silently skipping tests) and make
+        // that run's own MAP_FIXED_NOREPLACE fail.
+        let _guard = MP_RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         map_region(PAGE).map(|_| {
             // SAFETY: [I10] unmapping exactly the probe mapping.
             unsafe { libc::munmap(MP_BASE as *mut c_void, PAGE) };

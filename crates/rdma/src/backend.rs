@@ -189,10 +189,20 @@ impl ShmFabric {
             base,
             len: len as u64,
         };
-        let overlaps = self
-            .regions
-            .iter()
-            .any(|r| r.proc == proc && r.base < new.base + new.len && new.base < r.base + r.len);
+        // Checked ends: near-u64::MAX registrations must be rejected,
+        // not wrapped (a wrapped end can let a genuine overlap pass),
+        // matching `contains`.
+        let new_end = new
+            .base
+            .checked_add(new.len)
+            .ok_or(RdmaError::AddressOverflow { proc, addr: base })?;
+        let overlaps = self.regions.iter().any(|r| {
+            r.proc == proc
+                && r.base < new_end
+                && r.base
+                    .checked_add(r.len)
+                    .is_none_or(|r_end| new.base < r_end)
+        });
         if overlaps {
             return Err(RdmaError::OverlappingRegistration { proc, addr: base });
         }

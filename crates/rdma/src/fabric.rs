@@ -31,6 +31,14 @@ pub enum RdmaError {
     },
     /// Zero-length transfer.
     ZeroLength,
+    /// A registration's end (`base + len`) does not fit in the address
+    /// space.
+    AddressOverflow {
+        /// Process attempting the registration.
+        proc: WorkerId,
+        /// Base of the rejected region.
+        addr: u64,
+    },
 }
 
 impl fmt::Display for RdmaError {
@@ -52,6 +60,12 @@ impl fmt::Display for RdmaError {
                 write!(f, "atomic op on unaligned address {addr:#x}")
             }
             RdmaError::ZeroLength => write!(f, "zero-length transfer"),
+            RdmaError::AddressOverflow { proc, addr } => {
+                write!(
+                    f,
+                    "registration at {addr:#x} on {proc} overflows the address space"
+                )
+            }
         }
     }
 }

@@ -98,6 +98,8 @@ extern "C" {
     pub fn kill(pid: pid_t, sig: c_int) -> c_int;
     /// Set a file's length.
     pub fn ftruncate(fd: c_int, length: off_t) -> c_int;
+    /// Write bytes to a file descriptor (async-signal-safe).
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
     /// Terminate immediately without running atexit handlers.
     pub fn _exit(status: c_int) -> !;
     /// Raw syscall entry (used for `memfd_create`).
